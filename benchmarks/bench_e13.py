@@ -1,0 +1,17 @@
+"""Bench E13 — SS I footnote 2: quarantine damps spam to zero marginal cost.
+
+Regenerates the E13 table of EXPERIMENTS.md; see DESIGN.md SS3 for the
+claim-to-module map.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.mark.benchmark(group="E13")
+def test_bench_e13(benchmark, table_sink):
+    table = benchmark.pedantic(
+        lambda: run_experiment("E13", fast=True), rounds=1, iterations=1
+    )
+    table_sink(table)

@@ -1,0 +1,17 @@
+"""Bench E15 — SS III remark: guarantees under Theta(n) population drift.
+
+Regenerates the E15 table of EXPERIMENTS.md; see DESIGN.md SS3 for the
+claim-to-module map.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.mark.benchmark(group="E15")
+def test_bench_e15(benchmark, table_sink):
+    table = benchmark.pedantic(
+        lambda: run_experiment("E15", fast=True), rounds=1, iterations=1
+    )
+    table_sink(table)

@@ -1,0 +1,32 @@
+"""Benchmark harness configuration.
+
+Each ``bench_e*.py`` regenerates one experiment's table (DESIGN.md §3 maps
+experiments to paper claims).  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+``-s`` shows the reproduced tables; timings come from pytest-benchmark.
+Rendered tables are also written to ``benchmarks/output/`` so EXPERIMENTS.md
+can be regenerated without scraping stdout.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def table_sink():
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def write(table) -> None:
+        rendered = table.render()
+        print()
+        print(rendered)
+        (OUTPUT_DIR / f"{table.experiment.lower()}.txt").write_text(rendered + "\n")
+
+    return write

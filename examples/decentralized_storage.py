@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Decentralized storage under Byzantine attack (paper §I-A motivation).
+
+The paper's first motivating application: "decentralized storage and
+retrieval of data ... all but an ε-fraction of data is reachable and
+maintained reliably."  This example stores a corpus of keyed objects in a
+DHT whose nodes include a colluding ``beta`` fraction of Byzantine IDs, and
+compares retrievability across three designs:
+
+* **no groups** (single IDs) — cheap, but any bad ID on a route kills the
+  lookup, and data on bad IDs is simply gone;
+* **tiny groups** (this paper) — ``Theta(log log n)`` replicas per key,
+  majority filtering en route;
+* **classic groups** — ``Theta(log n)``-size groups; near-perfect but at
+  quadratically higher message cost.
+
+Run:  python examples/decentralized_storage.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.adversary import UniformAdversary
+from repro.analysis.tables import TableResult
+from repro.baselines.logn_groups import build_logn_static
+from repro.baselines.single_id import measure_single_id
+from repro.core import SecureRouter, SystemParams, constructive_static_graph
+from repro.inputgraph import make_input_graph
+
+N = 2048
+N_OBJECTS = 4000
+BETA = 0.05
+
+
+def main() -> None:
+    params = SystemParams(n=N, beta=BETA, seed=11)
+    rng = np.random.default_rng(params.seed)
+    ids, bad = UniformAdversary(BETA).population(N, rng)
+    H = make_input_graph("chord", ids)
+
+    # the stored corpus: object key -> point on the ring
+    keys = rng.random(N_OBJECTS)
+
+    table = TableResult(
+        experiment="storage",
+        title=f"Retrievability of {N_OBJECTS} objects (n={N}, beta={BETA})",
+        headers=["design", "|G|", "retrievable", "lost/blocked",
+                 "msgs per lookup"],
+    )
+
+    # --- no groups -------------------------------------------------------------
+    single = measure_single_id(H, params, bad, probes=N_OBJECTS, rng=rng)
+    # a lookup fails if routed through a bad ID; data ON a bad ID is lost too
+    resp = H.ring.successor_index_many(keys)
+    on_bad = bad[resp].mean()
+    retrievable_single = (1.0 - single.failure_rate) * (1.0 - on_bad)
+    table.add_row(
+        "single IDs", 1, f"{retrievable_single:.1%}",
+        f"{1 - retrievable_single:.1%}", f"{single.messages_per_search:.0f}",
+    )
+
+    # --- tiny groups -------------------------------------------------------------
+    gg, groups, _ = constructive_static_graph(H, params, bad, rng=rng)
+    router = SecureRouter(gg, bad)
+    src = rng.integers(0, N, size=N_OBJECTS)
+    batch = H.route_many(src, keys)
+    ev = gg.evaluate(batch)
+    tiny_cost, _ = router.search_cost_batch(2000, rng)
+    table.add_row(
+        "tiny groups (this paper)", f"{groups.sizes().mean():.0f}",
+        f"{ev.success.mean():.1%}", f"{1 - ev.success.mean():.1%}",
+        f"{tiny_cost:.0f}",
+    )
+
+    # --- classic log-n groups -----------------------------------------------------
+    bl = build_logn_static(H, params, bad, rng)
+    ev_l = bl.group_graph.evaluate(H.route_many(src, keys))
+    logn_cost, _ = SecureRouter(bl.group_graph, bad).search_cost_batch(2000, rng)
+    table.add_row(
+        "classic groups", bl.group_size, f"{ev_l.success.mean():.1%}",
+        f"{1 - ev_l.success.mean():.1%}", f"{logn_cost:.0f}",
+    )
+
+    table.add_note(
+        "tiny groups keep all-but-eps retrievability at a fraction of the "
+        "classic message cost; single IDs lose ~D*beta of lookups outright"
+    )
+    print(table.render())
+
+
+if __name__ == "__main__":
+    main()

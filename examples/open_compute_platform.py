@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Open computing platform: n jobs on simulated reliable processors (§I-A).
+
+The paper's second motivating application: "consider n jobs in an open
+computing platform ... all but an ε-fraction of those jobs can be correctly
+computed."  Each group simulates a reliable processor by running Byzantine
+agreement among its members (phase king); a job's result is the agreed
+value.  Jobs assigned to groups with a good majority inside the BA bound
+complete correctly; the ε-fraction on bad groups is lost — and we count
+exactly how many, against the Theorem 3 envelope.
+
+Run:  python examples/open_compute_platform.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.adversary import UniformAdversary
+from repro.agreement import phase_king
+from repro.analysis.tables import TableResult
+from repro.core import SystemParams, constructive_static_graph
+from repro.inputgraph import make_input_graph
+
+N = 1024
+N_JOBS = 300
+BETA = 0.04
+
+
+def main() -> None:
+    params = SystemParams(n=N, beta=BETA, seed=23)
+    rng = np.random.default_rng(params.seed)
+    ids, bad = UniformAdversary(BETA).population(N, rng)
+    H = make_input_graph("chord", ids)
+    gg, groups, quality = constructive_static_graph(H, params, bad, rng=rng)
+
+    correct = 0
+    lost_bad_group = 0
+    lost_ba = 0
+    messages = 0
+    job_groups = rng.integers(0, gg.n, size=N_JOBS)
+    for j, g in enumerate(job_groups):
+        members = groups.members_of(int(g))
+        if members.size == 0:
+            lost_bad_group += 1
+            continue
+        member_bad = bad[members]
+        # the job's true answer bit; good members compute it, bad members lie
+        answer = int(rng.integers(0, 2))
+        inputs = np.where(member_bad, 1 - answer, answer)
+        res = phase_king(inputs, member_bad, rng)
+        messages += res.messages
+        if gg.red[g]:
+            lost_bad_group += 1
+        elif res.agreement and res.decided.size and res.decided[0] == answer:
+            correct += 1
+        else:
+            lost_ba += 1
+
+    table = TableResult(
+        experiment="compute",
+        title=f"{N_JOBS} jobs on tiny-group processors (n={N}, beta={BETA})",
+        headers=["outcome", "jobs", "fraction"],
+    )
+    table.add_row("computed correctly", correct, f"{correct / N_JOBS:.1%}")
+    table.add_row("on red groups (eps loss)", lost_bad_group,
+                  f"{lost_bad_group / N_JOBS:.1%}")
+    table.add_row("BA failure inside group", lost_ba, f"{lost_ba / N_JOBS:.1%}")
+    table.add_note(
+        f"red-group fraction {gg.fraction_red:.3%} bounds the eps job loss "
+        f"(Theorem 3); BA messages per job ~ {messages / max(1, N_JOBS):.0f} "
+        f"= O(poly(log log n))"
+    )
+    print(table.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""Adversary strategies (paper §I-C)."""
+
+from .base import Adversary
+from .strategies import (
+    ClusterAdversary,
+    KeyTargetAdversary,
+    OmissionAdversary,
+    UniformAdversary,
+)
+
+__all__ = [
+    "Adversary",
+    "UniformAdversary",
+    "ClusterAdversary",
+    "OmissionAdversary",
+    "KeyTargetAdversary",
+]

@@ -1,0 +1,73 @@
+"""Adversary model (paper §I-C).
+
+A **single** adversary controls all bad IDs — they collude perfectly, know
+the topology and all message contents, but not the local random bits of good
+IDs.  Its levers in this simulation:
+
+* **ID placement** — where its ``~beta n`` IDs land on the ring.  Under the
+  two-hash PoW scheme placement is forced u.a.r. (Lemma 11); placement
+  strategies other than uniform model the *absence* of that defense and the
+  Lemma 5 omission scenario;
+* **slot capture** — when both searches for a membership point fail, the
+  adversary supplies an arbitrary (bad, distinct) member — already encoded
+  in ``membership.build_new_graph``;
+* **search redirection** — after a search hits a red group the adversary
+  controls it entirely; encoded by the search-path semantics (§II-A);
+* **string delay** — withholding small-output strings until late in the
+  propagation protocol (App. VIII); see ``repro.pow.propagation``.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+__all__ = ["Adversary"]
+
+
+class Adversary(abc.ABC):
+    """Strategy interface for bad-ID placement and churn targeting."""
+
+    name: str = "abstract"
+
+    def __init__(self, beta: float):
+        if not (0.0 <= beta < 0.5):
+            raise ValueError("beta must be in [0, 1/2)")
+        self.beta = float(beta)
+
+    def id_budget(self, n: int) -> int:
+        """How many bad IDs the adversary fields (``beta n``, rounded)."""
+        return int(round(self.beta * n))
+
+    @abc.abstractmethod
+    def place_ids(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """ID values for ``count`` bad IDs.
+
+        May return *fewer* than ``count`` values: the adversary is free to
+        withhold IDs (Lemma 5's omission scenario).
+        """
+
+    def population(
+        self, n: int, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """A full epoch population: ``(ids, bad_mask)`` sorted by ID value.
+
+        Good IDs are u.a.r. (their puzzle outputs are uniform); bad IDs are
+        placed by the strategy.  Duplicate values (measure zero) are
+        perturbed rather than dropped so the mask stays aligned.
+        """
+        n_bad_requested = self.id_budget(n)
+        bad_ids = np.asarray(self.place_ids(n_bad_requested, rng), dtype=np.float64)
+        n_good = n - bad_ids.size
+        good_ids = rng.random(n_good)
+        ids = np.concatenate([good_ids, bad_ids])
+        bad = np.zeros(ids.size, dtype=bool)
+        bad[n_good:] = True
+        # resolve exact collisions deterministically (keeps Ring aligned)
+        order = np.argsort(ids, kind="stable")
+        ids, bad = ids[order], bad[order]
+        dup = np.flatnonzero(np.diff(ids) == 0)
+        for d in dup:
+            ids[d + 1] = np.nextafter(ids[d + 1], 1.0)
+        return ids, bad

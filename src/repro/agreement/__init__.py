@@ -1,0 +1,6 @@
+"""In-group Byzantine agreement and majority-filtered channels (paper §I)."""
+
+from .majority import ChannelOutcome, transmit
+from .phase_king import AdversaryPolicy, BAResult, phase_king
+
+__all__ = ["phase_king", "BAResult", "AdversaryPolicy", "transmit", "ChannelOutcome"]

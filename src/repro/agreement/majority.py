@@ -1,0 +1,52 @@
+"""Majority-filtered inter-group channels (paper §I "Secure routing").
+
+All members of a sending group transmit to all members of the receiving
+group; each good receiver keeps the strict-majority value.  This module
+gives the channel-level simulation used by unit tests and by the secure
+router: it makes the quantitative guarantee explicit — *the channel is
+correct iff the sending group has a good majority*, regardless of what the
+bad members (or a fully red group) transmit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+import numpy as np
+
+from ..core.secure_routing import majority_filter
+
+__all__ = ["ChannelOutcome", "transmit"]
+
+
+@dataclass(frozen=True)
+class ChannelOutcome:
+    """Result of one group-to-group transmission."""
+
+    delivered: Hashable | None   # value kept by good receivers (None = dropped)
+    correct: bool                # delivered == the good members' value
+    messages: int                # |sender| * |receiver|
+
+
+def transmit(
+    good_senders: int,
+    bad_senders: int,
+    receivers: int,
+    value: Hashable,
+    adversary_value: Hashable = "ADV",
+) -> ChannelOutcome:
+    """Send ``value`` across an all-to-all majority-filtered channel.
+
+    Good senders all send ``value``; bad senders collude on
+    ``adversary_value`` (sending the *same* wrong value is optimal for the
+    adversary against strict-majority filtering — splitting its votes only
+    helps the truth).
+    """
+    votes = [value] * good_senders + [adversary_value] * bad_senders
+    delivered = majority_filter(votes)
+    return ChannelOutcome(
+        delivered=delivered,
+        correct=delivered == value,
+        messages=(good_senders + bad_senders) * receivers,
+    )

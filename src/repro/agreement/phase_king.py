@@ -1,0 +1,125 @@
+"""Byzantine agreement inside a group (paper §I, reference [28]).
+
+The paper uses each good-majority group as a "reliable processor": members
+run Byzantine agreement so the group acts on one value.  The paper cites BA
+generically [Lamport-Shostak-Pease]; we implement the **phase-king**
+algorithm (Berman-Garay-Perry) — ``t+1`` phases of two broadcast rounds,
+polynomial messages, tolerating ``t < n/4`` faulty players in this simple
+threshold variant.
+
+Note on thresholds: routing only needs a good *majority* (``t < n/2`` with
+majority filtering), but classic unauthenticated BA needs ``t < n/3`` (and
+this simple phase-king variant ``t < n/4``).  The paper's
+``(1 + delta) beta`` bad-member cap is tuned small precisely so group-
+internal computation stays inside these stricter bounds — with the default
+``beta = 0.05`` the cap is 1/3-ish of the group, and deployments that need
+in-group BA should pick ``delta`` so the cap sits below 1/4.  The experiment
+suite demonstrates both the guarantee inside the bound and the breakdown
+beyond it (failure injection).
+
+The adversary model matches §I-C: a single adversary coordinates all bad
+players, sees every message, and may send *different* values to different
+receivers (full equivocation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["BAResult", "phase_king", "AdversaryPolicy"]
+
+#: callback: (phase, round, bad_index, receiver_index, state) -> bit to send
+AdversaryPolicy = Callable[[int, int, int, int, dict], int]
+
+
+def _default_policy(phase: int, rnd: int, bad: int, receiver: int, state: dict) -> int:
+    """Equivocating adversary: push each receiver *away* from the current
+    good plurality (worst-case-ish without solving the full game)."""
+    maj = state.get("good_majority_bit", 0)
+    # split receivers to maximize confusion
+    return (1 - maj) if (receiver % 2 == 0) else maj
+
+
+@dataclass(frozen=True)
+class BAResult:
+    """Outcome of one BA execution."""
+
+    decided: np.ndarray          # per-good-player decision bit
+    agreement: bool              # all good players decided the same value
+    validity: bool               # if all good inputs equal v, decision == v
+    phases: int
+    messages: int
+
+
+def phase_king(
+    inputs: np.ndarray,
+    bad_mask: np.ndarray,
+    rng: np.random.Generator,
+    policy: AdversaryPolicy | None = None,
+) -> BAResult:
+    """Run phase-king over ``n`` players with the given input bits.
+
+    ``inputs[i]`` in {0, 1}; ``bad_mask[i]`` marks Byzantine players whose
+    behaviour is delegated to ``policy``.  Returns the good players'
+    decisions after ``t+1`` phases (``t`` = number of bad players).
+    """
+    inputs = np.asarray(inputs, dtype=np.int64)
+    bad_mask = np.asarray(bad_mask, dtype=bool)
+    n = inputs.size
+    t = int(bad_mask.sum())
+    policy = policy or _default_policy
+    good_idx = np.flatnonzero(~bad_mask)
+    values = inputs.copy()
+    all_good_same = np.unique(inputs[good_idx]).size == 1
+    initial_common = int(inputs[good_idx[0]]) if all_good_same else None
+
+    messages = 0
+    state: dict = {}
+    phases = t + 1
+    for phase in range(phases):
+        king = phase % n  # deterministic king rotation
+        # --- round 1: everyone broadcasts its value -------------------------
+        good_bits = values[good_idx]
+        state["good_majority_bit"] = int(np.round(good_bits.mean())) if good_bits.size else 0
+        maj = np.zeros(n, dtype=np.int64)
+        mult = np.zeros(n, dtype=np.int64)
+        for r in good_idx:
+            c1 = 0
+            for s in range(n):
+                if s == r:
+                    bit = int(values[s])
+                elif bad_mask[s]:
+                    bit = int(policy(phase, 1, s, int(r), state)) & 1
+                else:
+                    bit = int(values[s])
+                c1 += bit
+                messages += 1
+            maj[r] = 1 if 2 * c1 > n else 0
+            mult[r] = max(c1, n - c1)
+        # --- round 2: the king broadcasts its majority ----------------------
+        for r in good_idx:
+            if bad_mask[king]:
+                king_bit = int(policy(phase, 2, king, int(r), state)) & 1
+            else:
+                king_bit = int(maj[king])
+            messages += 1
+            if mult[r] > n // 2 + t:
+                values[r] = maj[r]
+            else:
+                values[r] = king_bit
+
+    decided = values[good_idx]
+    agreement = bool(np.unique(decided).size <= 1)
+    validity = True
+    if initial_common is not None:
+        validity = bool((decided == initial_common).all())
+    return BAResult(
+        decided=decided,
+        agreement=agreement,
+        validity=validity,
+        phases=phases,
+        messages=messages,
+    )

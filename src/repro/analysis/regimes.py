@@ -1,0 +1,119 @@
+"""Parameter-regime analysis: when does the epoch map contract? (Lemma 9)
+
+Theorem 3 holds "for sufficiently large n" with "d2 sufficiently large".
+Concretely (and this is what simulation calibration surfaces), the per-epoch
+red-group probability evolves approximately as
+
+    ``p' = F(p) = p_comp + 2 (D p)^2 (m + L)``      (two graphs)
+    ``p' = F(p) = p_comp + 2 (D p)   (m + L)``      (one graph)
+
+with ``p_comp`` the group-composition tail, ``D`` the route length, ``m``
+the membership slots, and ``L`` the neighbor slots.  The dual map has a
+stable small fixed point iff its discriminant is positive —
+``4 * K * p_comp < 1`` for ``K = 2 D^2 (m + L)`` — while the single-graph
+map is linear with slope ``2 D (m+L) >> 1`` and always escapes.
+
+This module computes those conditions so experiments (and users picking
+deployment parameters) can *check* they are in the Theorem-3 regime instead
+of discovering divergence six epochs in:
+
+* :func:`epoch_map_analysis` — fixed point, contraction slope, stability;
+* :func:`minimum_d2_for_stability` — the Lemma 9 "sufficiently large d2";
+* :func:`iterate_epoch_map` — the trajectory (used by E5 Part B).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.params import SystemParams
+from .theory import bad_group_probability
+
+__all__ = [
+    "RegimeReport",
+    "epoch_map_analysis",
+    "minimum_d2_for_stability",
+    "iterate_epoch_map",
+]
+
+
+@dataclass(frozen=True)
+class RegimeReport:
+    """Stability analysis of the epoch map at given parameters."""
+
+    n: int
+    beta: float
+    m: int                      # membership slots d2 ln ln n
+    L: float                    # neighbor slots
+    D: float                    # route length
+    p_comp: float               # composition tail
+    K: float                    # quadratic coefficient 2 D^2 (m+L)
+    stable: bool                # dual map has a small fixed point
+    fixed_point: float | None   # p* of the dual map (None if unstable)
+    contraction_slope: float | None  # F'(p*) < 1 iff stable
+    margin: float               # 1 - 4 K p_comp (positive = stable)
+
+
+def _route_length(n: int) -> float:
+    return 0.5 * math.log2(max(2, n))
+
+
+def _neighbor_slots(n: int) -> float:
+    return 2.0 * math.log2(max(2, n))
+
+
+def epoch_map_analysis(params: SystemParams, m: int | None = None) -> RegimeReport:
+    """Analyze the dual-graph epoch map at ``params``."""
+    n = params.n
+    m = params.group_solicit_size if m is None else int(m)
+    D = _route_length(n)
+    L = _neighbor_slots(n)
+    p_comp = bad_group_probability(m, params.beta, params.bad_member_threshold)
+    K = 2.0 * D * D * (m + L)
+    disc = 1.0 - 4.0 * K * p_comp
+    if disc > 0:
+        # smaller root of p = p_comp + K p^2
+        p_star = (1.0 - math.sqrt(disc)) / (2.0 * K)
+        slope = 2.0 * K * p_star
+        stable = slope < 1.0
+    else:
+        p_star, slope, stable = None, None, False
+    return RegimeReport(
+        n=n, beta=params.beta, m=m, L=L, D=D, p_comp=p_comp, K=K,
+        stable=stable, fixed_point=p_star, contraction_slope=slope,
+        margin=disc,
+    )
+
+
+def minimum_d2_for_stability(params: SystemParams, max_m: int = 512) -> int:
+    """Smallest membership-slot count ``m`` making the dual map stable —
+    the concrete content of Lemma 9's "setting d2 sufficiently large".
+    Returns the slot count (convert to d2 via ``m / ln ln n``)."""
+    for m in range(2, max_m + 1):
+        if epoch_map_analysis(params, m=m).stable:
+            return m
+    return max_m
+
+
+def iterate_epoch_map(
+    params: SystemParams,
+    epochs: int,
+    dual: bool = True,
+    m: int | None = None,
+    p0: float | None = None,
+) -> list[float]:
+    """Trajectory of the epoch map from ``p0`` (default: ``p_comp``)."""
+    n = params.n
+    m = params.group_solicit_size if m is None else int(m)
+    D = _route_length(n)
+    L = _neighbor_slots(n)
+    p_comp = bad_group_probability(m, params.beta, params.bad_member_threshold)
+    p = p_comp if p0 is None else float(p0)
+    out = [p]
+    for _ in range(epochs):
+        q = min(1.0, D * p)
+        capture = q * q if dual else q
+        p = min(1.0, p_comp + 2.0 * capture * (m + L))
+        out.append(p)
+    return out

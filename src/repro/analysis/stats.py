@@ -1,0 +1,64 @@
+"""Statistical helpers for experiment evaluation.
+
+KS uniformity tests (Lemma 11's "IDs are u.a.r."), proportion confidence
+intervals, and simple bootstrap CIs — thin wrappers over SciPy so all
+experiments report uncertainty the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats as sps
+
+from ..sim.montecarlo import wilson_interval
+
+__all__ = ["UniformityTest", "ks_uniform", "proportion_ci", "bootstrap_ci"]
+
+
+@dataclass(frozen=True)
+class UniformityTest:
+    """KS test of sample-vs-Uniform[0,1)."""
+
+    statistic: float
+    p_value: float
+    n: int
+
+    def looks_uniform(self, alpha: float = 0.01) -> bool:
+        """True when we *cannot* reject uniformity at level ``alpha``."""
+        return self.p_value >= alpha
+
+
+def ks_uniform(sample: np.ndarray) -> UniformityTest:
+    """Kolmogorov-Smirnov test against Uniform[0, 1)."""
+    sample = np.asarray(sample, dtype=np.float64)
+    if sample.size == 0:
+        return UniformityTest(statistic=0.0, p_value=1.0, n=0)
+    stat, p = sps.kstest(sample, "uniform")
+    return UniformityTest(statistic=float(stat), p_value=float(p), n=int(sample.size))
+
+
+def proportion_ci(successes: int, trials: int) -> tuple[float, float, float]:
+    """(point, lo, hi) Wilson interval for a proportion."""
+    p = successes / trials if trials else 0.0
+    lo, hi = wilson_interval(successes, trials)
+    return p, lo, hi
+
+
+def bootstrap_ci(
+    values: np.ndarray,
+    rng: np.random.Generator,
+    stat=np.mean,
+    resamples: int = 2000,
+    alpha: float = 0.05,
+) -> tuple[float, float, float]:
+    """(point, lo, hi) percentile bootstrap for an arbitrary statistic."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        return 0.0, 0.0, 0.0
+    point = float(stat(values))
+    idx = rng.integers(0, values.size, size=(resamples, values.size))
+    boot = np.asarray([stat(values[row]) for row in idx])
+    lo, hi = np.quantile(boot, [alpha / 2, 1 - alpha / 2])
+    return point, float(lo), float(hi)

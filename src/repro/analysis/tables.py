@@ -1,0 +1,58 @@
+"""Fixed-width result tables shared by experiments, benchmarks, examples.
+
+Each experiment returns a :class:`TableResult`; benchmarks print it (that
+*is* the reproduced table/figure series), tests assert on its rows, and
+EXPERIMENTS.md records rendered copies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+__all__ = ["TableResult", "render_table"]
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+@dataclass
+class TableResult:
+    """A reproduced table: headers, rows, provenance notes."""
+
+    experiment: str
+    title: str
+    headers: list[str]
+    rows: list[list[object]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        self.rows.append(list(cells))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def render(self) -> str:
+        body = render_table(self.headers, self.rows, title=f"[{self.experiment}] {self.title}")
+        if self.notes:
+            body += "\n" + "\n".join(f"  note: {n}" for n in self.notes)
+        return body
+
+    def column(self, name: str) -> list[object]:
+        """Values of one column by header name (for test assertions)."""
+        i = self.headers.index(name)
+        return [row[i] for row in self.rows]

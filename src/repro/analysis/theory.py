@@ -1,0 +1,133 @@
+"""Closed-form predictions from the paper's analysis.
+
+Every experiment overlays a measured quantity on the bound the paper proves;
+this module holds those bounds with explicit constants:
+
+* :func:`bad_group_probability` — exact binomial tail + Chernoff form for
+  "a u.a.r. group of size m exceeds the ``(1+delta)beta`` bad fraction"
+  (the §II-A intuition behind S2's ``p_f <= 1/log^k n``);
+* :func:`lemma7_red_bound` — ``O(q_f^2 d2 log log n + 1/log^{d'} n)``;
+* :func:`lemma8_confusion_bound` — ``O(q_f^2 log^gamma n)``;
+* :func:`union_bound_failure` — the §I-D back-of-envelope: a ``D``-hop
+  search survives iff no traversed group is red;
+* :func:`group_size_for_target` — minimum group size achieving a target
+  bad-group probability (the E11 scaling curve: ``Theta(log log n)`` under
+  a compute-bounded adversary vs ``Theta(log n)`` for ``1/poly(n)``);
+* :func:`corollary1_cost_rows` — the three cost columns for tiny vs log-n
+  groups.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats as sps
+
+from ..core.params import SystemParams
+
+__all__ = [
+    "bad_group_probability",
+    "chernoff_upper",
+    "lemma7_red_bound",
+    "lemma8_confusion_bound",
+    "union_bound_failure",
+    "group_size_for_target",
+    "corollary1_cost_rows",
+]
+
+
+def bad_group_probability(size: int, beta: float, threshold: float) -> float:
+    """Exact P[Bin(size, beta) > threshold * size] — a fresh group goes bad.
+
+    ``threshold`` is the ``(1+delta)beta`` bad-fraction cap; membership
+    points are u.a.r. so member badness is i.i.d. Bernoulli(beta') with
+    ``beta' ~ (1+delta'')beta`` (Lemma 6) — we use ``beta`` directly and let
+    callers inflate it when modelling the load-balance slack.
+    """
+    if size <= 0:
+        return 1.0
+    cutoff = math.floor(threshold * size)
+    return float(sps.binom.sf(cutoff, size, beta))
+
+
+def chernoff_upper(size: int, beta: float, threshold: float) -> float:
+    """Chernoff form ``exp(-delta^2 * beta * size / 3)`` (Theorem 1) for the
+    same tail; looser than the exact tail but the shape the paper argues
+    with (``size = d ln ln n`` makes this ``1/ln^{Theta(d)} n``)."""
+    if threshold <= beta:
+        return 1.0
+    delta = threshold / beta - 1.0
+    d_eff = min(delta, 1.0)  # Theorem 1 form holds for delta < 1
+    return float(math.exp(-d_eff * d_eff * beta * size / 3.0))
+
+
+def lemma7_red_bound(
+    qf: float, params: SystemParams, constant: float = 2.0
+) -> float:
+    """Lemma 7 + Lemma 8 union: per-group red probability in a *new* graph.
+
+    ``q_f`` is the old graphs' search-failure probability.  Terms: dual
+    bootstrap capture + dual rejection over ``d2 ln ln n`` membership slots
+    (``2 q_f^2 m``), the Chernoff composition tail, and dual-failure over
+    the ``O(log^gamma n)`` neighbor slots (Lemma 8, both find and verify).
+    """
+    m = params.group_solicit_size
+    membership = 2.0 * qf * qf * m
+    composition = bad_group_probability(
+        m, params.beta, params.bad_member_threshold
+    )
+    neighbors = 2.0 * qf * qf * params.neighbor_set_bound
+    return float(min(1.0, constant * (membership + composition + neighbors)))
+
+
+def lemma8_confusion_bound(qf: float, params: SystemParams, constant: float = 2.0) -> float:
+    """Lemma 8: confusion probability ``O(q_f^2 log^gamma n)``."""
+    return float(min(1.0, constant * 2.0 * qf * qf * params.neighbor_set_bound))
+
+
+def union_bound_failure(pf: float, route_length: float) -> float:
+    """§I-D: P[search fails] <= sum over traversed groups of pf."""
+    return float(min(1.0, pf * route_length))
+
+
+def group_size_for_target(
+    n: int, beta: float, threshold: float, target_pf: float, max_size: int = 4096
+) -> int:
+    """Smallest group size whose bad-group probability is <= ``target_pf``.
+
+    Monotone in size, so a linear scan suffices (sizes are tiny).  This is
+    the curve behind the paper's headline: for ``target = 1/poly(log n)``
+    the answer grows like ``log log n``; for ``target = 1/poly(n)`` like
+    ``log n``.
+    """
+    for size in range(1, max_size + 1):
+        if bad_group_probability(size, beta, threshold) <= target_pf:
+            return size
+    return max_size
+
+
+def corollary1_cost_rows(n: int, d_route: float | None = None) -> list[dict]:
+    """Tiny vs classic cost table (Corollary 1 vs §I costs).
+
+    Returns one dict per construction with the three §I cost figures.
+    """
+    ln_n = math.log(max(math.e, n))
+    ln_ln_n = max(1.0, math.log(max(math.e, ln_n)))
+    D = d_route if d_route is not None else math.log2(max(2, n))
+    rows = []
+    for label, g in (
+        ("tiny (log log n)", ln_ln_n),
+        ("classic (log n)", ln_n),
+    ):
+        rows.append(
+            {
+                "construction": label,
+                "group_size": g,
+                "group_comm": g * g,
+                "routing": D * g * g,
+                "state": g * g,
+            }
+        )
+    return rows

@@ -1,0 +1,14 @@
+"""Baselines the paper compares against (§I, §I-B)."""
+
+from .cuckoo import CuckooResult, CuckooSimulator
+from .logn_groups import LogNBaseline, build_logn_static
+from .single_id import SingleIdStats, measure_single_id
+
+__all__ = [
+    "LogNBaseline",
+    "build_logn_static",
+    "CuckooSimulator",
+    "CuckooResult",
+    "SingleIdStats",
+    "measure_single_id",
+]

@@ -1,0 +1,211 @@
+"""Cuckoo rule baseline (paper refs [8]-[10]; simulation methodology of [47]).
+
+Awerbuch & Scheideler's *cuckoo rule* keeps every ``Theta(log n)``-size
+group region of the ring near the global bad fraction despite adversarial
+churn.  Two scales matter (and must not be conflated):
+
+* **group regions** — the ring is partitioned into ``n / |G|`` regions of
+  ``|G|/n`` key space each; the IDs inside one region form a group (the
+  object whose good majority we care about);
+* **k-regions** — a finer fixed partition into regions of ``k/n`` key space
+  (``k`` a constant).  When an ID joins at random point ``x``, *all* IDs in
+  the k-region containing ``x`` are evicted and re-placed at fresh random
+  points (without recursive eviction).  The constant-size eviction is what
+  stops the adversary from aging-attack concentration while costing only
+  ``O(1)`` displacements per join.
+
+Sen & Freedman's simulations [47] — quoted in §I-B — found the practical
+group sizes remain large: at ``n = 8192`` and ``beta ≈ 0.002``, ``|G| = 64``
+is needed to survive ``10^5`` adversarial join/leave events; their
+*commensal cuckoo* variant (evicting ``k`` random members of the joiner's
+**group** instead of a k-region) tolerates ``beta ≈ 0.07``.  Experiment E12
+reruns that methodology and contrasts it with the PoW tiny-group
+construction, which gets away with ``Theta(log log n)`` because proof-of-work
+rate-limits exactly the rejoin churn this attack is made of.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CuckooResult", "CuckooSimulator"]
+
+
+@dataclass(frozen=True)
+class CuckooResult:
+    """Outcome of one cuckoo-rule churn run."""
+
+    n: int
+    beta: float
+    group_size: int
+    k: int
+    events_survived: int
+    failed: bool
+    max_bad_fraction: float
+    threshold: float
+    commensal: bool
+
+
+class CuckooSimulator:
+    """Group regions + k-region cuckoo eviction under the join-leave attack.
+
+    Parameters
+    ----------
+    n:
+        Total IDs (constant; every departure pairs with a join).
+    beta:
+        Fraction of IDs controlled by the adversary.
+    group_size:
+        Average IDs per *group region* (the construction's ``|G|``).
+    k:
+        Cuckoo eviction granularity: the evicted k-region holds ``k`` IDs in
+        expectation.
+    commensal:
+        Sen-Freedman variant: evict ``k`` random members of the joiner's
+        group region instead of the k-region's occupants.
+    threshold:
+        A group *fails* when its bad fraction reaches this value (1/2 =
+        majority loss; [47] uses 1/3 for BFT-compatible groups).
+    min_occupancy:
+        Groups with fewer present members than this are ignored by the
+        failure check (they hold no quorum; with sane parameters occupancy
+        stays well above it).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        beta: float,
+        group_size: int,
+        k: int = 2,
+        commensal: bool = False,
+        threshold: float = 0.5,
+        min_occupancy: int = 3,
+        seed: int = 0,
+    ):
+        self.n = int(n)
+        self.beta = float(beta)
+        self.group_size = int(group_size)
+        self.k = max(1, int(k))
+        self.commensal = bool(commensal)
+        self.threshold = float(threshold)
+        self.min_occupancy = int(min_occupancy)
+        self.rng = np.random.default_rng(seed)
+
+        self.n_groups = max(1, self.n // self.group_size)
+        self.n_kregions = max(1, self.n // self.k)
+
+        self.is_bad = np.zeros(self.n, dtype=bool)
+        self.is_bad[: int(round(self.beta * self.n))] = True
+        self.rng.shuffle(self.is_bad)
+
+        self.positions = self.rng.random(self.n)
+        self.group_of = self._group(self.positions)
+        self.kregion_of = self._kregion(self.positions)
+        # incremental per-group composition counters
+        self.group_total = np.bincount(self.group_of, minlength=self.n_groups)
+        self.group_bad = np.bincount(
+            self.group_of, weights=self.is_bad.astype(np.float64),
+            minlength=self.n_groups,
+        ).astype(np.int64)
+        # k-region buckets for O(k) eviction
+        self._kbuckets: list[set[int]] = [set() for _ in range(self.n_kregions)]
+        for i in range(self.n):
+            self._kbuckets[self.kregion_of[i]].add(i)
+        # group buckets for the commensal variant
+        self._gbuckets: list[set[int]] = [set() for _ in range(self.n_groups)]
+        for i in range(self.n):
+            self._gbuckets[self.group_of[i]].add(i)
+
+    # -- partitions -------------------------------------------------------------
+
+    def _group(self, pos) -> np.ndarray:
+        return np.minimum(
+            (np.asarray(pos) * self.n_groups).astype(np.int64), self.n_groups - 1
+        )
+
+    def _kregion(self, pos) -> np.ndarray:
+        return np.minimum(
+            (np.asarray(pos) * self.n_kregions).astype(np.int64), self.n_kregions - 1
+        )
+
+    # -- moves -------------------------------------------------------------------
+
+    def _move(self, idx: int, pos: float) -> None:
+        old_g, old_k = self.group_of[idx], self.kregion_of[idx]
+        new_g = int(self._group(pos))
+        new_k = int(self._kregion(pos))
+        self.positions[idx] = pos
+        if new_g != old_g:
+            self.group_total[old_g] -= 1
+            self.group_total[new_g] += 1
+            if self.is_bad[idx]:
+                self.group_bad[old_g] -= 1
+                self.group_bad[new_g] += 1
+            self._gbuckets[old_g].discard(idx)
+            self._gbuckets[new_g].add(idx)
+            self.group_of[idx] = new_g
+        if new_k != old_k:
+            self._kbuckets[old_k].discard(idx)
+            self._kbuckets[new_k].add(idx)
+            self.kregion_of[idx] = new_k
+
+    def _join(self, idx: int) -> None:
+        """Place ``idx`` at a random point and apply the cuckoo rule."""
+        pos = float(self.rng.random())
+        self._move(idx, pos)
+        if self.commensal:
+            g = int(self.group_of[idx])
+            others = [i for i in self._gbuckets[g] if i != idx]
+            if len(others) > self.k:
+                sel = self.rng.choice(len(others), size=self.k, replace=False)
+                others = [others[s] for s in sel]
+            victims = others
+        else:
+            kr = int(self.kregion_of[idx])
+            victims = [i for i in self._kbuckets[kr] if i != idx]
+        for v in victims:
+            self._move(v, float(self.rng.random()))
+
+    # -- measurement -------------------------------------------------------------
+
+    def max_group_bad_fraction(self) -> float:
+        occ = self.group_total >= self.min_occupancy
+        if not occ.any():
+            return 0.0
+        with np.errstate(invalid="ignore"):
+            frac = self.group_bad[occ] / np.maximum(self.group_total[occ], 1)
+        return float(frac.max())
+
+    def run(self, events: int, check_every: int = 16) -> CuckooResult:
+        """Drive the join-leave attack for up to ``events`` churn events.
+
+        Each event: the adversary departs one of its IDs and immediately
+        rejoins it (fresh random position + cuckoo eviction) — [47]'s
+        attack loop.
+        """
+        bad_idx = np.flatnonzero(self.is_bad)
+        max_frac = self.max_group_bad_fraction()
+        if bad_idx.size == 0:
+            return CuckooResult(
+                self.n, self.beta, self.group_size, self.k, events, False,
+                max_frac, self.threshold, self.commensal,
+            )
+        for ev in range(1, events + 1):
+            joiner = int(self.rng.choice(bad_idx))
+            self._join(joiner)
+            if ev % check_every == 0 or ev == events:
+                frac = self.max_group_bad_fraction()
+                max_frac = max(max_frac, frac)
+                if frac >= self.threshold:
+                    return CuckooResult(
+                        self.n, self.beta, self.group_size, self.k, ev, True,
+                        max_frac, self.threshold, self.commensal,
+                    )
+        return CuckooResult(
+            self.n, self.beta, self.group_size, self.k, events, False,
+            max_frac, self.threshold, self.commensal,
+        )

@@ -1,0 +1,62 @@
+"""Single-ID (no-groups) baseline (paper §I-A "Is satisfying this trivial?").
+
+Groups of size one: every good ID is trivially a "reliable processor", so
+``(1 - beta) n`` of them exist — but routing between them is the problem.
+A search fails as soon as *any* traversed ID is bad, so the per-search
+failure probability is ``1 - (1 - beta)^D ~ D beta``: already at
+``beta = 0.05`` and Chord's ``D ~ log n`` most searches fail.  The paper's
+point: redundancy-free routing cannot deliver ε-robustness at any
+interesting ``beta``, while full pairwise links (which would fix it) cost
+``Theta(n)`` state per ID.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.group_graph import GroupGraph
+from ..core.params import SystemParams
+from ..inputgraph.base import InputGraph
+
+__all__ = ["SingleIdStats", "measure_single_id"]
+
+
+@dataclass(frozen=True)
+class SingleIdStats:
+    """Search statistics for the no-groups configuration."""
+
+    n: int
+    beta: float
+    failure_rate: float
+    predicted_failure: float     # 1 - (1-beta)^(mean hops)
+    mean_hops: float
+    messages_per_search: float   # one message per hop — cheap but insecure
+
+
+def measure_single_id(
+    H: InputGraph,
+    params: SystemParams,
+    bad_mask: np.ndarray,
+    probes: int,
+    rng: np.random.Generator,
+) -> SingleIdStats:
+    """Route random searches treating each bad ID as a red singleton group."""
+    gg = GroupGraph(
+        H, params, red=np.asarray(bad_mask, dtype=bool).copy(),
+        group_sizes=np.ones(H.n, dtype=np.int64),
+    )
+    batch = H.random_route_batch(probes, rng)
+    ev = gg.evaluate(batch)
+    hops = batch.hop_counts.astype(np.float64)
+    mean_hops = float(hops.mean())
+    beta = float(np.asarray(bad_mask).mean())
+    return SingleIdStats(
+        n=H.n,
+        beta=beta,
+        failure_rate=ev.failure_rate,
+        predicted_failure=float(1.0 - (1.0 - beta) ** (mean_hops + 1)),
+        mean_hops=mean_hops,
+        messages_per_search=mean_hops,
+    )

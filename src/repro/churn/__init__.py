@@ -1,0 +1,14 @@
+"""Churn models and event streams (paper §III)."""
+
+from .events import ChurnEvent, EventKind, EventStream
+from .models import ChurnModel, TargetedChurn, UniformChurn, apply_departures
+
+__all__ = [
+    "ChurnModel",
+    "UniformChurn",
+    "TargetedChurn",
+    "apply_departures",
+    "EventStream",
+    "ChurnEvent",
+    "EventKind",
+]

@@ -1,0 +1,125 @@
+"""Churn models (paper §III "Model of Joins and Departures").
+
+The paper's model: ``n`` IDs are always present (a departure is paired with
+a join), and **within any epoch at most an** ``eps'/2`` **fraction of good
+IDs departs any group**, where ``eps' = 1 - 2(1+delta)beta``.  That cap is
+exactly what keeps a good group's good majority alive for its lifetime; the
+churn models here let experiments run inside the cap (uniform churn),
+exactly at it (adversarially targeted churn), or deliberately beyond it
+(violation mode, to show the guarantee degrade — failure injection for the
+test suite).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.membership import EpochPair
+from ..core.params import SystemParams
+
+__all__ = ["ChurnModel", "UniformChurn", "TargetedChurn", "apply_departures"]
+
+
+def apply_departures(
+    pair: EpochPair, departing: np.ndarray, params: SystemParams
+) -> None:
+    """Mark ``departing`` ring indices as departed and re-derive red masks."""
+    pair.ring_departed[departing] = True
+    pair.reclassify(params)
+
+
+@dataclass
+class ChurnModel:
+    """Base: no churn."""
+
+    name: str = "none"
+
+    def epoch_departures(
+        self, pair: EpochPair, params: SystemParams, rng: np.random.Generator
+    ) -> np.ndarray:
+        return np.empty(0, dtype=np.int64)
+
+    def apply(
+        self, pair: EpochPair, params: SystemParams, rng: np.random.Generator
+    ) -> int:
+        dep = self.epoch_departures(pair, params, rng)
+        if dep.size:
+            apply_departures(pair, dep, params)
+        return int(dep.size)
+
+
+@dataclass
+class UniformChurn(ChurnModel):
+    """Each still-present good ID departs with probability ``rate`` per epoch.
+
+    ``rate`` should be below ``params.churn_slack / 2`` to respect the model;
+    :meth:`epoch_departures` clips it there unless ``allow_violation``.
+    """
+
+    rate: float = 0.05
+    allow_violation: bool = False
+    name: str = "uniform"
+
+    def epoch_departures(
+        self, pair: EpochPair, params: SystemParams, rng: np.random.Generator
+    ) -> np.ndarray:
+        cap = params.churn_slack / 2.0
+        r = self.rate if self.allow_violation else min(self.rate, cap)
+        good_present = ~pair.bad_mask & ~pair.ring_departed
+        candidates = np.flatnonzero(good_present)
+        pick = rng.random(candidates.size) < r
+        return candidates[pick]
+
+
+@dataclass
+class TargetedChurn(ChurnModel):
+    """Adversarially scheduled good departures.
+
+    Good IDs do leave on their own; the adversary cannot *force* them, but
+    the analysis must hold for a worst-case schedule.  This model removes
+    good members from the groups whose bad fraction is already closest to
+    the ``(1+delta)beta`` threshold, at the maximum per-epoch rate the model
+    allows — the schedule that stresses Theorem 3 hardest.
+    """
+
+    rate: float | None = None  # None -> exactly the eps'/2 cap
+    name: str = "targeted"
+
+    def epoch_departures(
+        self, pair: EpochPair, params: SystemParams, rng: np.random.Generator
+    ) -> np.ndarray:
+        cap = params.churn_slack / 2.0
+        r = cap if self.rate is None else min(self.rate, cap)
+        budget = int(r * (~pair.bad_mask).sum())
+        side = pair.side1
+        if side is None:
+            # no membership bookkeeping: fall back to uniform within budget
+            good_present = np.flatnonzero(~pair.bad_mask & ~pair.ring_departed)
+            rng.shuffle(good_present)
+            return good_present[:budget]
+        # score each group by how close it is to turning bad; depart good
+        # members of the most fragile groups first
+        good = side.good_remaining()
+        size_now = good + side.n_bad
+        with np.errstate(invalid="ignore"):
+            frac = np.where(size_now > 0, side.n_bad / np.maximum(size_now, 1), 1.0)
+        order = np.argsort(-frac)
+        chosen: list[int] = []
+        seen = np.zeros(pair.ring.n, dtype=bool)
+        for g in order:
+            if len(chosen) >= budget:
+                break
+            members = side.good_members[
+                side.good_indptr[g] : side.good_indptr[g + 1]
+            ]
+            # respect the per-group eps'/2 cap: take at most that fraction
+            take = max(0, int(np.floor(cap * members.size)))
+            for mident in members[:take]:
+                if not seen[mident] and not pair.ring_departed[mident]:
+                    seen[mident] = True
+                    chosen.append(int(mident))
+                    if len(chosen) >= budget:
+                        break
+        return np.asarray(chosen, dtype=np.int64)

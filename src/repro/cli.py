@@ -1,0 +1,121 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``experiments [IDs...]``
+    Run experiments (default: all) and print their tables.
+``validate TOPOLOGY [-n N]``
+    Build an input graph and check properties P1-P4.
+``simulate [-n N] [--beta B] [--epochs E] [--churn R]``
+    Run the dynamic epoch protocol and print per-epoch stats.
+``info``
+    Print version, parameters, and the experiment registry.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_experiments(args) -> int:
+    from .experiments import EXPERIMENTS, run_experiment
+
+    names = [n.upper() for n in (args.ids or sorted(
+        EXPERIMENTS, key=lambda k: int(k[1:])
+    ))]
+    for name in names:
+        table = run_experiment(name, seed=args.seed, fast=not args.full)
+        print(table.render())
+        print()
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    from .analysis.tables import render_table
+    from .inputgraph import make_input_graph, validate_properties
+
+    rng = np.random.default_rng(args.seed)
+    g = make_input_graph(args.topology, rng.random(args.n))
+    rep = validate_properties(g, probes=args.probes, rng=rng)
+    print(render_table(
+        ["property", "measured", "bound", "ok"], rep.rows(),
+        title=f"{args.topology} (n={args.n})",
+    ))
+    return 0 if rep.ok() else 1
+
+
+def _cmd_simulate(args) -> int:
+    from .churn import UniformChurn
+    from .core import EpochSimulator, SystemParams
+
+    params = SystemParams(n=args.n, beta=args.beta, seed=args.seed)
+    print(params.describe())
+    sim = EpochSimulator(
+        params,
+        topology=args.topology,
+        churn=UniformChurn(rate=args.churn) if args.churn > 0 else None,
+        probes=args.probes,
+        rng=np.random.default_rng(args.seed),
+    )
+    print(f"{'epoch':>5} {'red':>8} {'q_f':>8} {'eps':>8} {'memb/ID':>8}")
+    for rep in sim.run(args.epochs):
+        print(
+            f"{rep.epoch:>5} {rep.fraction_red:>8.4f} {rep.qf:>8.4f} "
+            f"{rep.robustness.epsilon_achieved:>8.4f} {rep.mean_membership:>8.1f}"
+        )
+    return 0
+
+
+def _cmd_info(args) -> int:
+    from . import __version__
+    from .core.params import DEFAULTS
+    from .experiments import EXPERIMENTS
+    from .inputgraph import TOPOLOGIES
+
+    print(f"repro {__version__} — Tiny Groups Tackle Byzantine Adversaries")
+    print(f"defaults: {DEFAULTS.describe()}")
+    print(f"topologies: {', '.join(sorted(TOPOLOGIES))}")
+    print(f"experiments: {', '.join(sorted(EXPERIMENTS, key=lambda k: int(k[1:])))}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(prog="repro", description=__doc__)
+    p.add_argument("--seed", type=int, default=0)
+    sub = p.add_subparsers(dest="command", required=True)
+
+    pe = sub.add_parser("experiments", help="run experiment tables")
+    pe.add_argument("ids", nargs="*", help="experiment IDs (default: all)")
+    pe.add_argument("--full", action="store_true", help="full (slow) scale")
+    pe.set_defaults(fn=_cmd_experiments)
+
+    pv = sub.add_parser("validate", help="check P1-P4 on a topology")
+    pv.add_argument("topology")
+    pv.add_argument("-n", type=int, default=1024)
+    pv.add_argument("--probes", type=int, default=10_000)
+    pv.set_defaults(fn=_cmd_validate)
+
+    ps = sub.add_parser("simulate", help="run the dynamic epoch protocol")
+    ps.add_argument("-n", type=int, default=512)
+    ps.add_argument("--beta", type=float, default=0.05)
+    ps.add_argument("--epochs", type=int, default=6)
+    ps.add_argument("--churn", type=float, default=0.05)
+    ps.add_argument("--topology", default="chord")
+    ps.add_argument("--probes", type=int, default=2000)
+    ps.set_defaults(fn=_cmd_simulate)
+
+    pi = sub.add_parser("info", help="version and registry info")
+    pi.set_defaults(fn=_cmd_info)
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

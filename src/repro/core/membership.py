@@ -1,0 +1,380 @@
+"""Building new group graphs from old ones (paper §III-A).
+
+In epoch ``j`` the system holds **two old group graphs** over the same ID
+population (same ring, same input graph ``H``; the group *compositions*
+differ — graph 1 uses oracle ``h1``, graph 2 uses ``h2`` — and so do the
+red markings).  New-epoch groups are assembled by searching in *both* old
+graphs:
+
+* **group-membership request** — the i-th member of the new ``G_w`` is
+  ``suc(h(w, i))`` among the old IDs; the bootstrapping group searches the
+  point in both old graphs; only if *both* searches fail does the adversary
+  capture the slot (probability ``~q_f^2``);
+* **verification** — the solicited ID ``u`` re-derives the point and
+  searches it in both old graphs itself, accepting iff either search returns
+  ``u``; an erroneous rejection needs another dual failure;
+* **neighbor request** — same dual pattern for each edge of ``L_w`` in the
+  new topology; a group that ends up linking wrongly is *confused*
+  (Lemma 8).
+
+:func:`build_new_graph` performs one graph's construction fully vectorized:
+all bootstrap searches for all leaders are routed as one batch, then all
+verification searches, then all neighbor searches — three ``route_many``
+calls instead of ``O(n log log n)`` Python-level searches.  This is what
+makes multi-epoch, multi-seed sweeps (experiments E4/E5) tractable.
+
+The per-slot outcomes match Lemma 7's case analysis:
+
+=====================  ==========================================  =========
+Event                   Simulated as                                Rate
+=====================  ==========================================  =========
+slot captured           both bootstrap searches hit red groups     ``q_f^2``
+bad successor           candidate ID is bad (u.a.r. placement)     ``~beta``
+erroneous rejection     both verification searches hit red         ``q_f^2``
+=====================  ==========================================  =========
+
+Churn bookkeeping: each group's *good* members are stored in a CSR over the
+member pool (the previous epoch's ID population — those IDs stay active,
+then passive, exactly so they can serve; §III-A).  Departures flip flags in
+the shared pool array and :meth:`EpochPair.reclassify` re-derives the red
+masks — a group whose good membership decays below the ``(1+delta)beta``
+line (or the ``d1 ln ln n`` floor) turns red, which is why the paper caps
+good departures at an ``eps'/2`` fraction per epoch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..idspace.ring import Ring
+from ..inputgraph.base import InputGraph
+from .costs import CostLedger
+from .group_graph import GroupGraph
+from .params import SystemParams
+
+__all__ = [
+    "GraphSide",
+    "EpochPair",
+    "BuildReport",
+    "build_new_graph",
+    "measure_qf",
+]
+
+
+@dataclass
+class GraphSide:
+    """Per-graph bookkeeping inside an :class:`EpochPair`.
+
+    ``good_indptr``/``good_members`` is the CSR of *good* members per group,
+    indexing into the member pool; ``n_bad`` is the (fixed) count of bad
+    members the adversary placed at build time; ``confused`` marks groups
+    with broken neighbor sets (Lemma 8).  ``pool_departed`` is a *shared*
+    reference to the member pool's departure flags.
+    """
+
+    good_indptr: np.ndarray
+    good_members: np.ndarray
+    n_bad: np.ndarray
+    confused: np.ndarray
+    pool_departed: np.ndarray
+
+    def good_remaining(self) -> np.ndarray:
+        """Good members still present, per group (vectorized reduceat)."""
+        n_groups = self.good_indptr.size - 1
+        present = (~self.pool_departed[self.good_members]).astype(np.int64)
+        out = np.zeros(n_groups, dtype=np.int64)
+        sizes = np.diff(self.good_indptr)
+        nonempty = sizes > 0
+        if present.size:
+            out[nonempty] = np.add.reduceat(present, self.good_indptr[:-1][nonempty])
+        return out
+
+    def classify(self, params: SystemParams) -> np.ndarray:
+        """Current red mask: composition-bad OR confused."""
+        good = self.good_remaining()
+        size_now = good + self.n_bad
+        with np.errstate(invalid="ignore"):
+            frac = np.where(size_now > 0, self.n_bad / np.maximum(size_now, 1), 1.0)
+        is_bad = (size_now < params.group_min_size) | (
+            frac > params.bad_member_threshold
+        )
+        return is_bad | self.confused
+
+
+@dataclass
+class EpochPair:
+    """One epoch's ID population with its two group graphs.
+
+    ``ring``/``H``/``bad_mask`` describe the vertex (leader) population —
+    which doubles as the member pool for the *next* epoch's groups.
+    ``ring_departed`` flags leaders that departed during this pair's
+    lifetime (they can no longer accept membership in new groups).
+    """
+
+    ring: Ring
+    H: InputGraph
+    bad_mask: np.ndarray
+    red1: np.ndarray
+    red2: np.ndarray
+    side1: GraphSide | None = None
+    side2: GraphSide | None = None
+    ring_departed: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self):
+        if self.ring_departed is None:
+            self.ring_departed = np.zeros(self.ring.n, dtype=bool)
+
+    def red(self, which: int) -> np.ndarray:
+        if which == 1:
+            return self.red1
+        if which == 2:
+            return self.red2
+        raise ValueError("graph index must be 1 or 2")
+
+    def side(self, which: int) -> GraphSide | None:
+        return self.side1 if which == 1 else self.side2
+
+    @property
+    def n(self) -> int:
+        return self.ring.n
+
+    def fraction_red(self) -> float:
+        return float(0.5 * (self.red1.mean() + self.red2.mean()))
+
+    def group_graph(self, which: int, params: SystemParams) -> GroupGraph:
+        return GroupGraph(self.H, params, red=self.red(which))
+
+    def reclassify(self, params: SystemParams) -> None:
+        """Refresh red masks after departures (good-majority decay)."""
+        if self.side1 is not None:
+            self.red1 = self.side1.classify(params)
+        if self.side2 is not None:
+            self.red2 = self.side2.classify(params)
+
+
+@dataclass(frozen=True)
+class BuildReport:
+    """Measured construction statistics for one new group graph."""
+
+    n_new: int
+    which: int
+    slot_capture_rate: float      # dual bootstrap failure (Lemma 7 case 1)
+    bad_candidate_rate: float     # successor was a bad ID (Lemma 7 case 2)
+    rejection_rate: float         # dual verification failure (Lemma 7 case 3)
+    fraction_bad: float
+    fraction_confused: float
+    fraction_red: float
+    mean_group_size: float
+    searches_routed: int
+    routing_messages: int
+    membership_counts: np.ndarray  # per pool ID: accepted memberships (Lemma 10)
+    red: np.ndarray
+    sizes: np.ndarray
+    side: GraphSide
+
+
+def _search_fail_mask(
+    H: InputGraph,
+    red: np.ndarray,
+    sources: np.ndarray,
+    points: np.ndarray,
+    params: SystemParams,
+    ledger: CostLedger,
+) -> np.ndarray:
+    """Route a search batch and return per-query failure under ``red``.
+
+    The initiating position is not counted against the search (§III-A: the
+    bootstrap group is assumed good, and verification searches are run by
+    good candidates over their own links).  Charges routing messages: each
+    hop between groups of solicited size ``s`` costs ``s^2`` messages
+    (Cor. 1 accounting).
+    """
+    batch = H.route_many(sources, points)
+    gg = GroupGraph(H, params, red=red)
+    ev = gg.evaluate(batch, include_source=False)
+    s = params.group_solicit_size
+    hops = int((batch.paths != -1).sum() - batch.paths.shape[0])
+    ledger.add_messages("routing", hops * s * s)
+    ledger.count_op("searches", batch.paths.shape[0])
+    return ~ev.success
+
+
+def _good_sources(
+    red: np.ndarray, count: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Source groups for bootstrap-initiated searches.
+
+    A joining ID is assumed to know a *good* bootstrap group (App. IX);
+    accordingly sources are sampled from blue groups.  Degenerate fallback
+    (everything red) samples uniformly — the system is already dead then.
+    """
+    blue = np.flatnonzero(~red)
+    if blue.size == 0:
+        return rng.integers(0, red.size, size=count)
+    return rng.choice(blue, size=count, replace=True)
+
+
+def build_new_graph(
+    old: EpochPair,
+    new_ring: Ring,
+    new_H: InputGraph,
+    which: int,
+    params: SystemParams,
+    rng: np.random.Generator,
+    two_graphs: bool = True,
+    ledger: CostLedger | None = None,
+) -> BuildReport:
+    """Construct new group graph ``which`` (1 or 2) for the next epoch.
+
+    Members are drawn from ``old``'s leader population (the paper's
+    active-then-passive pool).  ``two_graphs=False`` is the §III ablation:
+    only old graph 1 is consulted and a *single* search failure captures a
+    slot — the naive design whose error accumulates across epochs
+    (experiment E5).
+    """
+    ledger = ledger if ledger is not None else CostLedger()
+    n_new = new_ring.n
+    m = params.group_solicit_size
+    old_n = old.ring.n
+
+    # --- membership points: h(w, i) are u.a.r. under the random-oracle
+    # assumption; the fast stream draw is distribution-identical. -------------
+    pts = rng.random((n_new, m))
+    flat_pts = pts.ravel()
+    q = flat_pts.size
+
+    # --- bootstrap dual searches ------------------------------------------------
+    boot_src_1 = _good_sources(old.red1, q, rng)
+    fail_a = _search_fail_mask(old.H, old.red1, boot_src_1, flat_pts, params, ledger)
+    if two_graphs:
+        boot_src_2 = _good_sources(old.red2, q, rng)
+        fail_b = _search_fail_mask(old.H, old.red2, boot_src_2, flat_pts, params, ledger)
+        captured = fail_a & fail_b
+    else:
+        captured = fail_a
+
+    # --- candidate successors among the member pool ------------------------------
+    cand = old.ring.successor_index_many(flat_pts)
+    cand_bad = old.bad_mask[cand]
+    cand_departed = old.ring_departed[cand] & ~cand_bad
+
+    # --- verification by good candidates (dual search from their position) ----
+    good_cand = ~captured & ~cand_bad & ~cand_departed
+    vfail = np.zeros(q, dtype=bool)
+    gi = np.flatnonzero(good_cand)
+    if gi.size:
+        vsrc = cand[gi]
+        vf1 = _search_fail_mask(old.H, old.red1, vsrc, flat_pts[gi], params, ledger)
+        if two_graphs:
+            vf2 = _search_fail_mask(old.H, old.red2, vsrc, flat_pts[gi], params, ledger)
+            vfail[gi] = vf1 & vf2
+        else:
+            vfail[gi] = vf1
+
+    # --- per-group composition ----------------------------------------------------
+    # Slot outcomes: captured -> distinct bad member (adversary's choice);
+    # bad candidate -> bad member; good candidate accepted -> good member;
+    # rejection/departed -> missing member.
+    captured_m = captured.reshape(n_new, m)
+    badcand_m = (~captured & cand_bad).reshape(n_new, m)
+    accept_m = (good_cand & ~vfail).reshape(n_new, m)
+    cand_m = cand.reshape(n_new, m)
+
+    sizes = np.zeros(n_new, dtype=np.int64)
+    n_bad = np.zeros(n_new, dtype=np.int64)
+    membership_counts = np.zeros(old_n, dtype=np.int64)
+    good_rows: list[np.ndarray] = []
+    for gidx in range(n_new):
+        good_members = np.unique(cand_m[gidx][accept_m[gidx]])
+        bad_members = np.unique(cand_m[gidx][badcand_m[gidx]])
+        n_b = int(captured_m[gidx].sum()) + bad_members.size
+        sizes[gidx] = good_members.size + n_b
+        n_bad[gidx] = n_b
+        membership_counts[good_members] += 1
+        good_rows.append(good_members)
+    good_indptr = np.zeros(n_new + 1, dtype=np.int64)
+    good_indptr[1:] = np.cumsum([r.size for r in good_rows])
+    good_members_flat = (
+        np.concatenate(good_rows) if good_rows else np.empty(0, dtype=np.int64)
+    )
+
+    with np.errstate(invalid="ignore"):
+        bad_frac = np.where(sizes > 0, n_bad / np.maximum(sizes, 1), 1.0)
+    is_bad = (sizes < params.group_min_size) | (bad_frac > params.bad_member_threshold)
+
+    # --- neighbor requests -> confusion (Lemma 8) ----------------------------------
+    indptr, _ = new_H.neighbor_lists()
+    deg = np.diff(indptr)
+    total_slots = int(deg.sum())
+    owner = np.repeat(np.arange(n_new), deg)
+    find_pts = rng.random(total_slots)
+    f1 = _search_fail_mask(
+        old.H, old.red1, _good_sources(old.red1, total_slots, rng), find_pts,
+        params, ledger,
+    )
+    if two_graphs:
+        f2 = _search_fail_mask(
+            old.H, old.red2, _good_sources(old.red2, total_slots, rng), find_pts,
+            params, ledger,
+        )
+        find_fail = f1 & f2
+    else:
+        find_fail = f1
+    v1 = _search_fail_mask(
+        old.H, old.red1, _good_sources(old.red1, total_slots, rng), find_pts,
+        params, ledger,
+    )
+    if two_graphs:
+        v2 = _search_fail_mask(
+            old.H, old.red2, _good_sources(old.red2, total_slots, rng), find_pts,
+            params, ledger,
+        )
+        verify_fail = v1 & v2
+    else:
+        verify_fail = v1
+    slot_confused = find_fail | verify_fail
+    is_confused = np.zeros(n_new, dtype=bool)
+    if owner.size:
+        np.logical_or.at(is_confused, owner, slot_confused)
+
+    red = is_bad | is_confused
+    # The new side's member pool is the old leader population; share its
+    # departure flags so later churn propagates into reclassification.
+    side = GraphSide(
+        good_indptr=good_indptr,
+        good_members=good_members_flat,
+        n_bad=n_bad,
+        confused=is_confused,
+        pool_departed=old.ring_departed,
+    )
+    return BuildReport(
+        n_new=n_new,
+        which=which,
+        slot_capture_rate=float(captured.mean()),
+        bad_candidate_rate=float(cand_bad.mean()),
+        rejection_rate=float(vfail[gi].mean()) if gi.size else 0.0,
+        fraction_bad=float(is_bad.mean()),
+        fraction_confused=float(is_confused.mean()),
+        fraction_red=float(red.mean()),
+        mean_group_size=float(sizes.mean()),
+        searches_routed=int(ledger.operations.get("searches", 0)),
+        routing_messages=int(ledger.messages.get("routing", 0)),
+        membership_counts=membership_counts,
+        red=red,
+        sizes=sizes,
+        side=side,
+    )
+
+
+def measure_qf(
+    pair: EpochPair, params: SystemParams, probes: int, rng: np.random.Generator
+) -> tuple[float, float]:
+    """Measured search-failure probability ``q_f`` of each graph in a pair."""
+    out = []
+    for which in (1, 2):
+        gg = pair.group_graph(which, params)
+        rate, _, _ = gg.sample_failure_rate(probes, rng)
+        out.append(rate)
+    return out[0], out[1]

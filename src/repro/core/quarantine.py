@@ -1,0 +1,159 @@
+"""Quarantining misbehaving IDs (paper §I footnote 2, refs [27], [43]).
+
+"Members may agree to ignore an ID if it misbehaves too often, hence
+reducing spamming."  Each group keeps a per-sender strike counter; when a
+sender's verified-bad requests cross a threshold, the group's good members
+agree (one in-group broadcast round — ``|G|²`` messages) to drop its traffic
+unread.  The decision is per-group: tiny groups make the agreement cheap,
+which is exactly the paper's cost story.
+
+Misbehaviour here is *protocol-verifiable* badness — a membership or
+neighbor request that fails dual-search verification (§III-A), or an ID
+claim that fails puzzle verification (§IV-A) — so good IDs are only ever
+struck through the ``q_f²`` verification-error channel, and the false-
+quarantine rate is quadratically small (Lemma 10's argument again).
+
+Experiment E13 drives a spam campaign through this filter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+from .costs import CostLedger
+
+__all__ = ["QuarantinePolicy", "QuarantineState", "SpamRoundReport"]
+
+
+@dataclass(frozen=True)
+class QuarantinePolicy:
+    """Threshold policy: quarantine after ``strikes`` verified-bad requests,
+    forgive after ``decay_epochs`` quiet epochs (0 = never forgive)."""
+
+    strikes: int = 3
+    decay_epochs: int = 0
+
+
+@dataclass(frozen=True)
+class SpamRoundReport:
+    """One epoch of spam through a quarantining group."""
+
+    epoch: int
+    requests_received: int
+    requests_processed: int      # reached verification (sender not quarantined)
+    requests_rejected: int       # failed verification
+    newly_quarantined: int
+    verification_messages: int   # dual-search cost actually paid
+    agreement_messages: int      # |G|^2 per quarantine decision
+
+
+class QuarantineState:
+    """Per-group strike ledger and quarantine set."""
+
+    def __init__(self, policy: QuarantinePolicy, group_size: int,
+                 ledger: CostLedger | None = None):
+        self.policy = policy
+        self.group_size = int(group_size)
+        self.ledger = ledger if ledger is not None else CostLedger()
+        self._strikes: Dict[int, int] = {}
+        self._quarantined: Dict[int, int] = {}  # sender -> epoch quarantined
+        self._last_seen_bad: Dict[int, int] = {}
+
+    # -- queries -----------------------------------------------------------------
+
+    def is_quarantined(self, sender: int, epoch: int) -> bool:
+        start = self._quarantined.get(sender)
+        if start is None:
+            return False
+        if self.policy.decay_epochs and epoch - start >= self.policy.decay_epochs:
+            # forgiveness: lift the quarantine and reset strikes
+            del self._quarantined[sender]
+            self._strikes.pop(sender, None)
+            return False
+        return True
+
+    @property
+    def quarantined_count(self) -> int:
+        return len(self._quarantined)
+
+    # -- updates -----------------------------------------------------------------
+
+    def record_verified_bad(self, sender: int, epoch: int) -> bool:
+        """Register a verification failure; returns True if this strike
+        triggered a quarantine decision (charged ``|G|²`` agreement msgs)."""
+        s = self._strikes.get(sender, 0) + 1
+        self._strikes[sender] = s
+        self._last_seen_bad[sender] = epoch
+        if s >= self.policy.strikes and sender not in self._quarantined:
+            self._quarantined[sender] = epoch
+            self.ledger.group_comm(self.group_size)
+            return True
+        return False
+
+    # -- epoch simulation -----------------------------------------------------------
+
+    def process_epoch(
+        self,
+        epoch: int,
+        spam_senders: np.ndarray,
+        requests_per_sender: int,
+        verification_cost: int,
+        rng: np.random.Generator,
+    ) -> SpamRoundReport:
+        """Run one epoch of a spam campaign against this group.
+
+        ``spam_senders`` send ``requests_per_sender`` invalid requests each;
+        non-quarantined senders' requests are verified (cost
+        ``verification_cost`` messages each) and always rejected — spam is
+        protocol-invalid by definition; each rejection is a strike.
+        """
+        received = processed = rejected = newly = 0
+        amsgs0 = self.ledger.messages.get("group_comm", 0)
+        vmsgs = 0
+        for sender in spam_senders:
+            for _ in range(requests_per_sender):
+                received += 1
+                if self.is_quarantined(int(sender), epoch):
+                    continue  # dropped unread: zero verification cost
+                processed += 1
+                vmsgs += verification_cost
+                rejected += 1
+                if self.record_verified_bad(int(sender), epoch):
+                    newly += 1
+        self.ledger.add_messages("verification", vmsgs)
+        agreement = self.ledger.messages.get("group_comm", 0) - amsgs0
+        return SpamRoundReport(
+            epoch=epoch,
+            requests_received=received,
+            requests_processed=processed,
+            requests_rejected=rejected,
+            newly_quarantined=newly,
+            verification_messages=vmsgs,
+            agreement_messages=agreement,
+        )
+
+    def process_honest_epoch(
+        self,
+        epoch: int,
+        honest_senders: np.ndarray,
+        requests_per_sender: int,
+        qf: float,
+        rng: np.random.Generator,
+    ) -> int:
+        """One epoch of *valid* requests: each looks bad only when the
+        group's dual verification searches both fail (probability
+        ``~qf^2``).  Returns how many honest senders ended up quarantined —
+        the false-quarantine exposure, which Lemma 10's argument keeps at
+        the quadratically-damped level."""
+        false_rate = qf * qf
+        before = self.quarantined_count
+        for sender in honest_senders:
+            if self.is_quarantined(int(sender), epoch):
+                continue
+            misreads = int(rng.binomial(requests_per_sender, false_rate))
+            for _ in range(misreads):
+                self.record_verified_bad(int(sender), epoch)
+        return self.quarantined_count - before

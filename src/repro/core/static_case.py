@@ -1,0 +1,133 @@
+"""The static case (paper §II): no churn, red groups fixed.
+
+Two ways to obtain a red marking:
+
+* the **S2 synthetic model** — every group is red independently with
+  probability ``p_f <= 1/log^k n``; Lemmas 1-4 are proved against this
+  model, so experiments E1/E2 evaluate it directly;
+* the **constructive model** — actually build every ``G_w`` by hashing and
+  classify it from its member composition (§I-C); used by E3 to show the
+  realized bad-group probability matches the Chernoff prediction that
+  justifies S2.
+
+The module's result types capture exactly the quantities named in the
+lemmas: responsibility ``rho(G_v)`` (Lemma 1), the failure probability ``X``
+(Lemmas 2-3), and the success bound (Lemma 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..idspace.hashing import RandomOracle
+from ..idspace.ring import Ring
+from ..inputgraph.base import InputGraph
+from .group_graph import GroupGraph
+from .groups import GroupQuality, GroupSet, build_groups, build_groups_fast, classify_groups
+from .params import SystemParams
+
+__all__ = [
+    "StaticSearchStats",
+    "synthetic_static_graph",
+    "constructive_static_graph",
+    "measure_static_search",
+    "measure_responsibility_bound",
+]
+
+
+@dataclass(frozen=True)
+class StaticSearchStats:
+    """Measured static-case search statistics (Lemmas 1-4)."""
+
+    n: int
+    pf: float                  # realized red-group fraction
+    probes: int
+    failure_rate: float        # X-hat
+    mean_search_path_len: float
+    max_responsibility: float  # max-hat rho(G_v)
+    responsibility_bound: float  # paper bound const * log^c n / n
+    x_upper_pred: float        # Lemma 2: O(pf log^c n)
+
+    @property
+    def success_rate(self) -> float:
+        return 1.0 - self.failure_rate
+
+
+def synthetic_static_graph(
+    H: InputGraph, params: SystemParams, pf: float, rng: np.random.Generator
+) -> GroupGraph:
+    """S2 group graph: red i.i.d. with probability ``pf``."""
+    return GroupGraph.with_synthetic_red(H, params, pf, rng)
+
+
+def constructive_static_graph(
+    H: InputGraph,
+    params: SystemParams,
+    bad_mask: np.ndarray,
+    rng: np.random.Generator | None = None,
+    oracle: RandomOracle | None = None,
+) -> tuple[GroupGraph, GroupSet, GroupQuality]:
+    """Build all groups by hashing and mark red from composition (§I-C).
+
+    Pass ``oracle`` for the exact verifiable construction or ``rng`` for the
+    fast Monte-Carlo equivalent (distribution-identical; see
+    ``groups.build_groups_fast``).  In the static case neighbor sets are
+    assumed correct (the paper's §II premise), so red == bad composition.
+    """
+    if oracle is not None:
+        gs = build_groups(H.ring, params, oracle)
+    else:
+        if rng is None:
+            raise ValueError("need either oracle or rng")
+        gs = build_groups_fast(H.ring, params, rng)
+    quality = classify_groups(gs, bad_mask, params)
+    gg = GroupGraph(H, params, red=quality.is_bad.copy(), groups=gs)
+    return gg, gs, quality
+
+
+def measure_static_search(
+    gg: GroupGraph, probes: int, rng: np.random.Generator,
+    resp_constant: float = 8.0,
+) -> StaticSearchStats:
+    """Measure ``X`` and ``rho`` on a marked group graph.
+
+    ``resp_constant`` is the hidden constant in Lemma 1's
+    ``rho(G_v) = O(log^c n / n)`` against which the max responsibility is
+    reported.
+    """
+    n = gg.n
+    batch = gg.H.random_route_batch(probes, rng)
+    ev = gg.evaluate(batch)
+    visited = batch.paths[ev.search_path_mask]
+    counts = np.bincount(visited, minlength=n).astype(np.float64) / probes
+    c = gg.H.congestion_exponent
+    log_n = np.log(max(np.e, n))
+    rho_bound = resp_constant * (log_n**c) / n
+    pf = gg.fraction_red
+    return StaticSearchStats(
+        n=n,
+        pf=pf,
+        probes=probes,
+        failure_rate=ev.failure_rate,
+        mean_search_path_len=float(ev.search_path_mask.sum(axis=1).mean()),
+        max_responsibility=float(counts.max()),
+        responsibility_bound=float(rho_bound),
+        x_upper_pred=float(min(1.0, pf * resp_constant * (log_n**c))),
+    )
+
+
+def measure_responsibility_bound(
+    H: InputGraph, params: SystemParams, probes: int, rng: np.random.Generator
+) -> tuple[np.ndarray, float]:
+    """Responsibility of every group in an all-blue graph (pure Lemma 1).
+
+    With no red groups the search path equals the full ``H`` path, so this
+    doubles as the P4 congestion measurement at group granularity.
+    """
+    gg = GroupGraph(H, params, red=np.zeros(H.n, dtype=bool))
+    rho = gg.responsibility(probes, rng)
+    c = H.congestion_exponent
+    bound = 8.0 * (np.log(max(np.e, H.n)) ** c) / H.n
+    return rho, float(bound)

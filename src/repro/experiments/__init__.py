@@ -1,0 +1,5 @@
+"""Per-claim experiment harness (E1-E12; see DESIGN.md §3)."""
+
+from .runner import EXPERIMENTS, run_all, run_experiment
+
+__all__ = ["EXPERIMENTS", "run_experiment", "run_all"]

@@ -1,0 +1,66 @@
+"""E15 — §III remark: guarantees hold when the system size varies Θ(n).
+
+"Our results hold when the system size is Θ(n) — that is, the size changes
+by a constant factor — but we omit these details."  We run the epoch
+protocol with an oscillating population schedule (n/2 .. 2n over epochs)
+and check that the red-group fraction and ε stay pinned — group sizes are
+keyed to ``ln ln n`` which barely moves across a constant factor, so the
+composition tail is unchanged and only the route length wobbles.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.tables import TableResult
+from ..churn import UniformChurn
+from ..core.dynamic import EpochSimulator
+from ..core.params import SystemParams
+
+__all__ = ["run"]
+
+
+def run(
+    seed: int = 0,
+    fast: bool = True,
+    n: int | None = None,
+    beta: float = 0.05,
+    d2: float = 10.0,
+    epochs: int | None = None,
+    topology: str = "chord",
+) -> TableResult:
+    n = n or (512 if fast else 2048)
+    epochs = epochs or 6
+    params = SystemParams(n=n, beta=beta, d1=d2 / 4.0, d2=d2, seed=seed)
+    # oscillate: n, 2n, n, n/2, n, 2n, ...
+    factors = [1.0, 2.0, 1.0, 0.5]
+
+    def schedule(epoch: int) -> int:
+        return int(n * factors[epoch % len(factors)])
+
+    sim = EpochSimulator(
+        params,
+        topology=topology,
+        churn=UniformChurn(rate=0.05),
+        probes=2000 if fast else 8000,
+        rng=np.random.default_rng(seed),
+        size_schedule=schedule,
+    )
+    table = TableResult(
+        experiment="E15",
+        title=f"Theta(n) size drift (base n={n}, schedule x{factors})",
+        headers=["epoch", "n this epoch", "frac red", "q_f", "eps achieved"],
+    )
+    for rep in sim.run(epochs):
+        table.add_row(
+            rep.epoch, rep.build_1.n_new, f"{rep.fraction_red:.4f}",
+            f"{rep.qf:.4f}", f"{rep.robustness.epsilon_achieved:.4f}",
+        )
+    reds = [r.fraction_red for r in sim.history]
+    table.add_note(
+        f"red fraction across the 4x size swing: min={min(reds):.4f}, "
+        f"max={max(reds):.4f} — group sizes key to ln ln n, which moves "
+        f"~{abs(np.log(np.log(2 * n)) - np.log(np.log(n // 2))):.2f} across "
+        f"the swing"
+    )
+    return table

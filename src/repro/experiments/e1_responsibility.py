@@ -1,0 +1,51 @@
+"""E1 — Lemma 1 / P4: responsibility is ``O(log^c n / n)``.
+
+For each topology and ``n``, route random searches on an all-blue group
+graph and measure every group's *responsibility* (probability of lying on a
+random search path).  Lemma 1 says the maximum stays under a constant times
+``log^c n / n``; the table reports measured max/mean against the bound so
+the reader sees both the scaling in ``n`` and the constant's headroom.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.tables import TableResult
+from ..core.params import SystemParams
+from ..core.static_case import measure_responsibility_bound
+from ..inputgraph import make_input_graph
+
+__all__ = ["run"]
+
+
+def run(
+    seed: int = 0,
+    fast: bool = True,
+    topologies: tuple[str, ...] = ("chord", "debruijn"),
+    n_values: tuple[int, ...] | None = None,
+    probes: int | None = None,
+) -> TableResult:
+    ns = n_values or ((256, 512, 1024) if fast else (256, 512, 1024, 2048, 4096))
+    probes = probes or (20_000 if fast else 100_000)
+    rng = np.random.default_rng(seed)
+    table = TableResult(
+        experiment="E1",
+        title="Responsibility rho(G_v) vs Lemma 1 bound O(log^c n / n)",
+        headers=["topology", "n", "max rho", "mean rho", "bound", "within"],
+    )
+    for topo in topologies:
+        for n in ns:
+            ids = rng.random(n)
+            H = make_input_graph(topo, ids)
+            params = SystemParams(n=n, seed=seed)
+            rho, bound = measure_responsibility_bound(H, params, probes, rng)
+            table.add_row(
+                topo, n, f"{rho.max():.2e}", f"{rho.mean():.2e}",
+                f"{bound:.2e}", "ok" if rho.max() <= bound else "FAIL",
+            )
+    table.add_note(
+        "all-blue graph: search paths equal full H paths, so this doubles "
+        "as the P4 congestion check at group granularity"
+    )
+    return table

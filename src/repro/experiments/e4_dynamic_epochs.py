@@ -1,0 +1,77 @@
+"""E4 — Theorem 3: ε-robustness is maintained across epochs under churn.
+
+Run the full two-graph epoch protocol with churn and an adversary for many
+epochs; record per-epoch red fraction, realized ``q_f``, and the ε-robustness
+triple.  Theorem 3's signature is a *flat* series: the red-group fraction
+stays pinned at the per-epoch construction noise (Lemma 9's ``p_f``) instead
+of drifting — over polynomially many join/departure events (every epoch
+replaces all n IDs, so e epochs = e*n joins + e*n departures).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.tables import TableResult
+from ..churn import UniformChurn
+from ..core.dynamic import EpochSimulator
+from ..core.params import SystemParams
+
+__all__ = ["run"]
+
+
+def run(
+    seed: int = 0,
+    fast: bool = True,
+    n: int | None = None,
+    beta: float = 0.05,
+    d2: float = 10.0,
+    epochs: int | None = None,
+    churn_rate: float = 0.05,
+    topology: str = "chord",
+) -> TableResult:
+    n = n or (512 if fast else 2048)
+    epochs = epochs or (6 if fast else 12)
+    # Lemma 9 requires d2 "sufficiently large" for the epoch map to have a
+    # stable small fixed point (k >= 2c + gamma); d2 = 10 at these n keeps
+    # the per-epoch red probability strictly below the dual-search budget.
+    params = SystemParams(n=n, beta=beta, d1=d2 / 4.0, d2=d2, seed=seed)
+    sim = EpochSimulator(
+        params,
+        topology=topology,
+        churn=UniformChurn(rate=churn_rate),
+        probes=2000 if fast else 10_000,
+        rng=np.random.default_rng(seed),
+    )
+    table = TableResult(
+        experiment="E4",
+        title=f"Dynamic ε-robustness over epochs (n={n}, beta={beta}, churn={churn_rate})",
+        headers=[
+            "epoch", "frac red", "frac bad", "frac confused", "q_f",
+            "eps achieved", "departures", "memberships/ID",
+        ],
+    )
+    for rep in sim.run(epochs):
+        table.add_row(
+            rep.epoch,
+            f"{rep.fraction_red:.4f}",
+            f"{0.5 * (rep.fraction_bad_1 + rep.fraction_bad_2):.4f}",
+            f"{0.5 * (rep.fraction_confused_1 + rep.fraction_confused_2):.4f}",
+            f"{rep.qf:.4f}",
+            f"{rep.robustness.epsilon_achieved:.4f}",
+            rep.departures,
+            f"{rep.mean_membership:.1f}",
+        )
+    reds = [r.fraction_red for r in sim.history]
+    half = max(1, len(reds) // 2)
+    early, late = float(np.mean(reds[:half])), float(np.mean(reds[half:]))
+    table.add_note(
+        f"stability: mean red fraction early={early:.4f} vs late={late:.4f} "
+        f"(Theorem 3 => no upward drift; requires the Lemma 9 regime — "
+        f"see E5/E11 for what happens outside it)"
+    )
+    table.add_note(
+        f"churn processed: ~{epochs * n} joins + {epochs * n} departures "
+        f"(full population turnover each epoch)"
+    )
+    return table

@@ -1,0 +1,130 @@
+"""E5 — §III motivation: one group graph accumulates error, two do not.
+
+The paper's central design argument: with a single old graph a membership
+slot is captured whenever *one* search fails (probability ``q_f``); with two
+old graphs capture needs a *dual* failure (``q_f^2``).  Left unchecked, the
+single-graph error feeds back — more red groups raise ``q_f``, raising next
+epoch's red fraction — while the squared term keeps the two-graph map's
+fixed point pinned near the composition noise ``p_f``.
+
+Two views:
+
+* **Part A (simulated transition)** — start from old pairs with synthetic
+  red fraction ``p_f0`` (the S2 model) and run one real §III-A construction
+  under both variants; the new-graph red fraction is ``~c p_f0^2`` for dual
+  vs ``~c' p_f0`` for single, so the single/dual ratio grows like
+  ``1/p_f0`` as ``p_f0`` shrinks — the quadratic damping made visible.
+* **Part B (analytic epoch map)** — iterate the Lemma 7/8 recursion
+  ``p_{j+1} = P_comp + 2 q_j^delta (m + L)``, ``q_j = D p_j`` (``delta`` = 2
+  for dual, 1 for single) at a large ``n``: the dual series converges below
+  the ``1/ln^k n`` budget, the single series escapes to 1.  This is the
+  regime the paper's "sufficiently large n" lives in.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.regimes import iterate_epoch_map, minimum_d2_for_stability
+from ..analysis.tables import TableResult
+from ..core.membership import EpochPair, build_new_graph
+from ..core.params import SystemParams
+from ..idspace.ring import Ring
+from ..inputgraph import make_input_graph
+
+__all__ = ["run"]
+
+
+def _transition_once(
+    n: int,
+    beta: float,
+    pf0: float,
+    params: SystemParams,
+    two_graphs: bool,
+    seed: int,
+    topology: str,
+) -> float:
+    rng = np.random.default_rng(seed)
+    good = rng.random(n - int(beta * n))
+    bad_vals = rng.random(int(beta * n))
+    ids = np.sort(np.concatenate([good, bad_vals]))
+    ring = Ring(ids)
+    bad_mask = np.zeros(ring.n, dtype=bool)
+    # mark which sorted entries were adversarial
+    bad_set = set(np.round(bad_vals, 12))
+    for i, v in enumerate(ring.ids):
+        if round(float(v), 12) in bad_set:
+            bad_mask[i] = True
+    H = make_input_graph(topology, ring)
+    old = EpochPair(
+        ring=ring,
+        H=H,
+        bad_mask=bad_mask,
+        red1=rng.random(ring.n) < pf0,
+        red2=rng.random(ring.n) < pf0,
+    )
+    new_ids = rng.random(ring.n)
+    new_ring = Ring(new_ids)
+    new_H = make_input_graph(topology, new_ring)
+    rep = build_new_graph(
+        old, new_ring, new_H, 1, params, rng, two_graphs=two_graphs
+    )
+    return rep.fraction_red
+
+
+# Part B delegates to the shared epoch-map model (analysis.regimes), which
+# also powers the stability checks of E4's parameter choice.
+
+
+def run(
+    seed: int = 0,
+    fast: bool = True,
+    n: int | None = None,
+    beta: float = 0.05,
+    pf0_values: tuple[float, ...] = (0.005, 0.01, 0.02, 0.05),
+    topology: str = "chord",
+    analytic_n: float = 2.0**20,
+    analytic_epochs: int = 8,
+) -> TableResult:
+    n = n or (512 if fast else 2048)
+    params = SystemParams(n=n, beta=beta, seed=seed)
+    table = TableResult(
+        experiment="E5",
+        title=f"Two-graph vs single-graph capture (n={n}, beta={beta})",
+        headers=[
+            "view", "p_f0 / epoch", "red frac (two)", "red frac (one)",
+            "one/two ratio", "expected",
+        ],
+    )
+    for pf0 in pf0_values:
+        r2 = _transition_once(n, beta, pf0, params, True, seed, topology)
+        r1 = _transition_once(n, beta, pf0, params, False, seed, topology)
+        ratio = r1 / max(r2, 1.0 / n)
+        table.add_row(
+            "A: one transition", f"{pf0:.3f}", f"{r2:.4f}", f"{r1:.4f}",
+            f"{ratio:.1f}x", "ratio grows ~1/p_f0",
+        )
+    # Part B runs in the Lemma 9 regime: pick the smallest membership-slot
+    # count that makes the dual map contract at the analytic n (the
+    # "d2 sufficiently large" clause, computed rather than hand-tuned).
+    big_params = SystemParams(n=int(analytic_n), beta=beta, seed=seed)
+    m = minimum_d2_for_stability(big_params)
+    dual_series = iterate_epoch_map(big_params, analytic_epochs, dual=True, m=m)
+    single_series = iterate_epoch_map(big_params, analytic_epochs, dual=False, m=m)
+    for j, (pd, ps) in enumerate(zip(dual_series, single_series)):
+        table.add_row(
+            f"B: analytic n=2^20 (m={m})", f"epoch {j}", f"{pd:.2e}",
+            f"{ps:.2e}", f"{ps / max(pd, 1e-12):.1e}x",
+            "dual converges, single escapes",
+        )
+    table.add_note(
+        "Part A: with two graphs a slot is captured only on a dual search "
+        "failure (q_f^2) — measured new-graph red fraction is quadratically "
+        "smaller in p_f0"
+    )
+    table.add_note(
+        "Part B: iterating the Lemma 7/8 map shows the single-graph error "
+        "accumulating past any 1/polylog budget while the dual map is a "
+        "contraction — the reason §III uses two graphs per epoch"
+    )
+    return table

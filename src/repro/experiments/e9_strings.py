@@ -1,0 +1,95 @@
+"""E9 — Lemma 12: the string-propagation protocol.
+
+Run the App.-VIII gossip over a real group graph's adjacency, with the
+adversary's red groups excluded, under three scenarios:
+
+* **clean** — no interference;
+* **delayed release** — the adversary's own small-output strings injected at
+  the last round of Phase 2;
+* **delayed global minimum** — a string *smaller than every honest output*
+  injected at the same instant (footnote 16's variant), which makes IDs
+  disagree on ``s*`` but — thanks to Phase 3 and the solution sets — never
+  on verifiability.
+
+Reported against Lemma 12's three bounds: agreement, set size ``O(ln n)``,
+message complexity ``~O(n ln T)`` group-messages.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.tables import TableResult
+from ..core.params import SystemParams
+from ..core.static_case import constructive_static_graph
+from ..adversary import UniformAdversary
+from ..inputgraph import make_input_graph
+from ..pow.propagation import StringPropagation
+
+__all__ = ["run"]
+
+
+def run(
+    seed: int = 0,
+    fast: bool = True,
+    n: int | None = None,
+    beta: float = 0.10,
+    epoch_length: int = 4096,
+    topology: str = "chord",
+) -> TableResult:
+    n = n or (512 if fast else 2048)
+    rng = np.random.default_rng(seed)
+    adv = UniformAdversary(beta)
+    ids, bad = adv.population(n, rng)
+    H = make_input_graph(topology, ids)
+    params = SystemParams(n=n, beta=beta, seed=seed)
+    gg, gs, _ = constructive_static_graph(H, params, bad, rng=rng)
+    indptr, indices = H.neighbor_lists()
+    prop = StringPropagation(
+        indptr, indices, ~gg.red, group_size=params.group_solicit_size,
+        epoch_length=epoch_length,
+    )
+
+    scenarios = [
+        ("clean", dict()),
+        ("delayed release", dict(adversary_beta=beta, delayed_release=True)),
+        (
+            "delayed global min",
+            dict(delayed_release=True, forced_injection_output=1e-12),
+        ),
+    ]
+    table = TableResult(
+        experiment="E9",
+        title=f"String propagation (n={n}, T={epoch_length}, {topology})",
+        headers=[
+            "scenario", "agreement", "s* unanimous", "max |R|",
+            "rounds", "group msgs", "giant comp",
+        ],
+    )
+    # Lemma 12(iii): O~(n ln T) group-edge activations, where O~ hides the
+    # polylog forwarding cap (ln n per bin, ln(nT) bins) and each activation
+    # costs |G|^2 point-to-point messages.
+    g2 = params.group_solicit_size**2
+    msg_bound = 2.0 * n * params.ln_n * np.log(n * epoch_length) * g2
+    for name, kwargs in scenarios:
+        res = prop.run(np.random.default_rng(seed + 1), **kwargs)
+        table.add_row(
+            name,
+            "ok" if res.agreement else "FAIL",
+            "yes" if res.global_min_agreed else "no",
+            res.max_solution_set,
+            res.rounds,
+            res.messages,
+            res.giant_component_size,
+        )
+    r_bound = int(np.ceil(4 * params.ln_n))
+    table.add_note(f"Lemma 12(ii): |R| <= O(ln n) ~ {r_bound}")
+    table.add_note(
+        f"Lemma 12(iii): messages <= O~(n ln T)*|G|^2 ~ {msg_bound:.2e} "
+        f"(per-ID forwarding capped at O(ln n * ln nT) by bins/counters)"
+    )
+    table.add_note(
+        "'delayed global min' shows s* disagreement WITHOUT verification "
+        "disagreement: the solution sets absorb the late string (Phase 3)"
+    )
+    return table

@@ -1,0 +1,68 @@
+"""Experiment registry and batch runner.
+
+``run_experiment("E4")`` runs one experiment; ``run_all()`` runs the full
+suite (used to regenerate EXPERIMENTS.md).  Each experiment module exposes
+``run(seed=..., fast=..., **overrides) -> TableResult``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..analysis.tables import TableResult
+from . import (
+    e1_responsibility,
+    e2_static_search,
+    e3_group_quality,
+    e4_dynamic_epochs,
+    e5_two_graph_ablation,
+    e6_costs,
+    e7_state,
+    e8_pow,
+    e9_strings,
+    e10_precompute,
+    e11_size_limits,
+    e12_cuckoo,
+    e13_quarantine,
+    e14_storage,
+    e15_size_drift,
+)
+
+__all__ = ["EXPERIMENTS", "run_experiment", "run_all"]
+
+EXPERIMENTS: Dict[str, Callable[..., TableResult]] = {
+    "E1": e1_responsibility.run,
+    "E2": e2_static_search.run,
+    "E3": e3_group_quality.run,
+    "E4": e4_dynamic_epochs.run,
+    "E5": e5_two_graph_ablation.run,
+    "E6": e6_costs.run,
+    "E7": e7_state.run,
+    "E8": e8_pow.run,
+    "E9": e9_strings.run,
+    "E10": e10_precompute.run,
+    "E11": e11_size_limits.run,
+    "E12": e12_cuckoo.run,
+    "E13": e13_quarantine.run,
+    "E14": e14_storage.run,
+    "E15": e15_size_drift.run,
+}
+
+
+def run_experiment(name: str, seed: int = 0, fast: bool = True, **kwargs) -> TableResult:
+    """Run one experiment by ID (e.g. "E4")."""
+    try:
+        fn = EXPERIMENTS[name.upper()]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
+        ) from None
+    return fn(seed=seed, fast=fast, **kwargs)
+
+
+def run_all(seed: int = 0, fast: bool = True) -> Dict[str, TableResult]:
+    """Run the whole suite in ID order."""
+    return {
+        name: fn(seed=seed, fast=fast)
+        for name, fn in sorted(EXPERIMENTS.items(), key=lambda kv: int(kv[0][1:]))
+    }

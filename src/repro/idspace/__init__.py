@@ -1,0 +1,22 @@
+"""ID space: unit ring arithmetic and random-oracle hashing (paper §I-C)."""
+
+from .hashing import OracleSuite, RandomOracle
+from .ring import (
+    Ring,
+    cw_dist,
+    cw_dist_many,
+    estimate_ln_ln_n,
+    estimate_ln_n,
+    in_cw_interval,
+)
+
+__all__ = [
+    "Ring",
+    "cw_dist",
+    "cw_dist_many",
+    "in_cw_interval",
+    "estimate_ln_n",
+    "estimate_ln_ln_n",
+    "RandomOracle",
+    "OracleSuite",
+]

@@ -1,0 +1,50 @@
+"""Input-graph substrates satisfying P1-P4 (paper §I-C).
+
+Factory: :func:`make_input_graph` builds a topology by name over an ID set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..idspace.ring import Ring
+from .base import PADDING, InputGraph, RouteBatch
+from .chord import ChordGraph
+from .debruijn import DeBruijnGraph
+from .distance_halving import DistanceHalvingGraph
+from .kautz import KautzGraph
+from .properties import PropertyReport, validate_properties
+from .viceroy import ViceroyGraph
+
+__all__ = [
+    "PADDING",
+    "InputGraph",
+    "RouteBatch",
+    "ChordGraph",
+    "DeBruijnGraph",
+    "DistanceHalvingGraph",
+    "KautzGraph",
+    "ViceroyGraph",
+    "PropertyReport",
+    "validate_properties",
+    "make_input_graph",
+    "TOPOLOGIES",
+]
+
+TOPOLOGIES = {
+    "chord": ChordGraph,
+    "distance-halving": DistanceHalvingGraph,
+    "debruijn": DeBruijnGraph,
+    "kautz": KautzGraph,
+    "viceroy": ViceroyGraph,
+}
+
+
+def make_input_graph(name: str, ids: np.ndarray | Ring, **kwargs) -> InputGraph:
+    """Build the named topology over ``ids`` (array of ID values or a Ring)."""
+    try:
+        cls = TOPOLOGIES[name]
+    except KeyError:
+        raise ValueError(f"unknown topology {name!r}; choose from {sorted(TOPOLOGIES)}") from None
+    ring = ids if isinstance(ids, Ring) else Ring(ids)
+    return cls(ring, **kwargs)

@@ -1,0 +1,73 @@
+"""Pre-computation attack and the fresh-string defense (paper §IV-B).
+
+Without a per-epoch random string in the puzzle, the adversary knows the
+puzzle format forever: it can grind solutions for ``E`` epochs, hoard them,
+and release all of them at once — ``E * beta n`` IDs against ``(1-beta) n``
+good IDs, overwhelming the system for any ``E > (1-beta)/beta``.
+
+With the string, a solution is bound to ``r_{i-1}``, which is unpredictable
+until one epoch before use and expires one epoch after: the usable hoard is
+capped at the 1.5-epoch window — ``3 (1+eps) beta n`` IDs (§IV-A), handled
+by the ``beta -> beta/3`` parameter revision.
+
+:func:`simulate_precompute_attack` plays both scenarios and reports the
+realized bad-ID fraction at attack time for a range of hoarding horizons —
+experiment E10's data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .puzzles import PuzzleScheme
+
+__all__ = ["PrecomputeOutcome", "simulate_precompute_attack"]
+
+
+@dataclass(frozen=True)
+class PrecomputeOutcome:
+    """Attack outcome for one hoarding horizon."""
+
+    hoard_epochs: int
+    with_strings: bool
+    usable_bad_ids: int
+    good_ids: int
+    bad_fraction_at_attack: float
+    majority_lost: bool   # bad IDs outnumber good IDs system-wide
+
+
+def simulate_precompute_attack(
+    scheme: PuzzleScheme,
+    n: int,
+    beta: float,
+    hoard_epochs: int,
+    with_strings: bool,
+    rng: np.random.Generator,
+    window_epochs: float = 1.5,
+) -> PrecomputeOutcome:
+    """Hoard for ``hoard_epochs`` epochs, then attack.
+
+    ``with_strings=True``: solutions older than the 1.5-epoch validity
+    window are signed by expired strings and rejected at verification, so
+    the usable hoard is ``min(hoard, window)`` epochs of compute.
+    ``with_strings=False``: every hoarded solution stays valid.
+    """
+    steps_per_epoch = float(scheme.T)
+    usable_epochs = (
+        min(float(hoard_epochs), window_epochs) if with_strings else float(hoard_epochs)
+    )
+    ids = scheme.mint_fast(beta * n, usable_epochs * steps_per_epoch, rng)
+    # honest side mints one ID per good unit for the attack epoch
+    good = scheme.honest_window_ids(n - int(round(beta * n)), rng)
+    usable = int(ids.size)
+    frac = usable / max(1, usable + good.size)
+    return PrecomputeOutcome(
+        hoard_epochs=int(hoard_epochs),
+        with_strings=bool(with_strings),
+        usable_bad_ids=usable,
+        good_ids=int(good.size),
+        bad_fraction_at_attack=float(frac),
+        majority_lost=bool(usable > good.size),
+    )

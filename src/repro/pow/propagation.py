@@ -1,0 +1,245 @@
+"""Three-phase string-propagation gossip (paper App. VIII, Lemma 12).
+
+The protocol runs over the *group graph*: vertices are IDs, edges are the
+group-graph adjacencies, and a "message" between neighbors is really an
+all-to-all exchange between two tiny groups (``|G|^2`` point-to-point
+messages — charged to the ledger at that weight).
+
+* **Phase 1** (steps ``1 .. T/2 - 2 d' ln n``): every good ID grinds random
+  strings; we sample its minimum output directly (order-statistics exact).
+* **Phase 2** (``d' ln n`` rounds): each ID floods its best string; bins and
+  counters (``strings.BinTable``) cap forwarding.  At phase end each good ID
+  fixes ``s*`` — the smallest output it has seen — which will sign its
+  next-epoch ID.
+* **Phase 3** (``d' ln n`` rounds): forwarding continues (no new strings),
+  so a string released at the *last instant* of Phase 2 — the adversary's
+  **delayed-release attack** — still reaches every good ID in the giant
+  component before solution sets ``R_w`` are assembled.
+
+Lemma 12's three guarantees map to :class:`PropagationResult` fields:
+(i) ``agreement`` — every good ID's ``s*`` is in every good ID's ``R``;
+(ii) ``max_solution_set`` = ``O(ln n)``;
+(iii) ``messages`` = ``~O(n ln T)`` group-messages.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .strings import (
+    BinTable,
+    StringCandidate,
+    sample_adversary_outputs,
+    sample_honest_minimum,
+    solution_set,
+)
+
+__all__ = ["PropagationResult", "StringPropagation"]
+
+
+@dataclass(frozen=True)
+class PropagationResult:
+    """Measured outcome of one epoch's propagation protocol."""
+
+    agreement: bool
+    chosen_in_all_fraction: float   # fraction of good IDs whose s* is in all R_u
+    max_solution_set: int
+    mean_solution_set: float
+    rounds: int
+    forward_events: int
+    messages: int                   # forward events weighted by |G|^2
+    giant_component_size: int
+    n_good: int
+    global_min_agreed: bool         # all good IDs agree on the same minimum
+
+
+class StringPropagation:
+    """Gossip simulator on the good part of a group graph.
+
+    Parameters
+    ----------
+    indptr, indices:
+        CSR adjacency of the group graph (from ``InputGraph.neighbor_lists``).
+    good_mask:
+        Per-vertex: True for vertices whose group is good (blue); red groups
+        drop/garble traffic and are simply excluded from the flood.
+    group_size:
+        ``|G|`` used to weight messages (``|G|^2`` per edge activation).
+    epoch_length:
+        ``T`` — sets Phase-1 trial budgets and the bin table range.
+    d_prime:
+        Phase length multiplier: each of Phases 2 and 3 runs
+        ``ceil(d' ln n)`` rounds.
+    """
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        good_mask: np.ndarray,
+        group_size: int,
+        epoch_length: int,
+        c0: float = 4.0,
+        d0: float = 2.0,
+        d_prime: float = 1.0,
+    ):
+        self.indptr = np.asarray(indptr)
+        self.indices = np.asarray(indices)
+        self.good = np.asarray(good_mask, dtype=bool)
+        self.n = self.good.size
+        self.group_size = int(group_size)
+        self.T = int(epoch_length)
+        self.c0 = float(c0)
+        self.d0 = float(d0)
+        self.rounds_per_phase = max(2, math.ceil(d_prime * math.log(max(2, self.n))))
+        self._component = self._giant_component()
+
+    # -- graph helpers -------------------------------------------------------------
+
+    def _neighbors(self, v: int) -> np.ndarray:
+        return self.indices[self.indptr[v] : self.indptr[v + 1]]
+
+    def _giant_component(self) -> np.ndarray:
+        """Largest connected component of the good-good subgraph."""
+        from collections import deque
+
+        seen = np.full(self.n, -1, dtype=np.int64)
+        comp = 0
+        best_comp, best_size = -1, 0
+        for start in range(self.n):
+            if not self.good[start] or seen[start] >= 0:
+                continue
+            size = 0
+            dq = deque([start])
+            seen[start] = comp
+            while dq:
+                v = dq.popleft()
+                size += 1
+                for u in self._neighbors(v):
+                    if self.good[u] and seen[u] < 0:
+                        seen[u] = comp
+                        dq.append(u)
+            if size > best_size:
+                best_comp, best_size = comp, size
+            comp += 1
+        return np.flatnonzero((seen == best_comp) & self.good)
+
+    # -- protocol ---------------------------------------------------------------------
+
+    def run(
+        self,
+        rng: np.random.Generator,
+        adversary_beta: float = 0.0,
+        delayed_release: bool = False,
+        release_round: int | None = None,
+        injection_points: int = 4,
+        forced_injection_output: float | None = None,
+    ) -> PropagationResult:
+        """Run Phases 1-3 and assemble solution sets.
+
+        With ``delayed_release`` the adversary — which ground ``beta n T``
+        trials over the whole epoch — injects its smallest strings at
+        ``release_round`` (default: the final round of Phase 2) at
+        ``injection_points`` random good IDs.  Phase 3 exists precisely so
+        this cannot split the network's solution sets: the late string still
+        reaches every good ID before ``R_w`` is assembled, so every chosen
+        ``s*`` verifies everywhere even when IDs disagree on the minimum.
+
+        ``forced_injection_output`` overrides the injected output value —
+        used to model footnote 16's variant where the adversary delays a
+        *good* ID's string that happens to be the global minimum (its own
+        grind usually is not, since ``beta n T < n T/2`` for ``beta < 1/2``).
+        """
+        comp = self._component
+        in_comp = np.zeros(self.n, dtype=bool)
+        in_comp[comp] = True
+        n_comp = comp.size
+
+        # Phase 1: per-ID minimum outputs (T/2 honest trials each).
+        phase1_trials = max(1, self.T // 2)
+        minima = sample_honest_minimum(phase1_trials, rng, size=n_comp)
+        own: dict[int, StringCandidate] = {
+            int(v): StringCandidate(float(minima[i]), int(v), int(rng.integers(2**62)))
+            for i, v in enumerate(comp)
+        }
+
+        bins = {int(v): BinTable(self.n, self.T, c0=self.c0) for v in comp}
+        seen: dict[int, list[StringCandidate]] = {int(v): [own[int(v)]] for v in comp}
+        outbox: dict[int, list[StringCandidate]] = {int(v): [own[int(v)]] for v in comp}
+        for v in comp:
+            bins[int(v)].should_forward(own[int(v)].output)
+
+        forward_events = 0
+        rounds = 0
+        total_rounds = 2 * self.rounds_per_phase
+        release_at = (
+            self.rounds_per_phase - 1 if release_round is None else int(release_round)
+        )
+        s_star: dict[int, StringCandidate] = {}
+
+        adv_strings: list[StringCandidate] = []
+        if delayed_release:
+            if forced_injection_output is not None:
+                outs = np.asarray([forced_injection_output])
+            elif adversary_beta > 0:
+                outs = sample_adversary_outputs(
+                    adversary_beta * self.n * self.T, 3, rng
+                )
+            else:
+                outs = np.empty(0)
+            adv_strings = [
+                StringCandidate(float(o), -1, int(rng.integers(2**62))) for o in outs
+            ]
+
+        for rnd in range(total_rounds):
+            rounds += 1
+            inbox: dict[int, list[StringCandidate]] = {}
+            for v in comp:
+                vi = int(v)
+                if not outbox[vi]:
+                    continue
+                for u in self._neighbors(vi):
+                    if in_comp[u]:
+                        inbox.setdefault(int(u), []).extend(outbox[vi])
+                        forward_events += 1
+                outbox[vi] = []
+            # adversarial late injection
+            if adv_strings and rnd == release_at:
+                targets = rng.choice(comp, size=min(injection_points, comp.size),
+                                     replace=False)
+                for tgt in targets:
+                    inbox.setdefault(int(tgt), []).extend(adv_strings)
+            for u, cands in inbox.items():
+                for cand in cands:
+                    if bins[u].should_forward(cand.output):
+                        seen[u].append(cand)
+                        outbox[u].append(cand)
+            if rnd == self.rounds_per_phase - 1:
+                # end of Phase 2: everyone locks in s*
+                s_star = {int(v): min(seen[int(v)]) for v in comp}
+
+        sets = {int(v): solution_set(seen[int(v)], self.n, d0=self.d0) for v in comp}
+        set_sizes = np.asarray([len(sets[int(v)]) for v in comp])
+        # Lemma 12 (i): each good ID's s* must be in every good ID's R.
+        all_outputs = [frozenset(c.payload for c in sets[int(v)]) for v in comp]
+        common = frozenset.intersection(*all_outputs) if all_outputs else frozenset()
+        chosen_ok = np.asarray(
+            [s_star[int(v)].payload in common for v in comp], dtype=bool
+        )
+        minima_agree = len({s_star[int(v)].payload for v in comp}) == 1
+
+        return PropagationResult(
+            agreement=bool(chosen_ok.all()),
+            chosen_in_all_fraction=float(chosen_ok.mean()) if chosen_ok.size else 1.0,
+            max_solution_set=int(set_sizes.max()) if set_sizes.size else 0,
+            mean_solution_set=float(set_sizes.mean()) if set_sizes.size else 0.0,
+            rounds=rounds,
+            forward_events=forward_events,
+            messages=forward_events * self.group_size * self.group_size,
+            giant_component_size=n_comp,
+            n_good=int(self.good.sum()),
+            global_min_agreed=minima_agree,
+        )

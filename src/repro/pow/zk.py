@@ -1,0 +1,144 @@
+"""Simulated zero-knowledge verification of puzzle pre-images (paper §IV-A).
+
+The paper's problem: naive ID verification sends the nonce ``sigma`` to the
+verifier, who can then *steal* it and claim the ID.  The fix it cites [25]
+is a ZK proof of knowledge of the hash pre-image.  Re-implementing garbled-
+circuit ZK is out of scope (DESIGN.md §4); what the protocol needs from it
+is an interface with three properties, which this module simulates
+faithfully at the protocol level:
+
+* **completeness** — an honest prover holding ``sigma`` always convinces;
+* **soundness** — a prover *not* holding a valid ``sigma`` for the claimed
+  ID convinces with probability ``2^-rounds`` (cut-and-choose style);
+* **zero-knowledge** — the transcript reveals nothing usable about
+  ``sigma``: every message is either a fresh commitment (hash of ``sigma``
+  with a random blinder) or the blinder alone, never both for the same
+  round.
+
+The simulation runs the classic commit-challenge-response loop with the
+random-oracle commitment ``com = h(sigma, blinder)``; the "open the
+commitment" branch is modelled by an oracle equality check executed inside
+the prover object, so the verifier's view never contains ``sigma`` — tests
+assert the transcript is sigma-free and that a thief replaying a transcript
+cannot re-prove.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..idspace.hashing import RandomOracle
+from .puzzles import PuzzleScheme, Solution
+
+__all__ = ["ZKTranscript", "ZKProver", "ZKVerifier", "run_zk_verification"]
+
+
+@dataclass(frozen=True)
+class ZKTranscript:
+    """The verifier-visible record of one proof session."""
+
+    claimed_id: float
+    commitments: tuple[int, ...]
+    challenges: tuple[int, ...]
+    responses: tuple[int, ...]   # blinders (b=0) or re-blinded checks (b=1)
+    accepted: bool
+
+
+class ZKProver:
+    """Holds a puzzle solution and answers challenges without leaking it."""
+
+    def __init__(self, solution: Solution, scheme: PuzzleScheme, seed: int = 0):
+        self._solution = solution
+        self._scheme = scheme
+        self._com_oracle = RandomOracle("zk-com", scheme.suite.seed)
+        self._rng = np.random.default_rng(seed)
+        self._blinders: list[int] = []
+
+    @property
+    def claimed_id(self) -> float:
+        return self._solution.id_value
+
+    def commit(self, rounds: int) -> list[int]:
+        """Fresh commitments ``h(sigma, blinder_i)`` for each round."""
+        self._blinders = [int(self._rng.integers(2**62)) for _ in range(rounds)]
+        return [
+            self._com_oracle.u64(self._solution.nonce, b) for b in self._blinders
+        ]
+
+    def respond(self, i: int, challenge: int) -> int:
+        """Challenge 0: reveal the blinder (verifier checks freshness only).
+        Challenge 1: prove the committed nonce solves the puzzle — modelled
+        as an oracle check run by the prover over its private state, with
+        the *result* bound to the commitment via a derived tag."""
+        b = self._blinders[i]
+        if challenge == 0:
+            return b
+        gv = self._scheme.suite.g(self._solution.nonce ^ self._solution.r_string)
+        ok = gv <= self._scheme.tau and self._scheme.suite.f(gv) == self.claimed_id
+        # tag = h(commitment-opening, validity-bit): verifiable against the
+        # commitment without exposing the nonce
+        return self._com_oracle.u64(self._solution.nonce, b, int(ok))
+
+
+class ZKVerifier:
+    """Runs the cut-and-choose loop; accepts iff every round checks out."""
+
+    def __init__(self, scheme: PuzzleScheme, rounds: int = 16, seed: int = 1):
+        self._scheme = scheme
+        self._com_oracle = RandomOracle("zk-com", scheme.suite.seed)
+        self.rounds = int(rounds)
+        self._rng = np.random.default_rng(seed)
+
+    def verify(self, prover: ZKProver, r_string: int) -> ZKTranscript:
+        claimed = prover.claimed_id
+        commitments = prover.commit(self.rounds)
+        challenges, responses = [], []
+        accepted = True
+        for i, com in enumerate(commitments):
+            ch = int(self._rng.integers(0, 2))
+            challenges.append(ch)
+            resp = prover.respond(i, ch)
+            responses.append(resp)
+            if ch == 0:
+                # blinder revealed: cannot check sigma (that's the ZK), but a
+                # cheater cannot know in advance which rounds stay unopened
+                pass
+            else:
+                # validity tag must match a valid-solution tag derivable from
+                # the *prover's* commitment opening; the scheme exposes only
+                # the boolean through the paired check below
+                expect = self._expected_tag(prover, i, com)
+                if resp != expect:
+                    accepted = False
+        if prover._solution.r_string != r_string:
+            accepted = False  # stale epoch string: the ID has expired
+        return ZKTranscript(
+            claimed_id=claimed,
+            commitments=tuple(commitments),
+            challenges=tuple(challenges),
+            responses=tuple(responses),
+            accepted=accepted,
+        )
+
+    def _expected_tag(self, prover: ZKProver, i: int, com: int) -> int:
+        """The tag an honest prover with a *valid* solution would produce.
+
+        Simulation boundary: the real protocol computes this from the
+        commitment alone via the garbled-circuit check; here it is derived
+        through the prover's sealed state with validity forced to True, so
+        an invalid solution can never match.
+        """
+        b = prover._blinders[i]
+        return self._com_oracle.u64(prover._solution.nonce, b, 1)
+
+
+def run_zk_verification(
+    scheme: PuzzleScheme, solution: Solution, r_string: int, rounds: int = 16,
+    prover_seed: int = 0, verifier_seed: int = 1,
+) -> ZKTranscript:
+    """Convenience wrapper: one full proof session."""
+    prover = ZKProver(solution, scheme, seed=prover_seed)
+    verifier = ZKVerifier(scheme, rounds=rounds, seed=verifier_seed)
+    return verifier.verify(prover, r_string)

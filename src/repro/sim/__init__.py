@@ -1,0 +1,5 @@
+"""Simulation substrate: RNG discipline, round engine, Monte-Carlo runner."""
+
+from .rng import child, make_rng, spawn, stream_for
+
+__all__ = ["make_rng", "spawn", "child", "stream_for"]

@@ -1,0 +1,50 @@
+"""Metrics recorder: per-epoch / per-sweep series collection.
+
+Thin utility the experiment runners share: named series of floats with
+summary statistics, rendering into the fixed-width tables of
+``repro.analysis.tables``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+__all__ = ["MetricsRecorder"]
+
+
+@dataclass
+class MetricsRecorder:
+    """Append-only named series."""
+
+    series: Dict[str, List[float]] = field(default_factory=dict)
+
+    def record(self, name: str, value: float) -> None:
+        self.series.setdefault(name, []).append(float(value))
+
+    def record_many(self, **kv: float) -> None:
+        for name, value in kv.items():
+            self.record(name, value)
+
+    def get(self, name: str) -> np.ndarray:
+        return np.asarray(self.series.get(name, []), dtype=np.float64)
+
+    def last(self, name: str) -> float:
+        s = self.series.get(name)
+        if not s:
+            raise KeyError(name)
+        return s[-1]
+
+    def summary(self, name: str) -> dict:
+        arr = self.get(name)
+        if arr.size == 0:
+            return {"count": 0}
+        return {
+            "count": int(arr.size),
+            "mean": float(arr.mean()),
+            "min": float(arr.min()),
+            "max": float(arr.max()),
+            "last": float(arr[-1]),
+        }

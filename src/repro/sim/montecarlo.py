@@ -1,0 +1,67 @@
+"""Vectorized Monte-Carlo trial runner with confidence intervals.
+
+Experiments estimate probabilities (bad-group rate, search failure, ...)
+from repeated randomized trials; this module centralizes the bookkeeping so
+each experiment reports means with honest uncertainty instead of bare point
+estimates (HPC-guide workflow: "make it work reliably" before tuning).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = ["MCResult", "run_trials", "wilson_interval"]
+
+
+@dataclass(frozen=True)
+class MCResult:
+    """Aggregated Monte-Carlo estimate."""
+
+    mean: float
+    std: float
+    lo: float              # 95% CI lower bound
+    hi: float              # 95% CI upper bound
+    trials: int
+    values: np.ndarray
+
+    def __str__(self) -> str:  # pragma: no cover
+        return f"{self.mean:.4g} [{self.lo:.4g}, {self.hi:.4g}] (x{self.trials})"
+
+
+def wilson_interval(successes: int, trials: int, z: float = 1.96) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion (robust at p ~ 0,
+    where the experiments' rare-event probabilities live)."""
+    if trials == 0:
+        return 0.0, 1.0
+    p = successes / trials
+    denom = 1.0 + z * z / trials
+    center = (p + z * z / (2 * trials)) / denom
+    half = (z / denom) * math.sqrt(p * (1 - p) / trials + z * z / (4 * trials * trials))
+    return max(0.0, center - half), min(1.0, center + half)
+
+
+def run_trials(
+    trial: Callable[[np.random.Generator], float],
+    trials: int,
+    rng: np.random.Generator,
+) -> MCResult:
+    """Run ``trial`` with independent child generators and aggregate.
+
+    Child streams keep trials independent and reproducible regardless of how
+    many draws each trial consumes (see ``repro.sim.rng``).
+    """
+    children = [
+        np.random.Generator(np.random.PCG64(ss))
+        for ss in rng.bit_generator.seed_seq.spawn(trials)  # type: ignore[attr-defined]
+    ]
+    vals = np.asarray([float(trial(c)) for c in children])
+    mean = float(vals.mean())
+    std = float(vals.std(ddof=1)) if trials > 1 else 0.0
+    half = 1.96 * std / math.sqrt(max(1, trials))
+    return MCResult(
+        mean=mean, std=std, lo=mean - half, hi=mean + half, trials=trials, values=vals
+    )

@@ -1,0 +1,152 @@
+"""Integration: full-stack static and dynamic runs against Theorem 3."""
+
+import numpy as np
+import pytest
+
+from repro.adversary import ClusterAdversary, OmissionAdversary, UniformAdversary
+from repro.churn import TargetedChurn, UniformChurn
+from repro.core.dynamic import EpochSimulator
+from repro.core.params import SystemParams
+from repro.core.robustness import evaluate_robustness
+from repro.core.static_case import constructive_static_graph
+from repro.inputgraph import make_input_graph, validate_properties
+
+
+class TestStaticEndToEnd:
+    @pytest.mark.parametrize("topology", ["chord", "distance-halving"])
+    def test_population_to_robustness(self, topology):
+        rng = np.random.default_rng(21)
+        params = SystemParams(n=512, beta=0.05, seed=0)
+        adv = UniformAdversary(params.beta)
+        ids, bad = adv.population(params.n, rng)
+        H = make_input_graph(topology, ids)
+        gg, gs, quality = constructive_static_graph(H, params, bad, rng=rng)
+        rep = evaluate_robustness(gg, rng)
+        # Theorem 3 shape: all three fractions at the 1/polylog scale
+        assert rep.fraction_red < 0.05
+        assert rep.fraction_failed_searches < 0.10
+        assert rep.fraction_unreachable_resources < 0.10
+
+    def test_lemma5_omission_preserves_properties(self):
+        """Lemma 5: P1-P4 survive an adversary fielding only a subset of
+        its u.a.r. IDs (unlike arbitrary placement)."""
+        rng = np.random.default_rng(22)
+        adv = OmissionAdversary(0.2, start=0.1, width=0.3)
+        ids, bad = adv.population(1024, rng)
+        H = make_input_graph("chord", ids)
+        rep = validate_properties(H, probes=8000, rng=rng)
+        assert rep.ok(), rep.satisfied
+
+    def test_cluster_placement_would_break_load_balance(self):
+        """Contrast for Lemma 5 / §IV-A: *arbitrary* placement (what PoW
+        prevents) concentrates key-space ownership on adversarial IDs."""
+        rng = np.random.default_rng(23)
+        adv = ClusterAdversary(0.2, start=0.499, width=0.002)
+        ids, bad = adv.population(1024, rng)
+        from repro.idspace.ring import Ring
+
+        ring = Ring(ids)
+        # the cluster's collective responsibility should stay ~beta under
+        # u.a.r. placement, but the clustered IDs grab the arc they ring
+        arcs = ring.arc_lengths()
+        # the arc just past the cluster is owned by bad IDs en masse:
+        # bad IDs make up 20% of the count but sit in 0.2% of the space,
+        # so each owns almost nothing EXCEPT they capture all keys hashing
+        # into the cluster — verify the concentration
+        frac_inside = np.mod(ids - 0.499, 1.0) < 0.002
+        assert frac_inside.mean() > 0.15  # 20% of IDs inside 0.2% of space
+
+
+class TestDynamicEndToEnd:
+    def test_theorem3_stability_with_uniform_churn(self):
+        params = SystemParams(n=256, beta=0.05, d1=2.5, d2=10.0, seed=5)
+        sim = EpochSimulator(
+            params, churn=UniformChurn(rate=0.05), probes=1500,
+            rng=np.random.default_rng(5),
+        )
+        reports = sim.run(4)
+        for rep in reports:
+            assert rep.fraction_red < 0.08
+            assert rep.robustness.epsilon_achieved < 0.25
+
+    def test_theorem3_stability_with_targeted_churn(self):
+        """Worst-case departure schedule inside the eps'/2 model."""
+        params = SystemParams(n=256, beta=0.05, d1=2.5, d2=10.0, seed=6)
+        sim = EpochSimulator(
+            params, churn=TargetedChurn(), probes=1500,
+            rng=np.random.default_rng(6),
+        )
+        reports = sim.run(3)
+        assert reports[-1].fraction_red < 0.15
+
+    def test_memberships_stay_loglog(self):
+        params = SystemParams(n=256, beta=0.05, seed=7)
+        sim = EpochSimulator(params, probes=800, rng=np.random.default_rng(7))
+        rep = sim.run(2)[-1]
+        assert rep.mean_membership < 2.5 * params.group_solicit_size
+
+    def test_cluster_adversary_blocked_by_uar_assumption(self):
+        """With PoW the adversary cannot cluster; run the sim with a
+        clustered strategy to demonstrate what the defense prevents:
+        groups whose membership points hash into the cluster go bad."""
+        params = SystemParams(n=256, beta=0.10, seed=8)
+        sim_uniform = EpochSimulator(
+            params, adversary=UniformAdversary(0.10), probes=800,
+            rng=np.random.default_rng(8),
+        )
+        sim_cluster = EpochSimulator(
+            params, adversary=ClusterAdversary(0.10, start=0.2, width=0.01),
+            probes=800, rng=np.random.default_rng(8),
+        )
+        r_uni = sim_uniform.step()
+        r_clu = sim_cluster.step()
+        # clustered IDs own only the cluster arc => they capture ~width of
+        # the key space rather than beta — the *groups* stay good, but the
+        # cluster's keys are wholly owned; both effects are visible in the
+        # bad-candidate rate
+        assert r_clu.build_1.bad_candidate_rate < r_uni.build_1.bad_candidate_rate
+
+
+class TestExperimentSmoke:
+    """Every experiment runs at tiny scale and reports its key 'ok' cells."""
+
+    def test_e1_within_bounds(self):
+        from repro.experiments import run_experiment
+
+        tab = run_experiment(
+            "E1", fast=True, n_values=(128,), probes=3000,
+            topologies=("chord",),
+        )
+        assert all(v == "ok" for v in tab.column("within"))
+
+    def test_e2_slope_sane(self):
+        from repro.experiments import run_experiment
+
+        tab = run_experiment("E2", fast=True, n=256, probes=4000,
+                             pf_values=(0.01, 0.05))
+        rates = [float(x) for x in tab.column("X measured")]
+        assert rates[0] < rates[1]
+
+    def test_e3_within(self):
+        from repro.experiments import run_experiment
+
+        tab = run_experiment(
+            "E3", fast=True, n=512, betas=(0.05,), d2_values=(8.0,)
+        )
+        assert all(v == "ok" for v in tab.column("within 3x+noise"))
+
+    def test_e8_all_ok(self):
+        from repro.experiments import run_experiment
+
+        tab = run_experiment("E8", fast=True, trials=8)
+        within = [v for v in tab.column("within") if v != "-"]
+        assert all(v == "ok" for v in within)
+
+    def test_e10_defense_never_loses_majority(self):
+        from repro.experiments import run_experiment
+
+        tab = run_experiment("E10", fast=True, horizons=(2, 20))
+        rows = tab.rows
+        for row in rows:
+            if row[1] == "fresh strings":
+                assert row[4] == "no"

@@ -1,0 +1,61 @@
+"""Integration: every registered experiment runs and yields a sane table.
+
+Guards the experiment registry as a whole: each run() must return a
+non-empty TableResult whose rows match its header width — so a broken
+experiment can never silently ship an empty table into EXPERIMENTS.md.
+Key shape assertions per experiment live in test_end_to_end.py; this file
+is the coverage net.
+"""
+
+import pytest
+
+from repro.analysis.tables import TableResult
+from repro.experiments import EXPERIMENTS, run_all, run_experiment
+
+# tiny-config overrides so the full sweep stays fast in CI
+FAST_OVERRIDES = {
+    "E1": dict(n_values=(128,), probes=2000, topologies=("chord",)),
+    "E2": dict(n=256, probes=3000, pf_values=(0.01, 0.05)),
+    "E3": dict(n=256, betas=(0.05,), d2_values=(6.0, 10.0)),
+    "E4": dict(n=128, epochs=2),
+    "E5": dict(n=128, pf0_values=(0.01, 0.05), analytic_epochs=4),
+    "E6": dict(n_values=(256,), probes=1000),
+    "E7": dict(n=128, epochs=2),
+    "E8": dict(trials=6),
+    "E9": dict(n=128),
+    "E10": dict(horizons=(2, 20)),
+    "E11": dict(n_measured=256, sizes=(3, 8, 16), probes=2000,
+                n_theory=(2**8, 2**12)),
+    "E12": dict(n=1024, sizes=(8, 32), events=2000),
+    "E13": dict(epochs=3),
+    "E14": dict(n=256, objects=60, churn_rounds=2),
+    "E15": dict(n=128, epochs=3),
+}
+
+
+@pytest.mark.parametrize("name", sorted(EXPERIMENTS, key=lambda k: int(k[1:])))
+def test_experiment_produces_table(name):
+    table = run_experiment(name, seed=1, fast=True, **FAST_OVERRIDES.get(name, {}))
+    assert isinstance(table, TableResult)
+    assert table.experiment == name
+    assert table.rows, f"{name} produced no rows"
+    width = len(table.headers)
+    assert all(len(row) == width for row in table.rows)
+    rendered = table.render()
+    assert f"[{name}]" in rendered
+
+
+def test_registry_is_dense():
+    """E1..E15 with no gaps — DESIGN.md §3 promises one per claim."""
+    nums = sorted(int(k[1:]) for k in EXPERIMENTS)
+    assert nums == list(range(1, len(nums) + 1))
+
+
+def test_run_experiment_unknown():
+    with pytest.raises(ValueError):
+        run_experiment("E99")
+
+
+def test_run_experiment_case_insensitive():
+    t = run_experiment("e10", fast=True, horizons=(2,))
+    assert t.experiment == "E10"

@@ -1,0 +1,72 @@
+"""Integration: PoW identity layer driving epochs (Section IV end to end).
+
+Full loop: global string adopted -> IDs minted under it -> population forms
+a group graph -> string propagation over that graph produces the *next*
+epoch's string -> old IDs expire.
+"""
+
+import numpy as np
+import pytest
+
+from repro.adversary import UniformAdversary
+from repro.core.params import SystemParams
+from repro.core.static_case import constructive_static_graph
+from repro.idspace.hashing import OracleSuite
+from repro.idspace.ring import Ring
+from repro.inputgraph import make_input_graph
+from repro.pow.identity import IdentityRegistry
+from repro.pow.propagation import StringPropagation
+from repro.pow.puzzles import PuzzleScheme
+
+
+@pytest.mark.slow
+class TestPowEpochLoop:
+    def test_two_epoch_cycle(self):
+        rng = np.random.default_rng(31)
+        n, beta, T = 384, 0.08, 1024
+        params = SystemParams(n=n, beta=beta, epoch_length=T, seed=31)
+        suite = OracleSuite(seed=31)
+        scheme = PuzzleScheme(suite, epoch_length=T)
+        registry = IdentityRegistry(scheme, n=n, beta=beta)
+        registry.set_epoch_string(1, 0xA11CE)
+
+        # --- epoch 1: mint population under r_0 --------------------------------
+        ms = registry.mint_epoch(1, rng)
+        assert ms.n_bad <= 1.20 * 1.5 * beta * n  # Lemma 11 with slack
+        ids = np.concatenate([ms.good_ids, ms.bad_ids])
+        bad = np.zeros(ids.size, dtype=bool)
+        bad[ms.n_good :] = True
+        order = np.argsort(ids, kind="stable")
+        ring = Ring(ids[order])
+        bad = bad[order][: ring.n]
+
+        # --- group graph over the minted population ----------------------------
+        H = make_input_graph("chord", ring)
+        gg, gs, quality = constructive_static_graph(H, params, bad, rng=rng)
+        assert quality.bad_group_fraction < 0.05
+
+        # --- propagate the next global string over the graph -------------------
+        indptr, indices = H.neighbor_lists()
+        prop = StringPropagation(
+            indptr, indices, ~gg.red, group_size=params.group_solicit_size,
+            epoch_length=T,
+        )
+        res = prop.run(rng, adversary_beta=beta, delayed_release=True)
+        assert res.agreement
+        assert res.max_solution_set <= np.ceil(2.5 * np.log(ring.n)) + 1
+
+        # --- expiry: epoch-1 cards die under the epoch-2 string ----------------
+        registry.set_epoch_string(2, 0xB0B)
+        card = registry.mint_card(1, rng)
+        assert card is not None
+        assert registry.verify_card(card, 1)
+        assert not registry.verify_card(card, 2)
+
+    def test_effective_beta_revision(self):
+        """§IV-A: running the protocol at beta/3 absorbs the banking window."""
+        params = SystemParams(n=256, beta=0.09, seed=0)
+        scheme = PuzzleScheme(OracleSuite(0), epoch_length=512)
+        reg = IdentityRegistry(scheme, n=256, beta=params.effective_beta())
+        ms = reg.mint_epoch(1, np.random.default_rng(0))
+        # with beta/3 and the 1.5x window, realized fraction ~ beta/2 < beta
+        assert ms.beta_realized < params.beta

@@ -1,0 +1,97 @@
+"""Property-based tests: group classification and majority invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.groups import GroupSet, classify_groups
+from repro.core.params import SystemParams
+from repro.core.secure_routing import majority_filter
+from repro.idspace.ring import Ring
+
+
+@st.composite
+def group_instances(draw):
+    """A single group over a small ring plus a bad mask."""
+    n_ids = draw(st.integers(min_value=4, max_value=24))
+    size = draw(st.integers(min_value=1, max_value=n_ids))
+    members = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n_ids - 1),
+            min_size=size,
+            max_size=size,
+            unique=True,
+        )
+    )
+    bad_bits = draw(st.lists(st.booleans(), min_size=n_ids, max_size=n_ids))
+    return n_ids, np.asarray(members), np.asarray(bad_bits, dtype=bool)
+
+
+def make_groupset(n_ids, members):
+    return GroupSet(
+        np.array([0]), np.array([0, members.size]), members, n_ids
+    )
+
+
+PARAMS = SystemParams(n=512, beta=0.05, seed=0)
+
+
+@given(inst=group_instances())
+@settings(max_examples=100)
+def test_adding_bad_member_never_helps(inst):
+    """Classification is monotone: flipping a good member to bad can only
+    keep or worsen the verdict."""
+    n_ids, members, bad = inst
+    gs = make_groupset(n_ids, members)
+    before = classify_groups(gs, bad, PARAMS, min_size=1).is_bad[0]
+    good_members = [m for m in members if not bad[m]]
+    if good_members:
+        bad2 = bad.copy()
+        bad2[good_members[0]] = True
+        after = classify_groups(gs, bad2, PARAMS, min_size=1).is_bad[0]
+        assert after or not before
+
+
+@given(inst=group_instances())
+@settings(max_examples=100)
+def test_bad_fraction_in_unit_range(inst):
+    n_ids, members, bad = inst
+    gs = make_groupset(n_ids, members)
+    q = classify_groups(gs, bad, PARAMS, min_size=1)
+    assert 0.0 <= q.bad_fraction[0] <= 1.0
+
+
+@given(inst=group_instances())
+@settings(max_examples=100)
+def test_bad_counts_match_mask(inst):
+    n_ids, members, bad = inst
+    gs = make_groupset(n_ids, members)
+    assert gs.bad_counts(bad)[0] == bad[members].sum()
+
+
+@given(
+    good=st.integers(min_value=0, max_value=30),
+    bad=st.integers(min_value=0, max_value=30),
+)
+def test_majority_filter_guarantee(good, bad):
+    """Strict good majority => correct delivery, regardless of collusion."""
+    votes = ["v"] * good + ["ADV"] * bad
+    out = majority_filter(votes)
+    if good > bad + (len(votes) % 2 == 0) * 0 and good * 2 > len(votes):
+        assert out == "v"
+    if bad * 2 > len(votes):
+        assert out != "v"
+
+
+@given(
+    sizes=st.lists(st.integers(min_value=0, max_value=8), min_size=1, max_size=12)
+)
+def test_groupset_csr_roundtrip(sizes):
+    """Arbitrary CSR layouts keep per-group slices consistent."""
+    indptr = np.zeros(len(sizes) + 1, dtype=np.int64)
+    indptr[1:] = np.cumsum(sizes)
+    total = int(indptr[-1])
+    members = np.arange(total) % 16 if total else np.empty(0, dtype=np.int64)
+    gs = GroupSet(np.arange(len(sizes)), indptr, members, 16)
+    assert list(gs.sizes()) == sizes
+    assert sum(gs.members_of(g).size for g in range(len(sizes))) == total

@@ -1,0 +1,59 @@
+"""Property-based tests: random-oracle hashing invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.idspace.hashing import RandomOracle
+
+atoms = st.one_of(
+    st.integers(min_value=-(2**62), max_value=2**62),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=24),
+    st.binary(max_size=24),
+    st.booleans(),
+)
+inputs = st.lists(atoms, min_size=1, max_size=4)
+
+
+@given(parts=inputs)
+def test_output_in_range(parts):
+    h = RandomOracle("p", 0)
+    assert 0.0 <= h(*parts) < 1.0
+
+
+@given(parts=inputs)
+def test_deterministic(parts):
+    assert RandomOracle("p", 3)(*parts) == RandomOracle("p", 3)(*parts)
+
+
+@given(parts=inputs)
+def test_oracles_with_different_names_disagree_somewhere(parts):
+    a = RandomOracle("name-a", 0)(*parts)
+    b = RandomOracle("name-b", 0)(*parts)
+    # 64-bit outputs: collision probability ~2^-64 — treat equality as bug
+    assert a != b
+
+
+@given(x=atoms, y=atoms)
+def test_injective_tagging(x, y):
+    """Different (typed) inputs give different outputs (no cross-type or
+    cross-boundary collisions)."""
+    h = RandomOracle("p", 1)
+    if not _same_canonical(x, y):
+        assert h(x) != h(y)
+
+
+def _same_canonical(x, y):
+    from repro.idspace.hashing import _canon
+
+    try:
+        return _canon(x) == _canon(y)
+    except TypeError:
+        return False
+
+
+@given(parts=inputs, seed=st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=50)
+def test_u64_consistent_with_call(parts, seed):
+    h = RandomOracle("p", seed)
+    assert h(*parts) == h.u64(*parts) / 2.0**64

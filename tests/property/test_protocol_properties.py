@@ -1,0 +1,86 @@
+"""Property-based tests: protocol-level invariants (PoW, bins, BA, ledger)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.agreement import phase_king
+from repro.core.costs import CostLedger
+from repro.idspace.hashing import OracleSuite
+from repro.pow.puzzles import PuzzleScheme
+from repro.pow.strings import BinTable
+
+
+@given(
+    output=st.floats(min_value=1e-12, max_value=0.999, allow_nan=False),
+)
+def test_bin_of_contains_output(output):
+    bt = BinTable(n=256, epoch_length=1024)
+    j = bt.bin_of(output)
+    lo = 2.0 ** -(j + 1)
+    hi = 2.0 ** -j
+    # within table range the bin brackets the value; below range it clamps
+    if j < bt.n_bins - 1:
+        assert lo <= output < hi
+
+
+@given(
+    outputs=st.lists(
+        st.floats(min_value=1e-9, max_value=0.999, allow_nan=False),
+        min_size=1,
+        max_size=64,
+    )
+)
+def test_forwarding_monotone_records(outputs):
+    """A forwarded value is always a strict record for its bin."""
+    bt = BinTable(n=128, epoch_length=512)
+    best: dict[int, float] = {}
+    for o in outputs:
+        j = bt.bin_of(o)
+        fwd = bt.should_forward(o)
+        if fwd:
+            assert o < best.get(j, 2.0)
+            best[j] = o
+
+
+@given(
+    r_string=st.integers(min_value=0, max_value=2**62),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=20, deadline=None)
+def test_minted_solutions_always_verify(r_string, seed):
+    scheme = PuzzleScheme(OracleSuite(seed=1), epoch_length=64)
+    rng = np.random.default_rng(seed)
+    for sol in scheme.mint_oracle(r_string, trials=300, rng=rng, max_solutions=3):
+        assert scheme.verify(sol.id_value, sol, r_string)
+        assert not scheme.verify(sol.id_value, sol, r_string + 1)
+
+
+@given(
+    n=st.integers(min_value=5, max_value=15),
+    t_frac=st.floats(min_value=0.0, max_value=0.24),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=30, deadline=None)
+def test_phase_king_agreement_property(n, t_frac, seed):
+    """Agreement holds for any fault set below n/4 and any inputs."""
+    t = int(t_frac * n)
+    rng = np.random.default_rng(seed)
+    inputs = rng.integers(0, 2, size=n)
+    bad = np.zeros(n, dtype=bool)
+    bad[rng.choice(n, size=t, replace=False)] = True
+    res = phase_king(inputs, bad, rng)
+    assert res.agreement
+
+
+@given(
+    adds=st.lists(
+        st.tuples(st.sampled_from(["a", "b", "c"]), st.integers(0, 1000)),
+        max_size=30,
+    )
+)
+def test_ledger_totals_additive(adds):
+    led = CostLedger()
+    for cat, count in adds:
+        led.add_messages(cat, count)
+    assert led.total_messages() == sum(c for _, c in adds)

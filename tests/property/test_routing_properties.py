@@ -1,0 +1,73 @@
+"""Property-based tests: routing invariants across all topologies."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.idspace.ring import Ring
+from repro.inputgraph import PADDING, TOPOLOGIES, make_input_graph
+
+# Build one modest graph per topology once; hypothesis drives the queries.
+_RINGS = Ring(np.random.default_rng(99).random(96))
+_GRAPHS = {name: make_input_graph(name, _RINGS) for name in TOPOLOGIES}
+
+queries = st.tuples(
+    st.integers(min_value=0, max_value=_RINGS.n - 1),
+    st.floats(min_value=0.0, max_value=1.0, exclude_max=True, allow_nan=False),
+)
+
+
+@pytest.mark.parametrize("name", sorted(TOPOLOGIES))
+@given(q=queries)
+@settings(max_examples=40, deadline=None)
+def test_route_resolves_to_successor(name, q):
+    src, tgt = q
+    g = _GRAPHS[name]
+    path, ok = g.route(src, tgt)
+    assert ok
+    assert path[0] == src
+    assert path[-1] == g.ring.successor_index(tgt)
+
+
+@pytest.mark.parametrize("name", sorted(TOPOLOGIES))
+@given(q=queries)
+@settings(max_examples=40, deadline=None)
+def test_no_padding_inside_path(name, q):
+    src, tgt = q
+    g = _GRAPHS[name]
+    batch = g.route_many(np.array([src]), np.array([tgt]))
+    row = batch.paths[0]
+    seen_pad = False
+    for v in row:
+        if v == PADDING:
+            seen_pad = True
+        else:
+            assert not seen_pad, "padding must be a suffix"
+
+
+@pytest.mark.parametrize("name", sorted(TOPOLOGIES))
+@given(q=queries)
+@settings(max_examples=30, deadline=None)
+def test_no_consecutive_duplicates(name, q):
+    src, tgt = q
+    g = _GRAPHS[name]
+    path, _ = g.route(src, tgt)
+    assert all(path[i] != path[i + 1] for i in range(len(path) - 1))
+
+
+@pytest.mark.parametrize("name", sorted(TOPOLOGIES))
+@given(
+    qs=st.lists(queries, min_size=1, max_size=8),
+)
+@settings(max_examples=20, deadline=None)
+def test_batch_matches_single(name, qs):
+    """route_many on a batch equals route() query by query."""
+    g = _GRAPHS[name]
+    src = np.array([q[0] for q in qs])
+    tgt = np.array([q[1] for q in qs])
+    batch = g.route_many(src, tgt)
+    for i, (s, t) in enumerate(qs):
+        single, ok = g.route(s, t)
+        row = batch.paths[i]
+        assert np.array_equal(row[row != PADDING], single)

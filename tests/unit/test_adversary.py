@@ -1,0 +1,85 @@
+"""Unit tests: adversary strategies (repro.adversary)."""
+
+import numpy as np
+import pytest
+
+from repro.adversary import (
+    ClusterAdversary,
+    KeyTargetAdversary,
+    OmissionAdversary,
+    UniformAdversary,
+)
+
+
+class TestBase:
+    def test_beta_validation(self):
+        with pytest.raises(ValueError):
+            UniformAdversary(0.6)
+        with pytest.raises(ValueError):
+            UniformAdversary(-0.1)
+
+    def test_id_budget(self):
+        assert UniformAdversary(0.1).id_budget(1000) == 100
+
+    def test_population_mask_aligned(self):
+        adv = UniformAdversary(0.1)
+        ids, bad = adv.population(500, np.random.default_rng(0))
+        assert ids.size == bad.size
+        assert bad.sum() == 50
+        assert (np.diff(ids) > 0).all()  # sorted, distinct
+
+    def test_population_in_range(self):
+        ids, _ = UniformAdversary(0.2).population(300, np.random.default_rng(1))
+        assert (ids >= 0).all() and (ids < 1).all()
+
+
+class TestStrategies:
+    def test_uniform_spread(self):
+        ids = UniformAdversary(0.3).place_ids(3000, np.random.default_rng(0))
+        assert abs(ids.mean() - 0.5) < 0.05
+
+    def test_cluster_confined(self):
+        adv = ClusterAdversary(0.3, start=0.4, width=0.1)
+        ids = adv.place_ids(500, np.random.default_rng(0))
+        assert (np.mod(ids - 0.4, 1.0) < 0.1).all()
+
+    def test_cluster_wraps(self):
+        adv = ClusterAdversary(0.3, start=0.95, width=0.1)
+        ids = adv.place_ids(500, np.random.default_rng(0))
+        assert ((ids >= 0.95) | (ids < 0.05)).all()
+
+    def test_cluster_width_validation(self):
+        with pytest.raises(ValueError):
+            ClusterAdversary(0.1, width=0.0)
+
+    def test_omission_subset_of_uniform(self):
+        adv = OmissionAdversary(0.3, start=0.0, width=0.25)
+        ids = adv.place_ids(1000, np.random.default_rng(0))
+        assert ids.size < 1000  # withheld the rest
+        assert ids.size == pytest.approx(250, abs=60)
+        assert (ids < 0.25).all()
+
+    def test_omission_population_fields_fewer(self):
+        adv = OmissionAdversary(0.2, width=0.5)
+        ids, bad = adv.population(1000, np.random.default_rng(0))
+        assert bad.sum() < 200  # omitted about half its budget
+        # n stays constant (paper model): withheld slots are good joiners
+        assert ids.size == 1000
+
+    def test_key_target_lands_before_key(self):
+        adv = KeyTargetAdversary(0.1, key=0.5, spread=1e-3)
+        ids = adv.place_ids(100, np.random.default_rng(0))
+        d = np.mod(0.5 - ids, 1.0)
+        assert (d <= 1e-3).all()
+
+    def test_key_target_captures_successor(self):
+        """Without PoW placement control, the victim key's successors are
+        adversarial — the attack the two-hash scheme prevents."""
+        from repro.idspace.ring import Ring
+
+        rng = np.random.default_rng(3)
+        adv = KeyTargetAdversary(0.05, key=0.5)
+        ids, bad = adv.population(500, rng)
+        ring = Ring(ids)
+        suc = ring.successor_index(0.5 - 5e-4)
+        assert bad[suc]

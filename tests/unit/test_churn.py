@@ -1,0 +1,102 @@
+"""Unit tests: churn models (repro.churn)."""
+
+import numpy as np
+import pytest
+
+from repro.churn import EventKind, EventStream, TargetedChurn, UniformChurn
+from repro.core.dynamic import EpochSimulator
+from repro.core.params import SystemParams
+
+
+@pytest.fixture
+def sim():
+    return EpochSimulator(SystemParams(n=128, beta=0.05, seed=2), probes=300)
+
+
+class TestUniformChurn:
+    def test_rate_respected(self, sim):
+        churn = UniformChurn(rate=0.1)
+        n_dep = churn.apply(sim.pair, sim.params, np.random.default_rng(0))
+        good = int((~sim.pair.bad_mask).sum())
+        assert 0 < n_dep < 0.3 * good
+
+    def test_rate_clipped_to_model_cap(self, sim):
+        churn = UniformChurn(rate=0.9)  # way above eps'/2
+        cap = sim.params.churn_slack / 2.0
+        dep = churn.epoch_departures(sim.pair, sim.params, np.random.default_rng(0))
+        good = int((~sim.pair.bad_mask).sum())
+        assert dep.size < (cap + 0.1) * good
+
+    def test_violation_mode_exceeds_cap(self, sim):
+        churn = UniformChurn(rate=0.9, allow_violation=True)
+        dep = churn.epoch_departures(sim.pair, sim.params, np.random.default_rng(0))
+        good = int((~sim.pair.bad_mask).sum())
+        assert dep.size > 0.5 * good
+
+    def test_only_good_ids_depart(self, sim):
+        churn = UniformChurn(rate=0.2)
+        dep = churn.epoch_departures(sim.pair, sim.params, np.random.default_rng(0))
+        assert not sim.pair.bad_mask[dep].any()
+
+    def test_departures_flagged_and_reclassified(self, sim):
+        churn = UniformChurn(rate=0.1)
+        churn.apply(sim.pair, sim.params, np.random.default_rng(0))
+        assert sim.pair.ring_departed.any()
+
+    def test_heavy_violation_turns_groups_red(self, sim):
+        """Failure injection: churn beyond eps'/2 breaks the guarantee."""
+        churn = UniformChurn(rate=0.95, allow_violation=True)
+        churn.apply(sim.pair, sim.params, np.random.default_rng(0))
+        assert sim.pair.fraction_red() > 0.5
+
+
+class TestTargetedChurn:
+    def test_budget_respected(self, sim):
+        churn = TargetedChurn()
+        dep = churn.epoch_departures(sim.pair, sim.params, np.random.default_rng(0))
+        cap = sim.params.churn_slack / 2.0
+        good = int((~sim.pair.bad_mask).sum())
+        assert dep.size <= int(cap * good) + 1
+
+    def test_targets_good_members(self, sim):
+        churn = TargetedChurn()
+        dep = churn.epoch_departures(sim.pair, sim.params, np.random.default_rng(0))
+        if dep.size:
+            assert not sim.pair.bad_mask[dep].any()
+
+    def test_no_duplicate_departures(self, sim):
+        churn = TargetedChurn()
+        dep = churn.epoch_departures(sim.pair, sim.params, np.random.default_rng(0))
+        assert np.unique(dep).size == dep.size
+
+    def test_within_cap_guarantee_holds(self, sim):
+        """Adversarially-scheduled departures inside eps'/2 must NOT break
+        good majorities (the paper's churn model guarantee)."""
+        churn = TargetedChurn()
+        churn.apply(sim.pair, sim.params, np.random.default_rng(0))
+        assert sim.pair.fraction_red() < 0.25
+
+
+class TestEventStream:
+    def test_pairs_and_kinds(self):
+        bad = np.zeros(64, dtype=bool)
+        bad[:8] = True
+        es = EventStream(64, bad, adversary_drive=1.0, seed=0)
+        events = list(es.events(20))
+        assert len(events) == 20
+        for dep, join in events:
+            assert dep.kind is EventKind.DEPART
+            assert join.kind is EventKind.JOIN
+            assert dep.id_index == join.id_index
+
+    def test_full_drive_cycles_bad_ids(self):
+        bad = np.zeros(64, dtype=bool)
+        bad[:8] = True
+        es = EventStream(64, bad, adversary_drive=1.0, seed=0)
+        assert all(d.is_bad for d, _ in es.events(20))
+
+    def test_zero_drive_cycles_good_ids(self):
+        bad = np.zeros(64, dtype=bool)
+        bad[:8] = True
+        es = EventStream(64, bad, adversary_drive=0.0, seed=0)
+        assert not any(d.is_bad for d, _ in es.events(20))

@@ -1,0 +1,37 @@
+"""Unit tests: CLI (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "Tiny Groups" in out
+        assert "chord" in out
+        assert "E15" in out
+
+    def test_validate_ok(self, capsys):
+        assert main(["validate", "chord", "-n", "128", "--probes", "1000"]) == 0
+        assert "P1" in capsys.readouterr().out
+
+    def test_validate_unknown_topology(self):
+        with pytest.raises(ValueError):
+            main(["validate", "pancake", "-n", "128"])
+
+    def test_simulate(self, capsys):
+        assert main([
+            "simulate", "-n", "128", "--epochs", "1", "--probes", "200",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "epoch" in out
+
+    def test_experiments_single(self, capsys):
+        assert main(["experiments", "E10"]) == 0
+        assert "[E10]" in capsys.readouterr().out

@@ -1,0 +1,95 @@
+"""Unit tests: epoch simulator (repro.core.dynamic)."""
+
+import numpy as np
+import pytest
+
+from repro.churn import UniformChurn
+from repro.core.dynamic import EpochSimulator
+from repro.core.params import SystemParams
+
+
+@pytest.fixture
+def params():
+    return SystemParams(n=128, beta=0.05, seed=1)
+
+
+class TestInit:
+    def test_initial_pair_populated(self, params):
+        sim = EpochSimulator(params, probes=500)
+        assert sim.pair.n >= 120
+        assert sim.pair.side1 is not None
+        assert sim.pair.side2 is not None
+        assert sim.epoch == 0
+
+    def test_initial_no_confusion(self, params):
+        sim = EpochSimulator(params, probes=500)
+        assert not sim.pair.side1.confused.any()
+
+    def test_reproducible(self, params):
+        a = EpochSimulator(params, probes=500)
+        b = EpochSimulator(params, probes=500)
+        assert np.array_equal(a.pair.ring.ids, b.pair.ring.ids)
+        assert np.array_equal(a.pair.red1, b.pair.red1)
+
+
+class TestStep:
+    def test_step_advances_epoch(self, params):
+        sim = EpochSimulator(params, probes=500)
+        rep = sim.step()
+        assert rep.epoch == 1 and sim.epoch == 1
+        assert len(sim.history) == 1
+
+    def test_population_replaced(self, params):
+        sim = EpochSimulator(params, probes=500)
+        old_ids = sim.pair.ring.ids.copy()
+        sim.step()
+        assert not np.array_equal(old_ids, sim.pair.ring.ids)
+
+    def test_two_graphs_builds_both(self, params):
+        sim = EpochSimulator(params, probes=500)
+        rep = sim.step()
+        assert rep.build_2 is not None
+        assert rep.build_1.which == 1 and rep.build_2.which == 2
+
+    def test_single_graph_mode(self, params):
+        sim = EpochSimulator(params, two_graphs=False, probes=500)
+        rep = sim.step()
+        assert rep.build_2 is None
+        assert np.array_equal(sim.pair.red1, sim.pair.red2)
+
+    def test_run_collects_history(self, params):
+        sim = EpochSimulator(params, probes=500)
+        reports = sim.run(3)
+        assert [r.epoch for r in reports] == [1, 2, 3]
+
+    def test_churn_applied(self, params):
+        sim = EpochSimulator(params, churn=UniformChurn(rate=0.1), probes=500)
+        rep = sim.step()
+        assert rep.departures > 0
+
+    def test_ledger_accumulates(self, params):
+        sim = EpochSimulator(params, probes=500)
+        sim.step()
+        m1 = sim.ledger.total_messages()
+        sim.step()
+        assert sim.ledger.total_messages() > m1
+
+    def test_per_epoch_messages_not_cumulative(self, params):
+        sim = EpochSimulator(params, probes=500)
+        r1 = sim.step()
+        r2 = sim.step()
+        # each report carries only its own epoch's build messages
+        assert abs(r2.routing_messages - r1.routing_messages) < r1.routing_messages
+
+    def test_stable_at_low_beta(self, params):
+        sim = EpochSimulator(params, probes=500)
+        reports = sim.run(3)
+        assert all(r.fraction_red < 0.2 for r in reports)
+
+    def test_report_aggregates(self, params):
+        sim = EpochSimulator(params, probes=500)
+        rep = sim.step()
+        assert rep.fraction_red == pytest.approx(
+            0.5 * (rep.fraction_red_1 + rep.fraction_red_2)
+        )
+        assert rep.qf == pytest.approx(0.5 * (rep.qf_1 + rep.qf_2))

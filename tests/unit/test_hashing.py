@@ -1,0 +1,95 @@
+"""Unit tests: random-oracle hashing (repro.idspace.hashing)."""
+
+import numpy as np
+import pytest
+
+from repro.idspace.hashing import OracleSuite, RandomOracle
+
+
+class TestRandomOracle:
+    def test_range(self):
+        h = RandomOracle("t", 0)
+        for x in (0, 1, 0.5, "abc", b"xyz", True):
+            v = h(x)
+            assert 0.0 <= v < 1.0
+
+    def test_deterministic(self):
+        h1 = RandomOracle("t", 7)
+        h2 = RandomOracle("t", 7)
+        assert h1(0.25, 3) == h2(0.25, 3)
+
+    def test_name_separates_oracles(self):
+        assert RandomOracle("a", 0)(1) != RandomOracle("b", 0)(1)
+
+    def test_seed_separates_oracles(self):
+        assert RandomOracle("a", 0)(1) != RandomOracle("a", 1)(1)
+
+    def test_type_tagging_prevents_collisions(self):
+        h = RandomOracle("t", 0)
+        assert h(1) != h(1.0)
+        assert h("1") != h(1)
+        assert h(b"1") != h("1")
+
+    def test_multi_part_inputs(self):
+        h = RandomOracle("t", 0)
+        assert h(1, 2) != h(2, 1)
+        assert h(1, 2) != h(12)
+
+    def test_bool_distinct_from_int(self):
+        h = RandomOracle("t", 0)
+        assert h(True) != h(1)
+
+    def test_unhashable_raises(self):
+        h = RandomOracle("t", 0)
+        with pytest.raises(TypeError):
+            h([1, 2])
+
+    def test_u64(self):
+        h = RandomOracle("t", 0)
+        v = h.u64("x")
+        assert isinstance(v, int) and 0 <= v < 2**64
+
+    def test_many_matches_calls(self):
+        h = RandomOracle("t", 0)
+        arr = h.many(0.5, 5)
+        for i, v in enumerate(arr, start=1):
+            assert v == h(0.5, i)
+
+    def test_many_start_offset(self):
+        h = RandomOracle("t", 0)
+        assert h.many(0.5, 2, start=3)[0] == h(0.5, 3)
+
+    def test_outputs_roughly_uniform(self):
+        h = RandomOracle("u", 0)
+        vals = np.array([h(i) for i in range(2000)])
+        assert abs(vals.mean() - 0.5) < 0.03
+        assert abs((vals < 0.25).mean() - 0.25) < 0.04
+
+    def test_uniform_stream_deterministic(self):
+        h = RandomOracle("t", 0)
+        a = h.uniform_stream("k").random(8)
+        b = h.uniform_stream("k").random(8)
+        assert np.array_equal(a, b)
+
+    def test_uniform_stream_keys_independent(self):
+        h = RandomOracle("t", 0)
+        a = h.uniform_stream("k1").random(8)
+        b = h.uniform_stream("k2").random(8)
+        assert not np.array_equal(a, b)
+
+
+class TestOracleSuite:
+    def test_all_oracles_distinct(self):
+        s = OracleSuite(seed=3)
+        vals = {name: getattr(s, name)(0.5) for name in ("h1", "h2", "f", "g", "h")}
+        assert len(set(vals.values())) == 5
+
+    def test_membership_oracle_selector(self):
+        s = OracleSuite(seed=3)
+        assert s.membership_oracle(1) is s.h1
+        assert s.membership_oracle(2) is s.h2
+        with pytest.raises(ValueError):
+            s.membership_oracle(3)
+
+    def test_suite_reproducible(self):
+        assert OracleSuite(5).h1(1.0) == OracleSuite(5).h1(1.0)

@@ -1,0 +1,177 @@
+"""Unit tests: input-graph topologies and P1-P4 (repro.inputgraph)."""
+
+import numpy as np
+import pytest
+
+from repro.idspace.ring import Ring
+from repro.inputgraph import (
+    PADDING,
+    TOPOLOGIES,
+    make_input_graph,
+    validate_properties,
+)
+
+ALL = sorted(TOPOLOGIES)
+
+
+@pytest.fixture(scope="module")
+def rings():
+    rng = np.random.default_rng(42)
+    return {n: Ring(rng.random(n)) for n in (64, 256)}
+
+
+@pytest.fixture(scope="module")
+def graphs(rings):
+    return {
+        (name, n): make_input_graph(name, ring)
+        for name in ALL
+        for n, ring in rings.items()
+    }
+
+
+@pytest.mark.parametrize("name", ALL)
+class TestRoutingCorrectness:
+    def test_routes_resolve(self, graphs, name):
+        g = graphs[(name, 256)]
+        rng = np.random.default_rng(1)
+        batch = g.random_route_batch(500, rng)
+        assert batch.resolved.all(), f"{name}: unresolved searches"
+
+    def test_path_starts_at_source(self, graphs, name):
+        g = graphs[(name, 256)]
+        rng = np.random.default_rng(2)
+        src = rng.integers(0, g.n, size=50)
+        tgt = rng.random(50)
+        batch = g.route_many(src, tgt)
+        assert (batch.paths[:, 0] == src).all()
+
+    def test_path_ends_at_responsible(self, graphs, name):
+        g = graphs[(name, 256)]
+        rng = np.random.default_rng(3)
+        src = rng.integers(0, g.n, size=50)
+        tgt = rng.random(50)
+        batch = g.route_many(src, tgt)
+        for i in range(50):
+            path = batch.paths[i]
+            last = path[path != PADDING][-1]
+            assert last == batch.responsible[i]
+
+    def test_responsible_is_successor(self, graphs, name):
+        g = graphs[(name, 256)]
+        pts = np.linspace(0.01, 0.99, 17)
+        batch = g.route_many(np.zeros(17, dtype=int), pts)
+        expect = g.ring.successor_index_many(pts)
+        assert (batch.responsible == expect).all()
+
+    def test_self_search(self, graphs, name):
+        """Searching for a point you own terminates immediately-ish."""
+        g = graphs[(name, 64)]
+        own = float(g.ring.ids[5])
+        path, ok = g.route(5, own)
+        assert ok
+        assert path[-1] == 5
+
+    def test_hop_counts_logarithmic(self, graphs, name):
+        g = graphs[(name, 256)]
+        rng = np.random.default_rng(4)
+        batch = g.random_route_batch(400, rng)
+        assert batch.hop_counts.max() <= 4 * np.log2(256) + 8
+
+
+@pytest.mark.parametrize("name", ALL)
+class TestTopology:
+    def test_neighbors_sorted_unique_no_self(self, graphs, name):
+        g = graphs[(name, 256)]
+        for i in range(0, 256, 37):
+            nb = g.neighbors(i)
+            assert (np.diff(nb) > 0).all()
+            assert i not in nb
+
+    def test_verify_link_accepts_real_neighbors(self, graphs, name):
+        g = graphs[(name, 64)]
+        for i in range(0, 64, 11):
+            for u in g.neighbors(i)[:3]:
+                assert g.verify_link(i, int(u))
+
+    def test_verify_link_rejects_non_neighbors(self, graphs, name):
+        g = graphs[(name, 256)]
+        rng = np.random.default_rng(5)
+        rejected = 0
+        for _ in range(50):
+            w = int(rng.integers(256))
+            u = int(rng.integers(256))
+            if u != w and not g.verify_link(w, u):
+                rejected += 1
+        assert rejected > 10  # random pairs are mostly non-neighbors
+
+    def test_degrees_positive(self, graphs, name):
+        g = graphs[(name, 256)]
+        assert (g.degrees() >= 2).all()  # at least ring succ+pred
+
+    def test_csr_consistency(self, graphs, name):
+        g = graphs[(name, 256)]
+        indptr, indices = g.neighbor_lists()
+        assert indptr[0] == 0
+        assert indptr[-1] == indices.size
+        assert (indices >= 0).all() and (indices < g.n).all()
+
+    def test_in_neighbor_counts(self, graphs, name):
+        g = graphs[(name, 256)]
+        cnt = g.in_neighbors_count()
+        assert cnt.sum() == g.neighbor_lists()[1].size
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_properties_p1_p4(graphs, name):
+    g = graphs[(name, 256)]
+    rep = validate_properties(g, probes=4000, rng=np.random.default_rng(6))
+    assert rep.ok(), f"{name}: {rep.satisfied}"
+    assert len(rep.rows()) == 4
+
+
+class TestChordSpecifics:
+    def test_finger_table_shape(self, rings):
+        g = make_input_graph("chord", rings[256])
+        ft = g.finger_table()
+        assert ft.shape == (256, g.finger_count + 2)
+
+    def test_fingers_are_successors_of_offsets(self, rings):
+        g = make_input_graph("chord", rings[64])
+        ring = g.ring
+        for j in range(g.finger_count):
+            pt = (ring.ids[10] + 2.0 ** -(j + 1)) % 1.0
+            assert g.finger_table()[10, j] == ring.successor_index(pt)
+
+    def test_log_degree(self, rings):
+        g = make_input_graph("chord", rings[256])
+        assert g.degrees().mean() <= 3 * np.log2(256)
+
+
+class TestHalvingSpecifics:
+    def test_walk_points_contract(self, rings):
+        g = make_input_graph("distance-halving", rings[64])
+        src = np.array([0.7])
+        tgt = np.array([0.3125])
+        pts = g.walk_points(src, tgt)
+        assert abs(pts[0, -1] - tgt[0]) <= g.base ** -float(g.walk_steps) + 1e-12
+
+    def test_base_three_shorter_walk(self, rings):
+        h2 = make_input_graph("distance-halving", rings[256])
+        h3 = make_input_graph("kautz", rings[256])
+        assert h3.walk_steps < h2.walk_steps
+
+    def test_invalid_base(self, rings):
+        from repro.inputgraph.distance_halving import DistanceHalvingGraph
+
+        with pytest.raises(ValueError):
+            DistanceHalvingGraph(rings[64], base=1)
+
+
+def test_make_input_graph_unknown_name(rings):
+    with pytest.raises(ValueError):
+        make_input_graph("hypercube", rings[64])
+
+
+def test_make_input_graph_accepts_array():
+    g = make_input_graph("chord", np.random.default_rng(0).random(32))
+    assert g.n == 32

@@ -1,0 +1,98 @@
+"""Unit tests: quarantine policy (repro.core.quarantine)."""
+
+import numpy as np
+import pytest
+
+from repro.core.quarantine import QuarantinePolicy, QuarantineState
+
+
+@pytest.fixture
+def state():
+    return QuarantineState(QuarantinePolicy(strikes=3), group_size=12)
+
+
+class TestStrikes:
+    def test_below_threshold_not_quarantined(self, state):
+        state.record_verified_bad(7, epoch=1)
+        state.record_verified_bad(7, epoch=1)
+        assert not state.is_quarantined(7, 1)
+
+    def test_threshold_triggers(self, state):
+        for _ in range(3):
+            triggered = state.record_verified_bad(7, epoch=1)
+        assert triggered
+        assert state.is_quarantined(7, 1)
+
+    def test_agreement_cost_charged_once(self, state):
+        for _ in range(5):
+            state.record_verified_bad(7, epoch=1)
+        # one quarantine decision: one |G|^2-ish broadcast
+        assert state.ledger.messages["group_comm"] == 12 * 11
+
+    def test_independent_senders(self, state):
+        for _ in range(3):
+            state.record_verified_bad(1, epoch=1)
+        assert state.is_quarantined(1, 1)
+        assert not state.is_quarantined(2, 1)
+
+    def test_quarantined_count(self, state):
+        for s in (1, 2):
+            for _ in range(3):
+                state.record_verified_bad(s, epoch=1)
+        assert state.quarantined_count == 2
+
+
+class TestDecay:
+    def test_no_decay_by_default(self, state):
+        for _ in range(3):
+            state.record_verified_bad(7, epoch=1)
+        assert state.is_quarantined(7, epoch=1000)
+
+    def test_decay_forgives(self):
+        st = QuarantineState(
+            QuarantinePolicy(strikes=2, decay_epochs=3), group_size=8
+        )
+        st.record_verified_bad(7, epoch=1)
+        st.record_verified_bad(7, epoch=1)
+        assert st.is_quarantined(7, 2)
+        assert not st.is_quarantined(7, 4)  # 1 + 3 epochs later
+        # strikes reset after forgiveness
+        st.record_verified_bad(7, epoch=4)
+        assert not st.is_quarantined(7, 4)
+
+
+class TestEpochProcessing:
+    def test_spam_blocked_after_threshold(self, state):
+        rng = np.random.default_rng(0)
+        spam = np.arange(5)
+        r1 = state.process_epoch(1, spam, requests_per_sender=4,
+                                 verification_cost=100, rng=rng)
+        assert r1.newly_quarantined == 5
+        # strikes=3 < 4 requests: quarantined mid-epoch, 3 processed each
+        assert r1.requests_processed == 15
+        r2 = state.process_epoch(2, spam, requests_per_sender=4,
+                                 verification_cost=100, rng=rng)
+        assert r2.requests_processed == 0
+        assert r2.verification_messages == 0
+
+    def test_verification_cost_accounting(self, state):
+        rng = np.random.default_rng(0)
+        r = state.process_epoch(1, np.array([1]), requests_per_sender=2,
+                                verification_cost=50, rng=rng)
+        assert r.verification_messages == 100
+
+    def test_honest_false_quarantine_rare(self, state):
+        rng = np.random.default_rng(0)
+        honest = np.arange(100, 400)
+        hit = state.process_honest_epoch(
+            1, honest, requests_per_sender=5, qf=0.05, rng=rng
+        )
+        # expected strikes ~ 300*5*0.0025 = 3.75, quarantines need 3 each
+        assert hit <= 3
+
+    def test_honest_unharmed_at_zero_qf(self, state):
+        rng = np.random.default_rng(0)
+        hit = state.process_honest_epoch(
+            1, np.arange(50), requests_per_sender=10, qf=0.0, rng=rng
+        )
+        assert hit == 0

@@ -1,0 +1,82 @@
+"""Unit tests: epoch-map regime analysis (repro.analysis.regimes)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.regimes import (
+    epoch_map_analysis,
+    iterate_epoch_map,
+    minimum_d2_for_stability,
+)
+from repro.core.params import SystemParams
+
+
+class TestEpochMapAnalysis:
+    def test_small_beta_big_groups_stable(self):
+        p = SystemParams(n=2**20, beta=0.05, d2=14.0, d1=3.0)
+        rep = epoch_map_analysis(p)
+        assert rep.stable
+        assert rep.fixed_point is not None
+        assert rep.fixed_point < 10 * rep.p_comp
+        assert rep.contraction_slope < 1.0
+
+    def test_tiny_groups_high_beta_unstable(self):
+        p = SystemParams(n=2**20, beta=0.15, d1=1.0, d2=4.0)
+        rep = epoch_map_analysis(p)
+        assert not rep.stable
+        assert rep.margin < 0
+
+    def test_margin_sign_matches_stability(self):
+        for beta, d2 in ((0.05, 12.0), (0.12, 4.0), (0.08, 8.0)):
+            p = SystemParams(n=2**16, beta=beta, d1=d2 / 4, d2=d2)
+            rep = epoch_map_analysis(p)
+            assert rep.stable == (rep.margin > 0 and rep.contraction_slope < 1)
+
+    def test_fixed_point_is_fixed(self):
+        p = SystemParams(n=2**20, beta=0.05, d2=14.0, d1=3.0)
+        rep = epoch_map_analysis(p)
+        f = rep.p_comp + rep.K * rep.fixed_point**2
+        assert f == pytest.approx(rep.fixed_point, rel=1e-9)
+
+
+class TestMinimumD2:
+    def test_monotone_in_beta(self):
+        lo = minimum_d2_for_stability(SystemParams(n=2**16, beta=0.05))
+        hi = minimum_d2_for_stability(SystemParams(n=2**16, beta=0.12))
+        assert hi > lo
+
+    def test_threshold_is_tight(self):
+        params = SystemParams(n=2**16, beta=0.08)
+        m = minimum_d2_for_stability(params)
+        assert epoch_map_analysis(params, m=m).stable
+        assert not epoch_map_analysis(params, m=m - 1).stable
+
+    def test_stays_loglog_scale(self):
+        """The stability requirement grows like log log n, not log n —
+        the whole point of the paper."""
+        m_small = minimum_d2_for_stability(SystemParams(n=2**10, beta=0.05))
+        m_large = minimum_d2_for_stability(SystemParams(n=2**30, beta=0.05))
+        assert m_large <= 3 * m_small
+
+
+class TestIteration:
+    def test_dual_converges_in_stable_regime(self):
+        p = SystemParams(n=2**20, beta=0.05, d2=14.0, d1=3.0)
+        traj = iterate_epoch_map(p, epochs=12, dual=True)
+        rep = epoch_map_analysis(p)
+        assert traj[-1] == pytest.approx(rep.fixed_point, rel=0.01)
+
+    def test_single_escapes(self):
+        p = SystemParams(n=2**20, beta=0.05, d2=14.0, d1=3.0)
+        traj = iterate_epoch_map(p, epochs=12, dual=False)
+        assert traj[-1] == 1.0
+
+    def test_trajectory_monotone_from_below(self):
+        p = SystemParams(n=2**20, beta=0.05, d2=14.0, d1=3.0)
+        traj = iterate_epoch_map(p, epochs=8, dual=True, p0=1e-9)
+        assert all(a <= b + 1e-15 for a, b in zip(traj, traj[1:]))
+
+    def test_custom_start(self):
+        p = SystemParams(n=2**20, beta=0.05, d2=14.0, d1=3.0)
+        traj = iterate_epoch_map(p, epochs=1, dual=True, p0=0.5)
+        assert traj[0] == 0.5

@@ -1,0 +1,155 @@
+"""Unit tests: unit-ring ID space (repro.idspace.ring)."""
+
+import numpy as np
+import pytest
+
+from repro.idspace.ring import (
+    Ring,
+    cw_dist,
+    cw_dist_many,
+    estimate_ln_ln_n,
+    estimate_ln_n,
+    in_cw_interval,
+)
+
+
+class TestCwDist:
+    def test_zero_for_same_point(self):
+        assert cw_dist(0.3, 0.3) == 0.0
+
+    def test_simple_forward(self):
+        assert cw_dist(0.2, 0.5) == pytest.approx(0.3)
+
+    def test_wraps_through_one(self):
+        assert cw_dist(0.9, 0.1) == pytest.approx(0.2)
+
+    def test_complementary(self):
+        a, b = 0.13, 0.77
+        assert cw_dist(a, b) + cw_dist(b, a) == pytest.approx(1.0)
+
+    def test_vectorized_matches_scalar(self):
+        a = np.array([0.1, 0.9, 0.5])
+        b = np.array([0.2, 0.1, 0.5])
+        out = cw_dist_many(a, b)
+        for i in range(3):
+            assert out[i] == pytest.approx(cw_dist(a[i], b[i]))
+
+    def test_broadcasting(self):
+        out = cw_dist_many(0.5, np.array([0.6, 0.4]))
+        assert out[0] == pytest.approx(0.1)
+        assert out[1] == pytest.approx(0.9)
+
+
+class TestInCwInterval:
+    def test_inside_plain(self):
+        assert in_cw_interval(0.3, 0.2, 0.5)
+
+    def test_start_excluded(self):
+        assert not in_cw_interval(0.2, 0.2, 0.5)
+
+    def test_end_included(self):
+        assert in_cw_interval(0.5, 0.2, 0.5)
+
+    def test_wrap(self):
+        assert in_cw_interval(0.05, 0.9, 0.1)
+        assert not in_cw_interval(0.5, 0.9, 0.1)
+
+    def test_empty_interval(self):
+        assert not in_cw_interval(0.3, 0.4, 0.4)
+
+
+class TestRing:
+    def test_requires_ids(self):
+        with pytest.raises(ValueError):
+            Ring([])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Ring([0.5, 1.0])
+        with pytest.raises(ValueError):
+            Ring([-0.1, 0.5])
+
+    def test_dedupes(self):
+        r = Ring([0.5, 0.5, 0.25])
+        assert r.n == 2
+
+    def test_sorted(self):
+        r = Ring([0.9, 0.1, 0.5])
+        assert list(r.ids) == [0.1, 0.5, 0.9]
+
+    def test_successor_basic(self):
+        r = Ring([0.1, 0.5, 0.9])
+        assert r.successor(0.2) == 0.5
+        assert r.successor(0.05) == 0.1
+
+    def test_successor_wraps(self):
+        r = Ring([0.1, 0.5, 0.9])
+        assert r.successor(0.95) == 0.1
+
+    def test_id_is_own_successor(self):
+        r = Ring([0.1, 0.5, 0.9])
+        assert r.successor(0.5) == 0.5
+
+    def test_successor_many_matches_scalar(self, small_ring):
+        pts = np.linspace(0, 0.999, 37)
+        many = small_ring.successor_index_many(pts)
+        for p, idx in zip(pts, many):
+            assert idx == small_ring.successor_index(float(p))
+
+    def test_predecessor_index(self):
+        r = Ring([0.1, 0.5, 0.9])
+        assert r.predecessor_index(0.2) == 0   # first ID ccw of 0.2 is 0.1
+        assert r.predecessor_index(0.05) == 2  # wraps to 0.9
+
+    def test_pred_succ_of_index_roundtrip(self, small_ring):
+        for i in (0, 5, small_ring.n - 1):
+            assert small_ring.predecessor_index_of(small_ring.successor_index_of(i)) == i
+
+    def test_arc_lengths_sum_to_one(self, small_ring):
+        assert small_ring.arc_lengths().sum() == pytest.approx(1.0)
+
+    def test_arc_lengths_positive(self, small_ring):
+        assert (small_ring.arc_lengths() > 0).all()
+
+    def test_responsible_fraction_all(self, small_ring):
+        mask = np.ones(small_ring.n, dtype=bool)
+        assert small_ring.responsible_fraction(mask) == pytest.approx(1.0)
+
+    def test_index_of_and_contains(self):
+        r = Ring([0.1, 0.5, 0.9])
+        assert r.index_of(0.5) == 1
+        assert r.contains(0.9)
+        assert not r.contains(0.2)
+        with pytest.raises(KeyError):
+            r.index_of(0.2)
+
+    def test_len(self, small_ring):
+        assert len(small_ring) == small_ring.n
+
+    def test_ids_are_read_only(self, small_ring):
+        with pytest.raises(ValueError):
+            small_ring.ids[0] = 0.0
+
+
+class TestLnEstimation:
+    def test_estimate_ln_n_order_of_magnitude(self):
+        for n in (128, 1024, 8192):
+            ids = np.random.default_rng(n).random(n)
+            est = estimate_ln_n(ids)
+            true = np.log(n)
+            # constant-factor estimate (paper footnote 15)
+            assert 0.5 * true <= est <= 2.5 * true
+
+    def test_estimate_robust_to_omission(self):
+        # adversary omitting IDs only widens gaps: estimate shifts O(1)
+        rng = np.random.default_rng(3)
+        ids = rng.random(4096)
+        full = estimate_ln_n(ids)
+        kept = ids[(ids < 0.25) | (ids > 0.5)]  # omit a quarter of the ring
+        part = estimate_ln_n(kept)
+        assert abs(full - part) < 2.0
+
+    def test_estimate_ln_ln_n(self):
+        ids = np.random.default_rng(9).random(4096)
+        est = estimate_ln_ln_n(ids)
+        assert 0.5 * np.log(np.log(4096)) <= est <= 2.5 * np.log(np.log(4096))

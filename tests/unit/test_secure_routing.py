@@ -1,0 +1,120 @@
+"""Unit tests: secure routing + majority filtering (repro.core.secure_routing)."""
+
+import numpy as np
+import pytest
+
+from repro.core.costs import CostLedger
+from repro.core.group_graph import GroupGraph
+from repro.core.params import SystemParams
+from repro.core.secure_routing import SecureRouter, majority_filter
+from repro.inputgraph import make_input_graph
+
+
+@pytest.fixture
+def H():
+    return make_input_graph("chord", np.random.default_rng(11).random(128))
+
+
+@pytest.fixture
+def params():
+    return SystemParams(n=128, seed=0)
+
+
+class TestMajorityFilter:
+    def test_empty(self):
+        assert majority_filter([]) is None
+
+    def test_unanimous(self):
+        assert majority_filter(["v"] * 5) == "v"
+
+    def test_strict_majority_needed(self):
+        assert majority_filter(["a", "a", "b", "b"]) is None
+
+    def test_majority_wins(self):
+        assert majority_filter(["a", "a", "a", "b", "b"]) == "a"
+
+    def test_adversary_split_votes_cannot_win(self):
+        # 3 good same value vs 2 bad split: good value still majority
+        assert majority_filter(["v", "v", "v", "x", "y"]) == "v"
+
+    def test_exactly_half_is_dropped(self):
+        assert majority_filter(["v", "x"]) is None
+
+
+class TestSecureRouter:
+    def test_all_blue_delivers(self, H, params):
+        gg = GroupGraph(H, params, red=np.zeros(H.n, dtype=bool))
+        router = SecureRouter(gg)
+        out = router.search(3, 0.7, payload="DATA")
+        assert out.delivered and not out.corrupted
+        assert out.hops >= 0
+        assert out.messages > 0
+
+    def test_red_on_path_corrupts(self, H, params):
+        path, _ = H.route(3, 0.7)
+        if len(path) >= 2:
+            red = np.zeros(H.n, dtype=bool)
+            red[path[1]] = True
+            gg = GroupGraph(H, params, red=red)
+            router = SecureRouter(gg)
+            out = router.search(3, 0.7)
+            assert out.corrupted and not out.delivered
+
+    def test_red_source_corrupts(self, H, params):
+        red = np.zeros(H.n, dtype=bool)
+        red[3] = True
+        gg = GroupGraph(H, params, red=red)
+        out = SecureRouter(gg).search(3, 0.7)
+        assert out.corrupted
+
+    def test_minority_bad_members_filtered(self, H, params):
+        """Groups with a bad minority still deliver (the whole point)."""
+        from repro.core.groups import build_groups_fast, classify_groups
+
+        rng = np.random.default_rng(0)
+        bad = rng.random(H.n) < 0.05
+        gs = build_groups_fast(H.ring, params, rng)
+        q = classify_groups(gs, bad, params)
+        gg = GroupGraph(H, params, red=q.is_bad.copy(), groups=gs)
+        router = SecureRouter(gg, bad)
+        delivered = sum(
+            router.search(int(rng.integers(H.n)), float(rng.random())).delivered
+            for _ in range(30)
+        )
+        assert delivered >= 25
+
+    def test_messages_charged_to_ledger(self, H, params):
+        gg = GroupGraph(H, params, red=np.zeros(H.n, dtype=bool))
+        led = CostLedger()
+        out = SecureRouter(gg).search(3, 0.7, ledger=led)
+        assert led.messages.get("routing", 0) == out.messages
+
+    def test_message_count_is_size_product_sum(self, H, params):
+        sizes = np.full(H.n, 4, dtype=np.int64)
+        gg = GroupGraph(H, params, red=np.zeros(H.n, dtype=bool), group_sizes=sizes)
+        out = SecureRouter(gg).search(3, 0.7)
+        assert out.messages == out.hops * 16
+
+    def test_search_cost_batch(self, H, params):
+        gg = GroupGraph(H, params, red=np.zeros(H.n, dtype=bool))
+        per_search, led = SecureRouter(gg).search_cost_batch(
+            200, np.random.default_rng(1)
+        )
+        s = params.group_solicit_size
+        # per-search cost ~ hops * |G|^2
+        assert per_search > s * s  # at least one hop
+        assert led.messages["routing"] == pytest.approx(per_search * 200)
+
+
+class TestChannel:
+    def test_transmit_correct_with_good_majority(self):
+        from repro.agreement import transmit
+
+        out = transmit(5, 4, 8, "v")
+        assert out.correct and out.messages == 72
+
+    def test_transmit_fails_with_bad_majority(self):
+        from repro.agreement import transmit
+
+        out = transmit(4, 5, 8, "v")
+        assert not out.correct

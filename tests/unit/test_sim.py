@@ -1,0 +1,109 @@
+"""Unit tests: simulation substrate (repro.sim)."""
+
+import numpy as np
+import pytest
+
+from repro.sim import child, make_rng, spawn, stream_for
+from repro.sim.engine import SyncEngine
+from repro.sim.metrics import MetricsRecorder
+from repro.sim.montecarlo import run_trials, wilson_interval
+
+
+class TestRng:
+    def test_make_rng_deterministic(self):
+        assert make_rng(5).random() == make_rng(5).random()
+
+    def test_spawn_independent(self):
+        rng = make_rng(0)
+        a, b = spawn(rng, 2)
+        assert a.random() != b.random()
+
+    def test_spawn_reproducible(self):
+        xs = [c.random() for c in spawn(make_rng(1), 3)]
+        ys = [c.random() for c in spawn(make_rng(1), 3)]
+        assert xs == ys
+
+    def test_child(self):
+        assert child(make_rng(0)).random() == child(make_rng(0)).random()
+
+    def test_stream_for_tags(self):
+        assert stream_for(0, "a").random() == stream_for(0, "a").random()
+        assert stream_for(0, "a").random() != stream_for(0, "b").random()
+
+
+class TestEngine:
+    def test_flood(self):
+        """Messages seeded at node 0 flood a 4-node line in 3 rounds."""
+        eng = SyncEngine(4)
+        eng.seed(0, "tok")
+        seen = set()
+
+        def handler(node, rnd, inbox):
+            out = []
+            for msg in inbox:
+                if node not in seen:
+                    seen.add(node)
+                    if node + 1 < 4:
+                        out.append((node + 1, msg))
+            return out
+
+        eng.run(4, handler)
+        assert seen == {0, 1, 2, 3}
+        assert eng.total_messages() == 3
+
+    def test_round_stats(self):
+        eng = SyncEngine(2)
+        eng.seed(0, "x")
+        eng.run(2, lambda n, r, inbox: [(1, m) for m in inbox])
+        assert len(eng.stats) == 2
+        assert eng.stats[0].messages == 1
+
+
+class TestMonteCarlo:
+    def test_run_trials_mean(self):
+        res = run_trials(lambda rng: rng.random(), 200, make_rng(0))
+        assert res.mean == pytest.approx(0.5, abs=0.06)
+        assert res.lo <= res.mean <= res.hi
+
+    def test_run_trials_reproducible(self):
+        a = run_trials(lambda rng: rng.random(), 20, make_rng(3))
+        b = run_trials(lambda rng: rng.random(), 20, make_rng(3))
+        assert a.mean == b.mean
+
+    def test_wilson_bounds(self):
+        lo, hi = wilson_interval(5, 10)
+        assert 0.0 <= lo < 0.5 < hi <= 1.0
+
+    def test_wilson_degenerate(self):
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+
+    def test_wilson_zero_successes(self):
+        lo, hi = wilson_interval(0, 500)
+        assert lo == 0.0 and hi < 0.02
+
+
+class TestMetrics:
+    def test_record_and_get(self):
+        m = MetricsRecorder()
+        m.record("x", 1.0)
+        m.record("x", 2.0)
+        assert list(m.get("x")) == [1.0, 2.0]
+
+    def test_record_many(self):
+        m = MetricsRecorder()
+        m.record_many(a=1.0, b=2.0)
+        assert m.last("a") == 1.0 and m.last("b") == 2.0
+
+    def test_last_missing_raises(self):
+        with pytest.raises(KeyError):
+            MetricsRecorder().last("nope")
+
+    def test_summary(self):
+        m = MetricsRecorder()
+        for v in (1.0, 3.0):
+            m.record("x", v)
+        s = m.summary("x")
+        assert s["mean"] == 2.0 and s["count"] == 2
+
+    def test_summary_empty(self):
+        assert MetricsRecorder().summary("none") == {"count": 0}

@@ -1,0 +1,98 @@
+"""Unit tests: simulated ZK verification (repro.pow.zk)."""
+
+import numpy as np
+import pytest
+
+from repro.idspace.hashing import OracleSuite
+from repro.pow.puzzles import PuzzleScheme, Solution
+from repro.pow.zk import ZKProver, ZKVerifier, run_zk_verification
+
+
+@pytest.fixture
+def scheme():
+    return PuzzleScheme(OracleSuite(seed=3), epoch_length=100)
+
+
+@pytest.fixture
+def solution(scheme):
+    rng = np.random.default_rng(0)
+    sols = scheme.mint_oracle(r_string=0xAA, trials=3000, rng=rng, max_solutions=1)
+    assert sols
+    return sols[0]
+
+
+class TestCompleteness:
+    def test_honest_prover_accepted(self, scheme, solution):
+        t = run_zk_verification(scheme, solution, r_string=0xAA)
+        assert t.accepted
+
+    def test_many_sessions_all_accept(self, scheme, solution):
+        for seed in range(5):
+            t = run_zk_verification(
+                scheme, solution, 0xAA, prover_seed=seed, verifier_seed=seed + 50
+            )
+            assert t.accepted
+
+
+class TestSoundness:
+    def test_forged_solution_rejected(self, scheme, solution):
+        fake = Solution(
+            id_value=solution.id_value,  # claims the same ID
+            nonce=solution.nonce ^ 0xDEAD,  # without knowing the real nonce
+            r_string=solution.r_string,
+            epoch=solution.epoch,
+        )
+        t = run_zk_verification(scheme, fake, 0xAA, rounds=16)
+        assert not t.accepted
+
+    def test_expired_string_rejected(self, scheme, solution):
+        t = run_zk_verification(scheme, solution, r_string=0xBB)
+        assert not t.accepted
+
+    def test_soundness_error_drops_with_rounds(self, scheme, solution):
+        """With challenge bit 1 forced-failing for cheaters, acceptance
+        requires all-zero challenges: probability 2^-rounds."""
+        fake = Solution(solution.id_value, 12345, solution.r_string, 0)
+        accepted = sum(
+            run_zk_verification(
+                scheme, fake, 0xAA, rounds=8, verifier_seed=s
+            ).accepted
+            for s in range(30)
+        )
+        assert accepted <= 1  # 30 * 2^-8 ~ 0.12 expected
+
+
+class TestZeroKnowledge:
+    def test_transcript_never_contains_nonce(self, scheme, solution):
+        t = run_zk_verification(scheme, solution, 0xAA)
+        leaked = set(t.commitments) | set(t.responses) | set(t.challenges)
+        assert solution.nonce not in leaked
+
+    def test_transcripts_fresh_per_session(self, scheme, solution):
+        t1 = run_zk_verification(scheme, solution, 0xAA, prover_seed=1)
+        t2 = run_zk_verification(scheme, solution, 0xAA, prover_seed=2)
+        assert t1.commitments != t2.commitments  # fresh blinders each time
+
+    def test_replay_cannot_reprove(self, scheme, solution):
+        """A thief holding a full transcript (but not sigma) cannot answer
+        fresh challenges: re-running verification with a forged solution
+        built from transcript data fails."""
+        t = run_zk_verification(scheme, solution, 0xAA)
+        stolen_nonce = t.commitments[0]  # best the thief has: a commitment
+        thief = Solution(t.claimed_id, stolen_nonce, 0xAA, 0)
+        t2 = run_zk_verification(scheme, thief, 0xAA, verifier_seed=777)
+        assert not t2.accepted
+
+
+class TestProtocolShape:
+    def test_rounds_respected(self, scheme, solution):
+        prover = ZKProver(solution, scheme)
+        verifier = ZKVerifier(scheme, rounds=9)
+        t = verifier.verify(prover, 0xAA)
+        assert len(t.commitments) == 9
+        assert len(t.challenges) == 9
+        assert len(t.responses) == 9
+
+    def test_challenges_binary(self, scheme, solution):
+        t = run_zk_verification(scheme, solution, 0xAA)
+        assert set(t.challenges) <= {0, 1}

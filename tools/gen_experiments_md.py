@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Regenerate EXPERIMENTS.md from benchmarks/output/*.txt.
+
+Run the benchmark suite first (it writes the rendered tables), then this
+script assembles them with the paper-claim commentary:
+
+    pytest benchmarks/ --benchmark-only
+    python tools/gen_experiments_md.py
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUTPUT = ROOT / "benchmarks" / "output"
+
+CLAIMS = {
+    "E1": (
+        "Lemma 1 / P4 — responsibility `rho(G_v) = O(log^c n / n)`",
+        "Paper: the probability any fixed group lies on a random search path "
+        "is bounded by the input graph's congestion. Expected shape: max "
+        "responsibility under the bound at every n, shrinking ~log^c n / n.",
+    ),
+    "E2": (
+        "Lemmas 2-4 — static failure probability `X = O(p_f log^c n)`",
+        "Paper: with groups red i.i.d. at rate p_f, the search failure "
+        "probability is linear in p_f with slope = expected traversed "
+        "groups; success >= 1 - O(1/log^(k-c) n) at p_f = 1/log^k n. "
+        "Expected shape: constant X/p_f slope across the sweep.",
+    ),
+    "E3": (
+        "§I-C / Lemma 7 — bad-group probability vs group size",
+        "Paper: a u.a.r. group of size d ln ln n has a bad majority with "
+        "probability 1/poly(log n) (Chernoff). Expected shape: measured "
+        "fraction tracks the exact binomial tail; the notes give the "
+        "headline log log n vs log n sizes per target.",
+    ),
+    "E4": (
+        "Theorem 3 — ε-robustness maintained over epochs under churn",
+        "Paper: over polynomially many joins/departures all but a "
+        "1/poly(log n) fraction of groups stay good. Expected shape: flat "
+        "red-fraction series across epochs (no drift), eps within envelope.",
+    ),
+    "E5": (
+        "§III motivation — two group graphs vs one (ablation)",
+        "Paper: a single group graph accumulates error (capture rate q_f); "
+        "two graphs square it (q_f^2). Expected shape: one-transition red "
+        "fraction quadratically smaller for dual; analytic map shows single "
+        "escaping to 1 while dual converges.",
+    ),
+    "E6": (
+        "Corollary 1 — cost comparison vs Θ(log n) groups",
+        "Paper: group comm O(poly(log log n)), routing O(D poly(log log n)), "
+        "state O(poly(log log n)). Expected shape: classic/tiny routing "
+        "ratio ~(log n / log log n)^2, growing with n.",
+    ),
+    "E7": (
+        "Lemma 10 — per-ID state",
+        "Paper: each good ID belongs to O(log log n) groups in expectation "
+        "and erroneously accepts O(1) spam requests. Expected shape: mean "
+        "memberships ~ d2 ln ln n; spam accepts ~ spam * q_f^2.",
+    ),
+    "E8": (
+        "Lemma 11 — PoW bounds the adversary to (1+eps)βn u.a.r. IDs",
+        "Paper: compute-bounded minting over the 1.5-epoch window; the "
+        "two-hash composition makes placement u.a.r. Expected shape: count "
+        "within budget; KS accepts uniformity for two-hash, rejects for the "
+        "one-hash ablation (aimed IDs).",
+    ),
+    "E9": (
+        "Lemma 12 / App. VIII — global random-string propagation",
+        "Paper: every good ID's chosen string lands in every solution set; "
+        "|R| = O(ln n); messages O~(n ln T). Expected shape: agreement "
+        "holds in all scenarios including delayed release; the forced-min "
+        "variant breaks unanimity of s* but not verifiability.",
+    ),
+    "E10": (
+        "§IV-B — pre-computation attack",
+        "Paper: without fresh strings the adversary hoards solutions and "
+        "floods; with them the usable hoard is capped at the 1.5-epoch "
+        "window. Expected shape: bad fraction grows to majority loss "
+        "without defense, flat ~25% with it.",
+    ),
+    "E11": (
+        "§I-D — group-size limits (`can we do better?`)",
+        "Paper: Θ(log log n) is the knee — below it a union bound over D "
+        "traversed groups exceeds 1. Expected shape: theory sizes grow "
+        "log log n vs log n; measured failure collapses below the knee.",
+    ),
+    "E12": (
+        "§I-B / [47] — cuckoo-rule comparison",
+        "Paper quotes Sen-Freedman: n=8192, beta~0.002 needs |G|=64 for "
+        "1e5 events. Expected shape: survival grows steeply with |G|; tiny "
+        "groups need none of it because PoW throttles rejoins.",
+    ),
+    "E13": (
+        "§I footnote 2 — quarantine damps spam",
+        "Paper: group members agree to ignore an ID that misbehaves too "
+        "often. Expected shape: per-epoch processed spam drops to ~0 after "
+        "the threshold epoch while honest traffic is untouched.",
+    ),
+    "E14": (
+        "§I footnote 2 / §I-A — redundant storage durability",
+        "Paper: data stored at all group members survives as long as the "
+        "group keeps a good majority. Expected shape: object availability "
+        "~(1 - eps) under churn with repair, collapsing without repair "
+        "only after the churn cap is violated.",
+    ),
+    "E15": (
+        "§III remark — system size Θ(n) drift",
+        "Paper: the guarantees hold when the population varies by a "
+        "constant factor. Expected shape: red fraction stays pinned while "
+        "n oscillates within [n/2, 2n].",
+    ),
+    "F1": (
+        "Figure 1 — secure search microbenchmark",
+        "The all-to-all + majority-filter search of Figure 1, measured: "
+        "hop counts, failure rate, and message cost vs the classic "
+        "construction.",
+    ),
+}
+
+HEADER = """\
+# EXPERIMENTS — paper claims vs measured results
+
+Generated from `benchmarks/output/` (run `pytest benchmarks/
+--benchmark-only` to refresh, then `python tools/gen_experiments_md.py`).
+
+The paper is a theory/protocol paper: its "tables and figures" are the
+quantitative claims of Theorem 3, Corollary 1, Lemmas 1-12, the §I-D scaling
+argument, and the related-work numbers it quotes ([47]).  DESIGN.md §3 maps
+each to the experiment reproduced below.  Absolute numbers depend on the
+simulator's constants; the **shapes** (who wins, scaling exponents, where
+knees sit, flat-vs-diverging series) are the reproduction targets, and each
+section states the expected shape next to the measured table.
+
+"""
+
+
+def main() -> None:
+    parts = [HEADER]
+    order = sorted(
+        CLAIMS, key=lambda k: (k[0] != "E", int(k[1:]) if k[1:].isdigit() else 0)
+    )
+    for key in order:
+        title, commentary = CLAIMS[key]
+        parts.append(f"## {key} — {title}\n\n{commentary}\n")
+        path = OUTPUT / f"{key.lower()}.txt"
+        if path.exists():
+            parts.append("```text\n" + path.read_text().rstrip() + "\n```\n")
+        else:
+            parts.append("_(table not yet generated — run the benchmarks)_\n")
+    (ROOT / "EXPERIMENTS.md").write_text("\n".join(parts))
+    print(f"wrote {ROOT / 'EXPERIMENTS.md'}")
+
+
+if __name__ == "__main__":
+    main()
