@@ -1,0 +1,78 @@
+"""Bench parallel — serial vs process-backend wall clock (+ parity).
+
+The acceptance bar for the parallel execution engine: on a >= 4-core host
+the process backend runs a representative experiment (E12, the [47] cuckoo
+churn rerun — embarrassingly parallel across its (construction, |G|)
+cases) at >= 2x serial wall clock, while producing the *identical* table.
+On smaller hosts the timings are still recorded to
+``benchmarks/output/timings.txt`` but the speedup assertion is skipped
+(process pools cannot beat serial on one core).
+
+Run with::
+
+    pytest benchmarks/bench_parallel.py -s
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_experiment
+from repro.sim import ExecutionConfig, make_rng, run_trials, run_trials_parallel
+
+CORES = os.cpu_count() or 1
+# at least 2 so the process engine is genuinely exercised (a 1-worker pool
+# short-circuits to serial and would record a mislabeled timing)
+WORKERS = max(2, min(4, CORES))
+
+# E12 at a scale where each churn case is meaty enough to amortize spawn
+E12_KWARGS = dict(seed=0, fast=True, n=2048, sizes=(8, 16, 32, 64),
+                  events=10_000)
+
+
+def _spin_trial(rng: np.random.Generator) -> float:
+    """A compute-heavy picklable trial (~ms of NumPy work per call)."""
+    x = rng.random(20_000)
+    for _ in range(20):
+        x = np.sqrt(x * x + 1e-9)
+    return float(x.mean())
+
+
+def test_bench_e12_serial_vs_process(timing_sink):
+    serial_table, t_serial = timing_sink(
+        "E12", "serial", 1, lambda: run_experiment("E12", **E12_KWARGS)
+    )
+    cfg = ExecutionConfig(backend="process", workers=WORKERS)
+    par_table, t_par = timing_sink(
+        "E12", "process", WORKERS,
+        lambda: run_experiment("E12", exec_config=cfg, **E12_KWARGS),
+    )
+    assert serial_table.rows == par_table.rows  # parity is unconditional
+    if CORES >= 4:
+        assert t_serial / t_par >= 2.0, (
+            f"expected >= 2x speedup on {CORES} cores; "
+            f"serial {t_serial:.2f}s vs process {t_par:.2f}s"
+        )
+
+
+def test_bench_run_trials_serial_vs_process(timing_sink):
+    trials = 64
+    serial, t_serial = timing_sink(
+        "run_trials", "serial", 1,
+        lambda: run_trials(_spin_trial, trials, make_rng(0)),
+    )
+    par, t_par = timing_sink(
+        "run_trials", "process", WORKERS,
+        lambda: run_trials_parallel(
+            _spin_trial, trials, make_rng(0), workers=WORKERS
+        ),
+    )
+    assert np.array_equal(serial.values, par.values)  # bit-identical
+    if CORES >= 4:
+        assert t_serial / t_par >= 2.0, (
+            f"expected >= 2x speedup on {CORES} cores; "
+            f"serial {t_serial:.2f}s vs process {t_par:.2f}s"
+        )

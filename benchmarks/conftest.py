@@ -8,11 +8,17 @@ experiments to paper claims).  Run with::
 ``-s`` shows the reproduced tables; timings come from pytest-benchmark.
 Rendered tables are also written to ``benchmarks/output/`` so EXPERIMENTS.md
 can be regenerated without scraping stdout.
+
+``bench_parallel.py`` additionally records serial-vs-parallel wall-clock
+through the ``timing_sink`` fixture: each backend run appends a
+``name backend workers seconds`` line to ``benchmarks/output/timings.txt``
+so speedup across execution backends is tracked next to the tables.
 """
 
 from __future__ import annotations
 
 import pathlib
+import time
 
 import pytest
 
@@ -30,3 +36,28 @@ def table_sink():
         (OUTPUT_DIR / f"{table.experiment.lower()}.txt").write_text(rendered + "\n")
 
     return write
+
+
+@pytest.fixture(scope="session")
+def timing_sink():
+    """Record backend timings: ``record(name, backend, workers, fn)``.
+
+    Times ``fn()`` once, appends a ``name backend workers seconds`` line to
+    ``output/timings.txt``, and returns ``(result, seconds)`` so callers can
+    also assert content parity between backends.
+    """
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    path = OUTPUT_DIR / "timings.txt"
+    path.write_text("# name backend workers seconds\n")
+
+    def record(name: str, backend: str, workers: int, fn):
+        t0 = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - t0
+        with path.open("a") as fh:
+            fh.write(f"{name} {backend} {workers} {elapsed:.3f}\n")
+        print(f"[timing] {name} backend={backend} workers={workers}: "
+              f"{elapsed:.2f}s")
+        return result, elapsed
+
+    return record

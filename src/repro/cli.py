@@ -2,8 +2,12 @@
 
 Commands
 --------
-``experiments [IDs...]``
+``experiments [IDs...] [--workers W] [--backend B]``
     Run experiments (default: all) and print their tables.
+    ``--backend`` selects the trial-loop execution backend (``serial`` |
+    ``process`` | ``vectorized``); ``--workers`` sizes the ``process``
+    pool (default: CPU count).  The ``process`` backend is bit-identical
+    to serial for a fixed ``--seed``.
 ``validate TOPOLOGY [-n N]``
     Build an input graph and check properties P1-P4.
 ``simulate [-n N] [--beta B] [--epochs E] [--churn R]``
@@ -22,12 +26,16 @@ import numpy as np
 
 def _cmd_experiments(args) -> int:
     from .experiments import EXPERIMENTS, run_experiment
+    from .sim.montecarlo import ExecutionConfig
 
+    exec_config = ExecutionConfig(backend=args.backend, workers=args.workers)
     names = [n.upper() for n in (args.ids or sorted(
         EXPERIMENTS, key=lambda k: int(k[1:])
     ))]
     for name in names:
-        table = run_experiment(name, seed=args.seed, fast=not args.full)
+        table = run_experiment(
+            name, seed=args.seed, fast=not args.full, exec_config=exec_config
+        )
         print(table.render())
         print()
     return 0
@@ -82,6 +90,13 @@ def _cmd_info(args) -> int:
     return 0
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(prog="repro", description=__doc__)
     p.add_argument("--seed", type=int, default=0)
@@ -90,6 +105,17 @@ def build_parser() -> argparse.ArgumentParser:
     pe = sub.add_parser("experiments", help="run experiment tables")
     pe.add_argument("ids", nargs="*", help="experiment IDs (default: all)")
     pe.add_argument("--full", action="store_true", help="full (slow) scale")
+    pe.add_argument(
+        "--backend", choices=["serial", "process", "vectorized"],
+        default="serial",
+        help="trial-loop execution backend (process is bit-identical to "
+             "serial for a fixed seed; vectorized falls back to serial "
+             "with a warning until an experiment supplies a batch trial)",
+    )
+    pe.add_argument(
+        "--workers", type=_positive_int, default=None,
+        help="process-pool size for --backend process (default: CPU count)",
+    )
     pe.set_defaults(fn=_cmd_experiments)
 
     pv = sub.add_parser("validate", help="check P1-P4 on a topology")

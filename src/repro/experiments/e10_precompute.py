@@ -16,6 +16,7 @@ from ..analysis.tables import TableResult
 from ..idspace.hashing import OracleSuite
 from ..pow.precompute import simulate_precompute_attack
 from ..pow.puzzles import PuzzleScheme
+from ..sim.montecarlo import ExecutionConfig
 
 __all__ = ["run"]
 
@@ -27,6 +28,9 @@ def run(
     beta: float = 0.10,
     epoch_length: int = 4096,
     horizons: tuple[int, ...] = (1, 2, 5, 10, 20, 50),
+    # accepted for uniform dispatch (runner/CLI); this module's
+    # sweeps consume one shared stream, so they stay serial
+    exec_config: ExecutionConfig | None = None,
 ) -> TableResult:
     rng = np.random.default_rng(seed)
     suite = OracleSuite(seed=seed)

@@ -28,6 +28,7 @@ from ..core.params import SystemParams
 from ..core.static_case import constructive_static_graph, measure_static_search
 from ..idspace.ring import Ring
 from ..inputgraph import make_input_graph
+from ..sim.montecarlo import ExecutionConfig
 
 __all__ = ["run"]
 
@@ -40,6 +41,9 @@ def run(
     n_measured: int | None = None,
     sizes: tuple[int, ...] = (2, 3, 4, 6, 8, 12, 16, 24),
     probes: int | None = None,
+    # accepted for uniform dispatch (runner/CLI); this module's
+    # sweeps consume one shared stream, so they stay serial
+    exec_config: ExecutionConfig | None = None,
 ) -> TableResult:
     n_measured = n_measured or (1024 if fast else 4096)
     probes = probes or (8000 if fast else 40_000)

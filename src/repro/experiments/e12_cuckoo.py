@@ -21,10 +21,18 @@ import numpy as np
 from ..adversary import UniformAdversary
 from ..analysis.tables import TableResult
 from ..analysis.theory import bad_group_probability
-from ..baselines.cuckoo import CuckooSimulator
+from ..baselines.cuckoo import CuckooResult, CuckooSimulator
 from ..core.params import SystemParams
+from ..sim.montecarlo import ExecutionConfig, spawn_map
 
 __all__ = ["run"]
+
+
+def _churn_case(sim_kwargs: dict, events: int) -> CuckooResult:
+    """One (construction, |G|) churn run — module-level so the ``process``
+    backend can dispatch the independent cases across spawn workers; each
+    case builds its own seeded simulator, so results match serial exactly."""
+    return CuckooSimulator(**sim_kwargs).run(events)
 
 
 def run(
@@ -36,6 +44,7 @@ def run(
     events: int | None = None,
     threshold: float = 1.0 / 3.0,
     commensal_beta: float = 0.02,
+    exec_config: ExecutionConfig | None = None,
 ) -> TableResult:
     n = n or (4096 if fast else 8192)
     events = events or (20_000 if fast else 100_000)
@@ -47,25 +56,25 @@ def run(
             "failed", "max bad frac",
         ],
     )
-    for size in sizes:
-        sim = CuckooSimulator(
-            n=n, beta=beta, group_size=size, k=2, threshold=threshold, seed=seed
-        )
-        out = sim.run(events)
+    cases = [
+        ("cuckoo", dict(n=n, beta=beta, group_size=size, k=2,
+                        threshold=threshold, seed=seed))
+        for size in sizes
+    ] + [
+        ("commensal cuckoo", dict(n=n, beta=commensal_beta, group_size=size,
+                                  k=4, commensal=True, threshold=threshold,
+                                  seed=seed))
+        for size in sizes
+    ]
+    use_pool = exec_config is not None and exec_config.backend == "process"
+    outs = spawn_map(
+        _churn_case, [kw for _, kw in cases], [events] * len(cases),
+        workers=exec_config.resolved_workers() if use_pool else 1,
+    )
+    for (label, kw), out in zip(cases, outs):
         table.add_row(
-            "cuckoo", f"{beta:.3f}", size, out.events_survived,
+            label, f"{kw['beta']:.3f}", kw["group_size"], out.events_survived,
             "YES" if out.failed else "no", f"{out.max_bad_fraction:.2f}",
-        )
-    for size in sizes:
-        sim = CuckooSimulator(
-            n=n, beta=commensal_beta, group_size=size, k=4, commensal=True,
-            threshold=threshold, seed=seed,
-        )
-        out = sim.run(events)
-        table.add_row(
-            "commensal cuckoo", f"{commensal_beta:.3f}", size,
-            out.events_survived, "YES" if out.failed else "no",
-            f"{out.max_bad_fraction:.2f}",
         )
     # tiny-group construction at the same n for contrast
     params = SystemParams(n=n, beta=0.05, seed=seed)

@@ -16,6 +16,7 @@ import numpy as np
 from ..analysis.tables import TableResult
 from ..core.params import SystemParams
 from ..core.quarantine import QuarantinePolicy, QuarantineState
+from ..sim.montecarlo import ExecutionConfig
 
 __all__ = ["run"]
 
@@ -30,6 +31,9 @@ def run(
     epochs: int = 6,
     qf: float = 0.05,
     strikes: int = 3,
+    # accepted for uniform dispatch (runner/CLI); this module's
+    # sweeps consume one shared stream, so they stay serial
+    exec_config: ExecutionConfig | None = None,
 ) -> TableResult:
     params = SystemParams(n=n, seed=seed)
     rng = np.random.default_rng(seed)

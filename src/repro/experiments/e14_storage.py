@@ -19,6 +19,7 @@ from ..core.params import SystemParams
 from ..core.static_case import constructive_static_graph
 from ..core.storage import GroupStore
 from ..inputgraph import make_input_graph
+from ..sim.montecarlo import ExecutionConfig
 
 __all__ = ["run"]
 
@@ -40,6 +41,9 @@ def run(
     churn_rounds: int = 6,
     departure_rate: float = 0.25,
     topology: str = "chord",
+    # accepted for uniform dispatch (runner/CLI); this module's
+    # sweeps consume one shared stream, so they stay serial
+    exec_config: ExecutionConfig | None = None,
 ) -> TableResult:
     n = n or (512 if fast else 2048)
     objects = objects or (300 if fast else 2000)

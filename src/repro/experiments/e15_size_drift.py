@@ -16,6 +16,7 @@ from ..analysis.tables import TableResult
 from ..churn import UniformChurn
 from ..core.dynamic import EpochSimulator
 from ..core.params import SystemParams
+from ..sim.montecarlo import ExecutionConfig
 
 __all__ = ["run"]
 
@@ -28,6 +29,9 @@ def run(
     d2: float = 10.0,
     epochs: int | None = None,
     topology: str = "chord",
+    # accepted for uniform dispatch (runner/CLI); this module's
+    # sweeps consume one shared stream, so they stay serial
+    exec_config: ExecutionConfig | None = None,
 ) -> TableResult:
     n = n or (512 if fast else 2048)
     epochs = epochs or 6

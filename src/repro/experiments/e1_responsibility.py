@@ -15,6 +15,7 @@ from ..analysis.tables import TableResult
 from ..core.params import SystemParams
 from ..core.static_case import measure_responsibility_bound
 from ..inputgraph import make_input_graph
+from ..sim.montecarlo import ExecutionConfig
 
 __all__ = ["run"]
 
@@ -25,6 +26,9 @@ def run(
     topologies: tuple[str, ...] = ("chord", "debruijn"),
     n_values: tuple[int, ...] | None = None,
     probes: int | None = None,
+    # accepted for uniform dispatch (runner/CLI); this module's
+    # sweeps consume one shared stream, so they stay serial
+    exec_config: ExecutionConfig | None = None,
 ) -> TableResult:
     ns = n_values or ((256, 512, 1024) if fast else (256, 512, 1024, 2048, 4096))
     probes = probes or (20_000 if fast else 100_000)

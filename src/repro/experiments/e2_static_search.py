@@ -16,6 +16,7 @@ from ..analysis.tables import TableResult
 from ..core.params import SystemParams
 from ..core.static_case import measure_static_search, synthetic_static_graph
 from ..inputgraph import make_input_graph
+from ..sim.montecarlo import ExecutionConfig
 
 __all__ = ["run"]
 
@@ -27,6 +28,9 @@ def run(
     n: int | None = None,
     pf_values: tuple[float, ...] = (0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1),
     probes: int | None = None,
+    # accepted for uniform dispatch (runner/CLI); this module's
+    # sweeps consume one shared stream, so they stay serial
+    exec_config: ExecutionConfig | None = None,
 ) -> TableResult:
     n = n or (1024 if fast else 4096)
     probes = probes or (20_000 if fast else 100_000)

@@ -19,6 +19,7 @@ from ..analysis.theory import bad_group_probability, chernoff_upper, group_size_
 from ..core.groups import build_groups_fast, classify_groups
 from ..core.params import SystemParams
 from ..idspace.ring import Ring
+from ..sim.montecarlo import ExecutionConfig
 
 __all__ = ["run"]
 
@@ -29,6 +30,9 @@ def run(
     n: int | None = None,
     betas: tuple[float, ...] = (0.05, 0.10, 0.15),
     d2_values: tuple[float, ...] = (4.0, 8.0, 12.0, 16.0),
+    # accepted for uniform dispatch (runner/CLI); this module's
+    # sweeps consume one shared stream, so they stay serial
+    exec_config: ExecutionConfig | None = None,
 ) -> TableResult:
     n = n or (2048 if fast else 8192)
     rng = np.random.default_rng(seed)

@@ -16,6 +16,7 @@ from ..analysis.tables import TableResult
 from ..churn import UniformChurn
 from ..core.dynamic import EpochSimulator
 from ..core.params import SystemParams
+from ..sim.montecarlo import ExecutionConfig
 
 __all__ = ["run"]
 
@@ -29,6 +30,9 @@ def run(
     epochs: int | None = None,
     churn_rate: float = 0.05,
     topology: str = "chord",
+    # accepted for uniform dispatch (runner/CLI); this module's
+    # sweeps consume one shared stream, so they stay serial
+    exec_config: ExecutionConfig | None = None,
 ) -> TableResult:
     n = n or (512 if fast else 2048)
     epochs = epochs or (6 if fast else 12)

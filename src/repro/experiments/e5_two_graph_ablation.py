@@ -31,6 +31,7 @@ from ..core.membership import EpochPair, build_new_graph
 from ..core.params import SystemParams
 from ..idspace.ring import Ring
 from ..inputgraph import make_input_graph
+from ..sim.montecarlo import ExecutionConfig
 
 __all__ = ["run"]
 
@@ -85,6 +86,9 @@ def run(
     topology: str = "chord",
     analytic_n: float = 2.0**20,
     analytic_epochs: int = 8,
+    # accepted for uniform dispatch (runner/CLI); this module's
+    # sweeps consume one shared stream, so they stay serial
+    exec_config: ExecutionConfig | None = None,
 ) -> TableResult:
     n = n or (512 if fast else 2048)
     params = SystemParams(n=n, beta=beta, seed=seed)

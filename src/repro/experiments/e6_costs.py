@@ -21,6 +21,7 @@ from ..core.params import SystemParams
 from ..core.secure_routing import SecureRouter
 from ..core.static_case import constructive_static_graph
 from ..inputgraph import make_input_graph
+from ..sim.montecarlo import ExecutionConfig
 
 __all__ = ["run"]
 
@@ -32,6 +33,9 @@ def run(
     beta: float = 0.05,
     topology: str = "chord",
     probes: int | None = None,
+    # accepted for uniform dispatch (runner/CLI); this module's
+    # sweeps consume one shared stream, so they stay serial
+    exec_config: ExecutionConfig | None = None,
 ) -> TableResult:
     ns = n_values or ((512, 1024, 2048) if fast else (1024, 4096, 16384))
     probes = probes or (4000 if fast else 20_000)

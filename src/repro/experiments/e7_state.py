@@ -22,6 +22,7 @@ from ..churn import UniformChurn
 from ..core.dynamic import EpochSimulator
 from ..core.group_graph import GroupGraph
 from ..core.params import SystemParams
+from ..sim.montecarlo import ExecutionConfig
 
 __all__ = ["run"]
 
@@ -33,6 +34,9 @@ def run(
     beta: float = 0.10,
     epochs: int = 3,
     spam_per_good_id: int = 4,
+    # accepted for uniform dispatch (runner/CLI); this module's
+    # sweeps consume one shared stream, so they stay serial
+    exec_config: ExecutionConfig | None = None,
 ) -> TableResult:
     n = n or (512 if fast else 2048)
     params = SystemParams(n=n, beta=beta, seed=seed)

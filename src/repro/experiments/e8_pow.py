@@ -15,15 +15,32 @@ Three measurements on the puzzle scheme:
 
 from __future__ import annotations
 
+import functools
+
 import numpy as np
 
 from ..analysis.stats import ks_uniform
 from ..analysis.tables import TableResult
 from ..idspace.hashing import OracleSuite
 from ..pow.puzzles import PuzzleScheme
-from ..sim.montecarlo import run_trials
+from ..sim.montecarlo import ExecutionConfig, run_trials
 
 __all__ = ["run"]
+
+
+def _mint_count_trial(
+    rng: np.random.Generator,
+    power: float,
+    window_steps: float,
+    epoch_length: int,
+) -> float:
+    """One adversary-window minting trial (module-level: picklable, so the
+    ``process`` backend can ship it to spawn workers).  ``mint_fast``
+    depends only on the scheme's threshold (derived from ``epoch_length``)
+    and the per-trial ``rng`` — the oracle suite is never queried — so a
+    default suite serves and values match the serial path bit-for-bit."""
+    scheme = PuzzleScheme(OracleSuite(), epoch_length=epoch_length)
+    return float(scheme.mint_fast(power, window_steps, rng).size)
 
 
 def run(
@@ -34,6 +51,7 @@ def run(
     epoch_length: int = 4096,
     trials: int | None = None,
     arc: tuple[float, float] = (0.2, 0.05),
+    exec_config: ExecutionConfig | None = None,
 ) -> TableResult:
     trials = trials or (20 if fast else 100)
     rng = np.random.default_rng(seed)
@@ -42,9 +60,15 @@ def run(
     window_steps = 1.5 * epoch_length / 2.0
 
     mc = run_trials(
-        lambda r: scheme.mint_fast(beta * n, window_steps, r).size,
+        functools.partial(
+            _mint_count_trial,
+            power=beta * n,
+            window_steps=window_steps,
+            epoch_length=epoch_length,
+        ),
         trials,
         rng,
+        config=exec_config,
     )
     budget = 1.5 * beta * n  # (window/T2) * beta * n solutions expected
     eps_bound = 1.10 * budget  # (1 + eps) slack, eps = 0.10

@@ -25,6 +25,7 @@ from ..core.static_case import constructive_static_graph
 from ..adversary import UniformAdversary
 from ..inputgraph import make_input_graph
 from ..pow.propagation import StringPropagation
+from ..sim.montecarlo import ExecutionConfig
 
 __all__ = ["run"]
 
@@ -36,6 +37,9 @@ def run(
     beta: float = 0.10,
     epoch_length: int = 4096,
     topology: str = "chord",
+    # accepted for uniform dispatch (runner/CLI); this module's
+    # sweeps consume one shared stream, so they stay serial
+    exec_config: ExecutionConfig | None = None,
 ) -> TableResult:
     n = n or (512 if fast else 2048)
     rng = np.random.default_rng(seed)

@@ -2,14 +2,25 @@
 
 ``run_experiment("E4")`` runs one experiment; ``run_all()`` runs the full
 suite (used to regenerate EXPERIMENTS.md).  Each experiment module exposes
-``run(seed=..., fast=..., **overrides) -> TableResult``.
+``run(seed=..., fast=..., exec_config=..., **overrides) -> TableResult``.
+
+Overrides are validated against the target experiment's signature up front,
+so a typo'd parameter raises a ``TypeError`` naming the experiment instead
+of an opaque traceback from deep inside the module.
+
+Execution: pass an :class:`repro.sim.ExecutionConfig` (surfaced on the CLI
+as ``--backend``/``--workers``) to select the trial-loop backend inside each
+experiment, and — for ``run_all`` with the ``process`` backend — to dispatch
+independent experiments concurrently across a spawn-safe process pool.
 """
 
 from __future__ import annotations
 
+import inspect
 from typing import Callable, Dict
 
 from ..analysis.tables import TableResult
+from ..sim.montecarlo import ExecutionConfig, spawn_map
 from . import (
     e1_responsibility,
     e2_static_search,
@@ -49,7 +60,36 @@ EXPERIMENTS: Dict[str, Callable[..., TableResult]] = {
 }
 
 
-def run_experiment(name: str, seed: int = 0, fast: bool = True, **kwargs) -> TableResult:
+def _validate_overrides(name: str, fn: Callable[..., TableResult], overrides: dict) -> None:
+    """Reject overrides the experiment does not accept, by name."""
+    sig = inspect.signature(fn)
+    params = sig.parameters
+    accepts_var_kw = any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()
+    )
+    if accepts_var_kw:
+        return
+    valid = [
+        pname for pname, p in params.items()
+        if p.kind in (inspect.Parameter.POSITIONAL_OR_KEYWORD,
+                      inspect.Parameter.KEYWORD_ONLY)
+        and pname not in ("seed", "fast", "exec_config")
+    ]
+    unknown = sorted(set(overrides) - set(params))
+    if unknown:
+        raise TypeError(
+            f"experiment {name} got unknown override(s) {unknown}; "
+            f"valid overrides: {sorted(valid)}"
+        )
+
+
+def run_experiment(
+    name: str,
+    seed: int = 0,
+    fast: bool = True,
+    exec_config: ExecutionConfig | None = None,
+    **overrides,
+) -> TableResult:
     """Run one experiment by ID (e.g. "E4")."""
     try:
         fn = EXPERIMENTS[name.upper()]
@@ -57,12 +97,44 @@ def run_experiment(name: str, seed: int = 0, fast: bool = True, **kwargs) -> Tab
         raise ValueError(
             f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
         ) from None
+    _validate_overrides(name.upper(), fn, overrides)
+    kwargs = dict(overrides)
+    if exec_config is not None and "exec_config" in inspect.signature(fn).parameters:
+        kwargs["exec_config"] = exec_config
     return fn(seed=seed, fast=fast, **kwargs)
 
 
-def run_all(seed: int = 0, fast: bool = True) -> Dict[str, TableResult]:
-    """Run the whole suite in ID order."""
+def _run_one(name: str, seed: int, fast: bool) -> TableResult:
+    """Spawn-pool entry point: run one experiment serially in a worker.
+
+    Module-level so it pickles under the ``spawn`` start method.  The child
+    runs its trial loops serially — process backends do not nest.
+    """
+    return run_experiment(name, seed=seed, fast=fast)
+
+
+def run_all(
+    seed: int = 0,
+    fast: bool = True,
+    exec_config: ExecutionConfig | None = None,
+) -> Dict[str, TableResult]:
+    """Run the whole suite in ID order.
+
+    With ``exec_config.backend == "process"`` the independent experiments
+    are dispatched across a spawn-safe process pool (each experiment keeps
+    its own seed, so results are identical to the serial path; a single
+    worker degrades to a plain serial map).  Otherwise they run serially
+    in-process, with ``exec_config`` forwarded into each experiment's
+    trial loops.
+    """
+    order = sorted(EXPERIMENTS, key=lambda k: int(k[1:]))
+    if exec_config is not None and exec_config.backend == "process":
+        tables = spawn_map(
+            _run_one, order, [seed] * len(order), [fast] * len(order),
+            workers=exec_config.resolved_workers(),
+        )
+        return dict(zip(order, tables))
     return {
-        name: fn(seed=seed, fast=fast)
-        for name, fn in sorted(EXPERIMENTS.items(), key=lambda kv: int(kv[0][1:]))
+        name: run_experiment(name, seed=seed, fast=fast, exec_config=exec_config)
+        for name in order
     }

@@ -1,5 +1,33 @@
-"""Simulation substrate: RNG discipline, round engine, Monte-Carlo runner."""
+"""Simulation substrate: RNG discipline, round engine, Monte-Carlo runner.
 
+The Monte-Carlo runner supports pluggable execution backends (``serial`` |
+``process`` | ``vectorized``) via :class:`ExecutionConfig`; see
+``repro.sim.montecarlo`` and the ``--backend``/``--workers`` CLI flags.
+"""
+
+from .montecarlo import (
+    BACKENDS,
+    ExecutionConfig,
+    MCResult,
+    run_trials,
+    run_trials_batched,
+    run_trials_parallel,
+    spawn_map,
+    wilson_interval,
+)
 from .rng import child, make_rng, spawn, stream_for
 
-__all__ = ["make_rng", "spawn", "child", "stream_for"]
+__all__ = [
+    "BACKENDS",
+    "ExecutionConfig",
+    "MCResult",
+    "child",
+    "make_rng",
+    "run_trials",
+    "run_trials_batched",
+    "run_trials_parallel",
+    "spawn",
+    "spawn_map",
+    "stream_for",
+    "wilson_interval",
+]

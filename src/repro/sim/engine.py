@@ -38,22 +38,33 @@ class SyncEngine:
         self._inboxes[node].append(message)
 
     def run(self, rounds: int, handler: Handler) -> list[RoundStats]:
-        """Run ``rounds`` synchronous rounds with the given handler."""
+        """Run ``rounds`` synchronous rounds with the given handler.
+
+        May be called repeatedly to continue the same execution: round
+        indexes keep counting from where the previous call stopped (the
+        handler still sees a per-call round number starting at 0).
+        Returns the stats for *this* call's rounds; the engine-lifetime
+        history stays on ``self.stats``.
+        """
+        base = len(self.stats)
         for r in range(rounds):
             outboxes: list[list] = [[] for _ in range(self.n)]
             messages = 0
             active = 0
             for node in range(self.n):
                 inbox = self._inboxes[node]
+                # before the handler runs — handlers may consume the inbox
+                received = bool(inbox)
                 sends = handler(node, r, inbox)
-                if sends:
+                # a node participates in a round when it receives or sends
+                if sends or received:
                     active += 1
                 for dst, msg in sends:
                     outboxes[dst].append(msg)
                     messages += 1
             self._inboxes = outboxes
-            self.stats.append(RoundStats(r, messages, active))
-        return self.stats
+            self.stats.append(RoundStats(base + r, messages, active))
+        return self.stats[base:]
 
     def total_messages(self) -> int:
         return sum(s.messages for s in self.stats)

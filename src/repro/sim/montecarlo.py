@@ -1,20 +1,98 @@
-"""Vectorized Monte-Carlo trial runner with confidence intervals.
+"""Monte-Carlo trial runner with pluggable execution backends.
 
 Experiments estimate probabilities (bad-group rate, search failure, ...)
 from repeated randomized trials; this module centralizes the bookkeeping so
 each experiment reports means with honest uncertainty instead of bare point
 estimates (HPC-guide workflow: "make it work reliably" before tuning).
+
+Execution backends (selected via :class:`ExecutionConfig`, surfaced on the
+CLI as ``--backend``/``--workers``):
+
+``serial``
+    One trial at a time in-process (the default, and the reference stream).
+``process``
+    :func:`run_trials_parallel` — a spawn-safe ``multiprocessing`` pool.
+    Child generators are seed-sequence-spawned *in the parent*, exactly as
+    the serial path spawns them, and shipped to the workers, so
+    ``MCResult.values`` is **bit-identical** to the serial path at any
+    worker count.
+``vectorized``
+    :func:`run_trials_batched` — trials expressible as NumPy array
+    operations run in chunk batches (one spawned child generator per chunk,
+    consumed by a ``batch(rng, k) -> ndarray`` callable).  Deterministic
+    for a fixed seed and chunk size, but a *different* stream layout than
+    the per-trial serial path (documented, not a bug).
+
+Confidence intervals: 0/1-valued trials are detected and get the Wilson
+score interval (the normal approximation produces ``lo < 0`` / ``hi > 1``
+exactly in the rare-event regime the paper's probabilities live in); other
+trials whose values all lie in [0, 1] get their normal-approximation CI
+clamped to [0, 1].
 """
 
 from __future__ import annotations
 
 import math
+import os
+import pickle
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
 import numpy as np
 
-__all__ = ["MCResult", "run_trials", "wilson_interval"]
+__all__ = [
+    "BACKENDS",
+    "ExecutionConfig",
+    "MCResult",
+    "run_trials",
+    "run_trials_batched",
+    "run_trials_parallel",
+    "spawn_map",
+    "wilson_interval",
+]
+
+BACKENDS = ("serial", "process", "vectorized")
+
+Trial = Callable[[np.random.Generator], float]
+BatchTrial = Callable[[np.random.Generator, int], np.ndarray]
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """How a trial loop (or an experiment sweep) should execute.
+
+    Parameters
+    ----------
+    backend:
+        ``"serial"`` | ``"process"`` | ``"vectorized"``.
+    workers:
+        Process count for the ``process`` backend (``None`` -> CPU count).
+    chunk_size:
+        Trials per work unit (``None`` -> split evenly across workers).
+    """
+
+    backend: str = "serial"
+    workers: int | None = None
+    chunk_size: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; choose from {BACKENDS}"
+            )
+        if self.workers is not None and self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+
+    def resolved_workers(self) -> int:
+        return self.workers if self.workers is not None else (os.cpu_count() or 1)
+
+    def resolved_chunk(self, trials: int) -> int:
+        if self.chunk_size is not None:
+            return self.chunk_size
+        return max(1, math.ceil(trials / max(1, self.resolved_workers())))
 
 
 @dataclass(frozen=True)
@@ -44,24 +122,198 @@ def wilson_interval(successes: int, trials: int, z: float = 1.96) -> tuple[float
     return max(0.0, center - half), min(1.0, center + half)
 
 
-def run_trials(
-    trial: Callable[[np.random.Generator], float],
+def _spawn_children(
+    rng: np.random.Generator, count: int
+) -> list[np.random.SeedSequence]:
+    """Per-trial seed sequences — the reference stream layout every backend
+    that promises serial parity must reproduce."""
+    return rng.bit_generator.seed_seq.spawn(count)  # type: ignore[attr-defined]
+
+
+def _aggregate(vals: np.ndarray, trials: int) -> MCResult:
+    if vals.size == 0:
+        return MCResult(mean=float("nan"), std=0.0, lo=0.0, hi=1.0,
+                        trials=0, values=vals)
+    mean = float(vals.mean())
+    std = float(vals.std(ddof=1)) if trials > 1 else 0.0
+    is_binary = bool(np.isin(vals, (0.0, 1.0)).all())
+    if is_binary:
+        # Normal approximation is dishonest at rare-event p: Wilson instead.
+        lo, hi = wilson_interval(int(vals.sum()), trials)
+    else:
+        half = 1.96 * std / math.sqrt(max(1, trials))
+        lo, hi = mean - half, mean + half
+        if 0.0 <= float(vals.min()) and float(vals.max()) <= 1.0:
+            lo, hi = max(0.0, lo), min(1.0, hi)
+    return MCResult(mean=mean, std=std, lo=lo, hi=hi, trials=trials, values=vals)
+
+
+def _run_chunk(payload: tuple[bytes, list[np.random.SeedSequence]]) -> list[float]:
+    """Worker entry point: run one chunk of trials.
+
+    Module-level (picklable under the ``spawn`` start method); the trial is
+    shipped pre-pickled so every worker unpickles the identical callable.
+    """
+    trial_bytes, seed_seqs = payload
+    trial: Trial = pickle.loads(trial_bytes)
+    return [
+        float(trial(np.random.Generator(np.random.PCG64(ss)))) for ss in seed_seqs
+    ]
+
+
+def _run_serial(trial: Trial, seed_seqs: Sequence[np.random.SeedSequence]) -> np.ndarray:
+    return np.asarray(
+        [float(trial(np.random.Generator(np.random.PCG64(ss)))) for ss in seed_seqs]
+    )
+
+
+def spawn_map(fn: Callable, *iterables, workers: int, mp_method: str = "spawn") -> list:
+    """Order-preserving ``map(fn, *iterables)`` across a spawn process pool.
+
+    The shared dispatch seam for every process-backend call site (trial
+    chunks, E12 churn cases, ``run_all`` experiments): gates on worker and
+    item count (either <= 1 runs serially in-process), sizes the pool to
+    the work, and degrades to the serial map with a warning when the pool's
+    workers die on startup (``BrokenProcessPool``) instead of crashing
+    mid-suite.  ``fn`` must be module-level (picklable under ``spawn``).
+    """
+    items = list(zip(*iterables))
+    nworkers = min(workers, len(items))
+    if nworkers <= 1:
+        return [fn(*args) for args in items]
+
+    import multiprocessing as mp
+    from concurrent.futures import ProcessPoolExecutor
+    from concurrent.futures.process import BrokenProcessPool
+
+    ctx = mp.get_context(mp_method)
+    try:
+        with ProcessPoolExecutor(max_workers=nworkers, mp_context=ctx) as pool:
+            # map over the materialized items — the caller's iterables may
+            # be one-shot generators already consumed into `items` above
+            return list(pool.map(fn, *zip(*items)))
+    except BrokenProcessPool as exc:
+        warnings.warn(
+            f"process pool broke ({exc}); falling back to the serial path",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return [fn(*args) for args in items]
+
+
+def run_trials_parallel(
+    trial: Trial,
     trials: int,
     rng: np.random.Generator,
+    workers: int | None = None,
+    chunk_size: int | None = None,
+    mp_method: str = "spawn",
+) -> MCResult:
+    """Run ``trial`` across a process pool; bit-identical to the serial path.
+
+    The parent spawns the same per-trial :class:`numpy.random.SeedSequence`
+    children as :func:`run_trials` and ships them (order-preserving executor
+    ``map``) to the workers, so ``MCResult.values`` matches the serial
+    result element-for-element at any ``workers``/``chunk_size``.
+
+    ``mp_method`` defaults to ``"spawn"`` — the start method that works on
+    every platform and never inherits forked locks; the trial callable must
+    therefore be picklable (a module-level function or ``functools.partial``
+    over one).  Unpicklable trials — and pools whose workers die on startup
+    (``BrokenProcessPool``) — fall back to the serial path with a warning
+    rather than crashing or hanging mid-suite.
+    """
+    cfg = ExecutionConfig(backend="process", workers=workers, chunk_size=chunk_size)
+    seed_seqs = _spawn_children(rng, trials)
+    nworkers = min(cfg.resolved_workers(), max(1, trials))
+    if nworkers == 1 or trials == 0:
+        return _aggregate(_run_serial(trial, seed_seqs), trials)
+    try:
+        trial_bytes = pickle.dumps(trial)
+    except Exception as exc:  # lambdas, closures, bound local state
+        warnings.warn(
+            f"trial {trial!r} is not picklable ({exc}); "
+            "falling back to the serial backend",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return _aggregate(_run_serial(trial, seed_seqs), trials)
+
+    chunk = cfg.resolved_chunk(trials)
+    payloads = [
+        (trial_bytes, seed_seqs[i : i + chunk]) for i in range(0, trials, chunk)
+    ]
+    chunks = spawn_map(_run_chunk, payloads, workers=nworkers, mp_method=mp_method)
+    vals = np.asarray([v for c in chunks for v in c])
+    return _aggregate(vals, trials)
+
+
+def run_trials_batched(
+    batch: BatchTrial,
+    trials: int,
+    rng: np.random.Generator,
+    chunk_size: int | None = None,
+) -> MCResult:
+    """Vectorized fast path: ``batch(rng, k)`` produces ``k`` trial values.
+
+    For trials expressible as NumPy array operations (e.g. "draw a group of
+    size m, count bad members") a single vectorized call per chunk replaces
+    ``k`` Python-level trial calls.  One spawned child generator per chunk;
+    deterministic for a fixed seed and chunk size, but the stream layout is
+    per-chunk rather than per-trial, so values are not expected to equal the
+    serial per-trial path (use the ``process`` backend when bit-parity with
+    serial matters).
+    """
+    if trials <= 0:
+        return _aggregate(np.asarray([]), 0)
+    chunk = chunk_size or trials
+    n_chunks = math.ceil(trials / chunk)
+    children = _spawn_children(rng, n_chunks)
+    parts = []
+    remaining = trials
+    for ss in children:
+        k = min(chunk, remaining)
+        vals = np.asarray(batch(np.random.Generator(np.random.PCG64(ss)), k), dtype=float)
+        if vals.shape != (k,):
+            raise ValueError(
+                f"batch trial returned shape {vals.shape}, expected ({k},)"
+            )
+        parts.append(vals)
+        remaining -= k
+    return _aggregate(np.concatenate(parts), trials)
+
+
+def run_trials(
+    trial: Trial,
+    trials: int,
+    rng: np.random.Generator,
+    config: ExecutionConfig | None = None,
+    batch: BatchTrial | None = None,
 ) -> MCResult:
     """Run ``trial`` with independent child generators and aggregate.
 
     Child streams keep trials independent and reproducible regardless of how
-    many draws each trial consumes (see ``repro.sim.rng``).
+    many draws each trial consumes (see ``repro.sim.rng``).  ``config``
+    selects the backend: the default serial loop, the bit-identical
+    ``process`` pool (:func:`run_trials_parallel`), or — when a ``batch``
+    callable is supplied — the ``vectorized`` chunk path
+    (:func:`run_trials_batched`).
     """
-    children = [
-        np.random.Generator(np.random.PCG64(ss))
-        for ss in rng.bit_generator.seed_seq.spawn(trials)  # type: ignore[attr-defined]
-    ]
-    vals = np.asarray([float(trial(c)) for c in children])
-    mean = float(vals.mean())
-    std = float(vals.std(ddof=1)) if trials > 1 else 0.0
-    half = 1.96 * std / math.sqrt(max(1, trials))
-    return MCResult(
-        mean=mean, std=std, lo=mean - half, hi=mean + half, trials=trials, values=vals
-    )
+    if config is not None and config.backend == "process":
+        return run_trials_parallel(
+            trial, trials, rng,
+            workers=config.workers, chunk_size=config.chunk_size,
+        )
+    if config is not None and config.backend == "vectorized":
+        if batch is None:
+            warnings.warn(
+                "vectorized backend requested but no batch trial supplied; "
+                "running serial",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        else:
+            return run_trials_batched(
+                batch, trials, rng, chunk_size=config.chunk_size
+            )
+    return _aggregate(_run_serial(trial, _spawn_children(rng, trials)), trials)

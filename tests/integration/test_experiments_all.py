@@ -59,3 +59,28 @@ def test_run_experiment_unknown():
 def test_run_experiment_case_insensitive():
     t = run_experiment("e10", fast=True, horizons=(2,))
     assert t.experiment == "E10"
+
+
+def test_run_experiment_rejects_unknown_override():
+    """Typo'd overrides raise a TypeError naming the experiment up front,
+    not an opaque traceback from inside the module."""
+    with pytest.raises(TypeError, match=r"E12.*bogus_knob"):
+        run_experiment("E12", bogus_knob=1)
+
+
+def test_run_experiment_error_lists_valid_overrides():
+    with pytest.raises(TypeError, match="epoch_length"):
+        run_experiment("E8", trails=5)  # typo of "trials"
+
+
+def test_exec_config_process_matches_serial():
+    """Experiment-level parity: the process backend changes wall-clock
+    behaviour only, never table content."""
+    from repro.sim import ExecutionConfig
+
+    kwargs = dict(seed=3, fast=True, **FAST_OVERRIDES["E8"])
+    serial = run_experiment("E8", **kwargs)
+    par = run_experiment(
+        "E8", exec_config=ExecutionConfig(backend="process", workers=2), **kwargs
+    )
+    assert serial.rows == par.rows

@@ -1,0 +1,144 @@
+"""Unit tests: parallel Monte-Carlo execution (repro.sim.montecarlo).
+
+The load-bearing contract is serial/process bit-parity: the process backend
+spawns the same per-trial seed sequences as the serial path, so
+``MCResult.values`` must match element-for-element at any worker count.
+Trial functions live at module level so they pickle under the ``spawn``
+start method.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim import (
+    ExecutionConfig,
+    make_rng,
+    run_trials,
+    run_trials_batched,
+    run_trials_parallel,
+    spawn_map,
+)
+
+
+def double(x: float) -> float:
+    return 2.0 * x
+
+
+def bernoulli_trial(rng: np.random.Generator) -> float:
+    return float(rng.random() < 0.3)
+
+
+def multi_draw_trial(rng: np.random.Generator) -> float:
+    # consumes a variable number of draws — the case child streams exist for
+    k = int(rng.integers(1, 5))
+    return float(rng.random(k).sum())
+
+
+def uniform_batch(rng: np.random.Generator, k: int) -> np.ndarray:
+    return rng.random(k)
+
+
+class TestExecutionConfig:
+    def test_defaults(self):
+        cfg = ExecutionConfig()
+        assert cfg.backend == "serial"
+        assert cfg.resolved_workers() >= 1
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            ExecutionConfig(backend="gpu")
+
+    def test_bad_workers_rejected(self):
+        with pytest.raises(ValueError):
+            ExecutionConfig(workers=0)
+
+    def test_bad_chunk_rejected(self):
+        with pytest.raises(ValueError):
+            ExecutionConfig(chunk_size=0)
+
+    def test_chunk_resolution_covers_all_trials(self):
+        cfg = ExecutionConfig(backend="process", workers=4)
+        chunk = cfg.resolved_chunk(10)
+        assert chunk * 4 >= 10
+
+
+class TestSpawnMap:
+    def test_preserves_order(self):
+        assert spawn_map(double, [1.0, 2.0, 3.0], workers=2) == [2.0, 4.0, 6.0]
+
+    def test_generator_input(self):
+        """Regression: one-shot iterables must not be re-iterated after
+        being materialized (the pool previously saw an exhausted generator
+        and silently returned [])."""
+        out = spawn_map(double, (float(x) for x in range(4)), workers=2)
+        assert out == [0.0, 2.0, 4.0, 6.0]
+
+    def test_single_worker_serial(self):
+        assert spawn_map(double, [5.0], workers=4) == [10.0]
+
+    def test_empty(self):
+        assert spawn_map(double, [], workers=4) == []
+
+
+class TestSerialProcessParity:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_bit_identical_values(self, workers):
+        serial = run_trials(bernoulli_trial, 24, make_rng(7))
+        par = run_trials_parallel(bernoulli_trial, 24, make_rng(7), workers=workers)
+        assert np.array_equal(serial.values, par.values)
+        assert serial.mean == par.mean
+        assert (serial.lo, serial.hi) == (par.lo, par.hi)
+
+    def test_parity_with_variable_draw_trials(self):
+        serial = run_trials(multi_draw_trial, 16, make_rng(11))
+        par = run_trials_parallel(multi_draw_trial, 16, make_rng(11), workers=2)
+        assert np.array_equal(serial.values, par.values)
+
+    def test_chunk_size_does_not_change_values(self):
+        a = run_trials_parallel(bernoulli_trial, 20, make_rng(5), workers=2,
+                                chunk_size=3)
+        b = run_trials(bernoulli_trial, 20, make_rng(5))
+        assert np.array_equal(a.values, b.values)
+
+    def test_config_dispatch(self):
+        cfg = ExecutionConfig(backend="process", workers=2)
+        a = run_trials(bernoulli_trial, 12, make_rng(9), config=cfg)
+        b = run_trials(bernoulli_trial, 12, make_rng(9))
+        assert np.array_equal(a.values, b.values)
+
+    def test_unpicklable_trial_falls_back_serial(self):
+        reference = run_trials(lambda rng: rng.random(), 8, make_rng(4))
+        with pytest.warns(RuntimeWarning, match="picklable"):
+            par = run_trials_parallel(
+                lambda rng: rng.random(), 8, make_rng(4), workers=2
+            )
+        assert np.array_equal(reference.values, par.values)
+
+
+class TestVectorizedBackend:
+    def test_deterministic_for_fixed_seed_and_chunk(self):
+        a = run_trials_batched(uniform_batch, 50, make_rng(2), chunk_size=16)
+        b = run_trials_batched(uniform_batch, 50, make_rng(2), chunk_size=16)
+        assert np.array_equal(a.values, b.values)
+        assert a.trials == 50 and a.values.shape == (50,)
+
+    def test_mean_sane(self):
+        res = run_trials_batched(uniform_batch, 400, make_rng(0), chunk_size=100)
+        assert res.mean == pytest.approx(0.5, abs=0.07)
+        assert res.lo <= res.mean <= res.hi
+
+    def test_bad_batch_shape_rejected(self):
+        with pytest.raises(ValueError):
+            run_trials_batched(lambda rng, k: rng.random(k + 1), 10, make_rng(0))
+
+    def test_config_dispatch_requires_batch(self):
+        cfg = ExecutionConfig(backend="vectorized")
+        with pytest.warns(RuntimeWarning, match="batch"):
+            res = run_trials(bernoulli_trial, 10, make_rng(1), config=cfg)
+        assert res.trials == 10  # fell back to serial
+
+    def test_config_dispatch_with_batch(self):
+        cfg = ExecutionConfig(backend="vectorized", chunk_size=8)
+        res = run_trials(bernoulli_trial, 32, make_rng(1), config=cfg,
+                         batch=uniform_batch)
+        assert res.trials == 32

@@ -58,6 +58,52 @@ class TestEngine:
         assert len(eng.stats) == 2
         assert eng.stats[0].messages == 1
 
+    def test_repeated_run_round_indexes_monotone(self):
+        """Regression: a second run() must continue, not restart, indexing."""
+        eng = SyncEngine(2)
+        eng.seed(0, "x")
+        handler = lambda n, r, inbox: [((n + 1) % 2, m) for m in inbox]
+        eng.run(3, handler)
+        eng.run(2, handler)
+        indexes = [s.round_index for s in eng.stats]
+        assert indexes == [0, 1, 2, 3, 4]
+        assert len(set(indexes)) == len(indexes)
+
+    def test_active_counts_receivers(self):
+        """A node that receives but stays silent is still active."""
+        eng = SyncEngine(2)
+        eng.seed(0, "x")
+        # node 0 forwards to node 1; node 1 swallows everything
+        eng.run(2, lambda n, r, inbox: [(1, m) for m in inbox] if n == 0 else [])
+        # round 0: node 0 receives+sends -> active; round 1: node 1 receives
+        assert eng.stats[0].active_nodes == 1
+        assert eng.stats[1].active_nodes == 1
+
+    def test_active_counts_inbox_consuming_handler(self):
+        """Receipt is judged before the handler runs, so a handler that
+        drains its inbox in place is still counted active."""
+        eng = SyncEngine(2)
+        eng.seed(0, "x")
+
+        def handler(node, rnd, inbox):
+            while inbox:
+                inbox.pop()
+            return []
+
+        eng.run(1, handler)
+        assert eng.stats[0].active_nodes == 1
+
+    def test_run_returns_per_call_slice(self):
+        """run() returns only this call's rounds; history stays on stats."""
+        eng = SyncEngine(2)
+        eng.seed(0, "x")
+        handler = lambda n, r, inbox: [((n + 1) % 2, m) for m in inbox]
+        first = eng.run(3, handler)
+        second = eng.run(2, handler)
+        assert [s.round_index for s in first] == [0, 1, 2]
+        assert [s.round_index for s in second] == [3, 4]
+        assert len(eng.stats) == 5
+
 
 class TestMonteCarlo:
     def test_run_trials_mean(self):
@@ -80,6 +126,25 @@ class TestMonteCarlo:
     def test_wilson_zero_successes(self):
         lo, hi = wilson_interval(0, 500)
         assert lo == 0.0 and hi < 0.02
+
+    def test_binary_trial_ci_within_unit_interval(self):
+        """Regression: rare-event 0/1 trials must not produce lo<0 / hi>1
+        (the normal approximation did); binary trials get Wilson bounds."""
+        res = run_trials(lambda rng: float(rng.random() < 0.01), 100, make_rng(0))
+        assert 0.0 <= res.lo <= res.mean <= res.hi <= 1.0
+        # all-failures corner: degenerate normal CI would be [0, 0]
+        res0 = run_trials(lambda rng: 0.0, 50, make_rng(1))
+        assert res0.lo == 0.0 and 0.0 < res0.hi <= 1.0
+
+    def test_unit_interval_trial_ci_clamped(self):
+        """Non-binary trials with values in [0,1] get a clamped CI."""
+        res = run_trials(lambda rng: rng.random() ** 8, 40, make_rng(2))
+        assert res.lo >= 0.0 and res.hi <= 1.0
+
+    def test_unbounded_trial_ci_not_clamped(self):
+        """Count-valued trials keep the plain normal CI (no fake clamp)."""
+        res = run_trials(lambda rng: float(rng.poisson(600)), 30, make_rng(3))
+        assert res.lo > 1.0  # nowhere near the unit interval
 
 
 class TestMetrics:

@@ -135,6 +135,14 @@ simulator's constants; the **shapes** (who wins, scaling exponents, where
 knees sit, flat-vs-diverging series) are the reproduction targets, and each
 section states the expected shape next to the measured table.
 
+Execution backends: `python -m repro experiments` accepts
+`--backend {serial,process,vectorized}` and `--workers W`.  The `process`
+backend runs trial loops (and, via `run_all`, whole experiments) across a
+spawn-safe process pool and is **bit-identical** to serial for a fixed
+`--seed`, so every table below is reproducible at any worker count;
+`benchmarks/output/timings.txt` (from `pytest benchmarks/bench_parallel.py`)
+records the serial-vs-parallel wall clock.
+
 """
 
 
