@@ -1,18 +1,20 @@
 """Benchmark harness configuration.
 
 Each ``bench_e*.py`` regenerates one experiment's table (DESIGN.md §3 maps
-experiments to paper claims).  Run with::
+experiments to paper claims).  The bench files do not match pytest's
+default ``test_*.py`` collection pattern, so name them explicitly::
 
-    pytest benchmarks/ --benchmark-only -s
+    pytest benchmarks/bench_*.py -s
 
 ``-s`` shows the reproduced tables; timings come from pytest-benchmark.
 Rendered tables are also written to ``benchmarks/output/`` so EXPERIMENTS.md
 can be regenerated without scraping stdout.
 
-``bench_parallel.py`` additionally records serial-vs-parallel wall-clock
+``bench_parallel.py`` and ``bench_sweep.py`` additionally record wall-clock
 through the ``timing_sink`` fixture: each backend run appends a
-``name backend workers seconds`` line to ``benchmarks/output/timings.txt``
-so speedup across execution backends is tracked next to the tables.
+``name backend workers seconds`` line to ``benchmarks/output/timings.txt``,
+so serial vs process vs cell-parallel vs cache-hit speed is tracked next
+to the tables.
 """
 
 from __future__ import annotations

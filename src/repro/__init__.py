@@ -36,5 +36,8 @@ reproduced claims.
 
 from .core.params import SystemParams
 
-__version__ = "1.0.0"
+# bump whenever table content can change (it keys the result cache, so a
+# bump invalidates every stored entry): 1.1.0 = per-cell sweep streams +
+# stable stream_for digests
+__version__ = "1.1.0"
 __all__ = ["SystemParams", "__version__"]

@@ -1,16 +1,32 @@
 """Fixed-width result tables shared by experiments, benchmarks, examples.
 
 Each experiment returns a :class:`TableResult`; benchmarks print it (that
-*is* the reproduced table/figure series), tests assert on its rows, and
-EXPERIMENTS.md records rendered copies.
+*is* the reproduced table/figure series), tests assert on its rows,
+EXPERIMENTS.md records rendered copies, and the on-disk result cache
+round-trips it through JSON (:meth:`TableResult.to_json` /
+:meth:`TableResult.from_json`).
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Sequence
 
 __all__ = ["TableResult", "render_table"]
+
+
+def _json_cell(value: object) -> object:
+    """Coerce a cell to a JSON-native type with an identical ``str()``.
+
+    NumPy scalars render the same as their Python counterparts, so the
+    cached table stays render-identical after the round trip.
+    """
+    if isinstance(value, (str, bool, int, float)) or value is None:
+        return value
+    if hasattr(value, "item"):  # numpy scalar
+        return value.item()
+    return str(value)
 
 
 def render_table(
@@ -56,3 +72,27 @@ class TableResult:
         """Values of one column by header name (for test assertions)."""
         i = self.headers.index(name)
         return [row[i] for row in self.rows]
+
+    def to_json(self) -> str:
+        """Serialize for the on-disk result cache (render-identical)."""
+        return json.dumps(
+            {
+                "experiment": self.experiment,
+                "title": self.title,
+                "headers": [str(h) for h in self.headers],
+                "rows": [[_json_cell(c) for c in row] for row in self.rows],
+                "notes": [str(n) for n in self.notes],
+            },
+            indent=1,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "TableResult":
+        data = json.loads(text)
+        return cls(
+            experiment=data["experiment"],
+            title=data["title"],
+            headers=list(data["headers"]),
+            rows=[list(row) for row in data["rows"]],
+            notes=list(data["notes"]),
+        )

@@ -2,12 +2,16 @@
 
 Commands
 --------
-``experiments [IDs...] [--workers W] [--backend B]``
+``experiments [IDs...] [--workers W] [--backend B] [--cache] [--force]``
     Run experiments (default: all) and print their tables.
-    ``--backend`` selects the trial-loop execution backend (``serial`` |
-    ``process`` | ``vectorized``); ``--workers`` sizes the ``process``
-    pool (default: CPU count).  The ``process`` backend is bit-identical
-    to serial for a fixed ``--seed``.
+    ``--backend`` selects the execution backend (``serial`` | ``process``
+    | ``vectorized``) for sweep cells and trial loops; ``--workers``
+    sizes the ``process`` pool (default: CPU count).  The ``process``
+    backend is bit-identical to serial for a fixed ``--seed``.
+    ``--cache``/``--no-cache`` toggles the on-disk result cache
+    (``benchmarks/output/cache/``; a warm run re-executes nothing),
+    ``--force`` recomputes and refreshes cached entries, and
+    ``--cache-dir`` relocates the store.
 ``validate TOPOLOGY [-n N]``
     Build an input graph and check properties P1-P4.
 ``simulate [-n N] [--beta B] [--epochs E] [--churn R]``
@@ -32,9 +36,12 @@ def _cmd_experiments(args) -> int:
     names = [n.upper() for n in (args.ids or sorted(
         EXPERIMENTS, key=lambda k: int(k[1:])
     ))]
+    # a custom cache root is a request to use the cache
+    cache = args.cache or args.cache_dir is not None
     for name in names:
         table = run_experiment(
-            name, seed=args.seed, fast=not args.full, exec_config=exec_config
+            name, seed=args.seed, fast=not args.full, exec_config=exec_config,
+            cache=cache, force=args.force, cache_dir=args.cache_dir,
         )
         print(table.render())
         print()
@@ -114,7 +121,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pe.add_argument(
         "--workers", type=_positive_int, default=None,
-        help="process-pool size for --backend process (default: CPU count)",
+        help="process-pool size for --backend process (default: CPU count); "
+             "sweep cells and trial loops share it",
+    )
+    pe.add_argument(
+        "--cache", action=argparse.BooleanOptionalAction, default=False,
+        help="consult/populate the on-disk result cache keyed by "
+             "(experiment, seed, fast, overrides, version); a warm run "
+             "re-executes nothing",
+    )
+    pe.add_argument(
+        "--force", action="store_true",
+        help="recompute even on a cache hit and refresh the stored entry "
+             "(implies --cache)",
+    )
+    pe.add_argument(
+        "--cache-dir", default=None,
+        help="cache root (default: benchmarks/output/cache, or "
+             "$REPRO_CACHE_DIR); implies --cache",
     )
     pe.set_defaults(fn=_cmd_experiments)
 

@@ -1,5 +1,18 @@
-"""Per-claim experiment harness (E1-E12; see DESIGN.md §3)."""
+"""Per-claim experiment harness (E1-E15; see DESIGN.md §3).
 
-from .runner import EXPERIMENTS, run_all, run_experiment
+Each experiment module declares its grid as a
+:class:`~repro.sim.sweep.SweepSpec` (``build_spec``) and keeps a ``run``
+convenience wrapper; the runner dispatches, validates overrides, and
+consults the on-disk result cache (:mod:`repro.experiments.cache`).
+"""
 
-__all__ = ["EXPERIMENTS", "run_experiment", "run_all"]
+from .cache import ResultCache
+from .runner import EXPERIMENTS, SPEC_BUILDERS, run_all, run_experiment
+
+__all__ = [
+    "EXPERIMENTS",
+    "ResultCache",
+    "SPEC_BUILDERS",
+    "run_all",
+    "run_experiment",
+]

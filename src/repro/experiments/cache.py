@@ -1,0 +1,148 @@
+"""On-disk result cache for experiment tables.
+
+``run_all`` regenerates fifteen tables even when nothing changed; this
+module gives every experiment run an addressable identity —
+``(experiment, seed, fast, overrides, repro version)`` — and stores the
+finished :class:`~repro.analysis.tables.TableResult` as JSON under that
+key (default root: ``benchmarks/output/cache/``), so a warm run loads the
+table instead of re-executing a single sweep cell.
+
+The key deliberately excludes the execution backend: the sweep substrate
+guarantees bit-identical tables at any worker count, so a table computed
+by a 4-worker pool is a valid hit for a serial run and vice versa.  The
+package version is part of the key, so caches self-invalidate on release
+bumps; corrupt or unreadable entries are treated as misses, never errors.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import warnings
+
+from ..analysis.tables import TableResult
+
+__all__ = ["ResultCache", "cache_key", "default_cache_dir"]
+
+# three levels above src/repro/experiments/ is the repo root — but only
+# for the source checkout this project is actually run from; under an
+# installed package that path lands inside the interpreter's lib tree
+_REPO_ROOT = pathlib.Path(__file__).resolve().parents[3]
+
+
+def default_cache_dir() -> pathlib.Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``benchmarks/output/cache/``.
+
+    The benchmarks directory anchors the repo-root heuristic: when it is
+    absent (installed package rather than a checkout), fall back to the
+    working directory instead of silently writing into site-packages.
+    """
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return pathlib.Path(env)
+    root = _REPO_ROOT if (_REPO_ROOT / "benchmarks").is_dir() else pathlib.Path.cwd()
+    return root / "benchmarks" / "output" / "cache"
+
+
+def _canonical(value: object) -> object:
+    """Reduce an override value to a canonical JSON-stable form.
+
+    Tuples and lists collapse to lists (the CLI cannot distinguish them),
+    dict keys become sorted strings, NumPy scalars their Python values;
+    anything else keys by ``repr``.
+    """
+    if isinstance(value, (tuple, list)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _canonical(value[k]) for k in sorted(value, key=str)}
+    if isinstance(value, (str, bool, int, float)) or value is None:
+        return value
+    if hasattr(value, "item"):  # numpy scalar
+        return value.item()
+    return repr(value)
+
+
+def cache_key(
+    experiment: str,
+    seed: int,
+    fast: bool,
+    overrides: dict,
+    version: str | None = None,
+) -> str:
+    """Content address for one experiment run."""
+    if version is None:
+        from .. import __version__ as version
+    payload = json.dumps(
+        {
+            "experiment": experiment.upper(),
+            "seed": int(seed),
+            "fast": bool(fast),
+            "overrides": _canonical(dict(overrides)),
+            "version": version,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:20]
+
+
+class ResultCache:
+    """JSON table store keyed by :func:`cache_key`."""
+
+    def __init__(self, root: str | os.PathLike | None = None):
+        self.root = pathlib.Path(root) if root is not None else default_cache_dir()
+
+    def path_for(
+        self, experiment: str, seed: int, fast: bool, overrides: dict
+    ) -> pathlib.Path:
+        key = cache_key(experiment, seed, fast, overrides)
+        return self.root / f"{experiment.lower()}-{key}.json"
+
+    def load(
+        self, experiment: str, seed: int, fast: bool, overrides: dict
+    ) -> TableResult | None:
+        """The cached table, or None on a miss or an unreadable entry."""
+        path = self.path_for(experiment, seed, fast, overrides)
+        try:
+            text = path.read_text()
+        except OSError:
+            return None
+        try:
+            return TableResult.from_json(text)
+        except (ValueError, KeyError, TypeError):
+            return None  # corrupt entry: recompute rather than crash
+
+    def store(
+        self,
+        experiment: str,
+        seed: int,
+        fast: bool,
+        overrides: dict,
+        table: TableResult,
+    ) -> pathlib.Path | None:
+        """Write the table; returns its path, or None if the root is
+        unwritable (caching degrades to a no-op with a warning — a
+        read-only install must not crash a successful run)."""
+        path = self.path_for(experiment, seed, fast, overrides)
+        # per-writer tmp name: concurrent same-key runners each rename their
+        # own complete file, so readers never see a partial table and no
+        # writer loses its tmp to another's rename
+        tmp = path.with_suffix(f".{os.getpid()}.tmp")
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp.write_text(table.to_json())
+            tmp.replace(path)
+        except OSError as exc:
+            warnings.warn(
+                f"result cache at {self.root} is not writable ({exc}); "
+                "skipping the store",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+            return None
+        return path

@@ -11,6 +11,10 @@ Two views of the same knee:
    ``p_f(size) * D < 1``; below ``~log log n`` sizes the failure rate
    collapses toward 1, above it it vanishes — the knee that makes
    ``Theta(log log n)`` "the limit of what is possible".
+
+Declared as a single-cell :class:`~repro.sim.sweep.SweepSpec` (the theory
+rows are free; the measured sizes share one adversary population so the
+knee is read off a fixed instance).
 """
 
 from __future__ import annotations
@@ -29,30 +33,16 @@ from ..core.static_case import constructive_static_graph, measure_static_search
 from ..idspace.ring import Ring
 from ..inputgraph import make_input_graph
 from ..sim.montecarlo import ExecutionConfig
+from ..sim.sweep import CellOut, SweepSpec, run_sweep
 
-__all__ = ["run"]
+__all__ = ["run", "build_spec"]
 
 
-def run(
-    seed: int = 0,
-    fast: bool = True,
-    beta: float = 0.12,
-    n_theory: tuple[int, ...] = (2**8, 2**10, 2**12, 2**16, 2**20, 2**30),
-    n_measured: int | None = None,
-    sizes: tuple[int, ...] = (2, 3, 4, 6, 8, 12, 16, 24),
-    probes: int | None = None,
-    # accepted for uniform dispatch (runner/CLI); this module's
-    # sweeps consume one shared stream, so they stay serial
-    exec_config: ExecutionConfig | None = None,
-) -> TableResult:
-    n_measured = n_measured or (1024 if fast else 4096)
-    probes = probes or (8000 if fast else 40_000)
-    rng = np.random.default_rng(seed)
-    table = TableResult(
-        experiment="E11",
-        title=f"Group-size limits (beta={beta})",
-        headers=["view", "n", "group size", "p_f(size)", "D*p_f", "failure rate"],
-    )
+def _cell(
+    rng: np.random.Generator, *, beta: float, n_theory: tuple[int, ...],
+    n_measured: int, sizes: tuple[int, ...], probes: int, seed: int,
+):
+    rows = []
     # --- theory curve ----------------------------------------------------------
     params0 = SystemParams(n=n_measured, beta=beta, seed=seed)
     thr = params0.bad_member_threshold
@@ -60,10 +50,10 @@ def run(
         ln_n = np.log(n)
         s_tiny = group_size_for_target(n, beta, thr, 1.0 / ln_n**3)
         s_classic = group_size_for_target(n, beta, thr, 1.0 / float(n) ** 2)
-        table.add_row("theory: 1/ln^3 n target", n, s_tiny,
-                      f"{bad_group_probability(s_tiny, beta, thr):.1e}", "-", "-")
-        table.add_row("theory: 1/n^2 target", n, s_classic,
-                      f"{bad_group_probability(s_classic, beta, thr):.1e}", "-", "-")
+        rows.append(["theory: 1/ln^3 n target", n, s_tiny,
+                     f"{bad_group_probability(s_tiny, beta, thr):.1e}", "-", "-"])
+        rows.append(["theory: 1/n^2 target", n, s_classic,
+                     f"{bad_group_probability(s_classic, beta, thr):.1e}", "-", "-"])
     # --- measured knee ------------------------------------------------------------
     adv = UniformAdversary(beta)
     ids, bad = adv.population(n_measured, rng)
@@ -78,18 +68,55 @@ def run(
         gg, gs, q = constructive_static_graph(H, params, bad, rng=rng)
         stats = measure_static_search(gg, probes, rng)
         pf = bad_group_probability(s, beta, thr)
-        table.add_row(
+        rows.append([
             "measured", n_measured, s, f"{pf:.3f}",
             f"{union_bound_failure(pf, D):.2f}", f"{stats.failure_rate:.3f}",
-        )
+        ])
     lnln = params0.ln_ln_n
-    table.add_note(
-        f"ln ln n at n={n_measured} is {lnln:.1f}; the failure knee should "
-        f"sit near d*ln ln n with small d — sizes below it fail most "
-        f"searches, a few multiples above it fail almost none"
+    return CellOut(
+        rows=rows,
+        notes=(
+            f"ln ln n at n={n_measured} is {lnln:.1f}; the failure knee should "
+            f"sit near d*ln ln n with small d — sizes below it fail most "
+            f"searches, a few multiples above it fail almost none",
+            "small-size rows are non-monotone: the (1+delta)beta cutoff rounds "
+            "to an integer bad-member budget, producing the binomial sawtooth",
+        ),
     )
-    table.add_note(
-        "small-size rows are non-monotone: the (1+delta)beta cutoff rounds "
-        "to an integer bad-member budget, producing the binomial sawtooth"
+
+
+def build_spec(
+    seed: int = 0,
+    fast: bool = True,
+    beta: float = 0.12,
+    n_theory: tuple[int, ...] = (2**8, 2**10, 2**12, 2**16, 2**20, 2**30),
+    n_measured: int | None = None,
+    sizes: tuple[int, ...] = (2, 3, 4, 6, 8, 12, 16, 24),
+    probes: int | None = None,
+) -> SweepSpec:
+    n_measured = n_measured or (1024 if fast else 4096)
+    probes = probes or (8000 if fast else 40_000)
+    return SweepSpec(
+        experiment="E11",
+        title=f"Group-size limits (beta={beta})",
+        headers=["view", "n", "group size", "p_f(size)", "D*p_f", "failure rate"],
+        cell=_cell,
+        context=dict(
+            beta=beta, n_theory=tuple(n_theory), n_measured=n_measured,
+            sizes=tuple(sizes), probes=probes, seed=seed,
+        ),
+        seed=seed,
     )
-    return table
+
+
+def run(
+    seed: int = 0,
+    fast: bool = True,
+    exec_config: ExecutionConfig | None = None,
+    **overrides,
+) -> TableResult:
+    """Execute the sweep; ``build_spec`` is the single source of truth
+    for the experiment's knobs and defaults."""
+    return run_sweep(
+        build_spec(seed=seed, fast=fast, **overrides), exec_config=exec_config
+    )

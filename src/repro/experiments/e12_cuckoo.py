@@ -12,6 +12,10 @@ rejoin churn the attack is made of, instead of out-sizing it.
 Shape expectations (absolute event counts vary with the simulator's
 constants): survival time increases steeply with group size; sizes ≤ 16
 fail quickly; 64 survives the full run.
+
+Declared as a single-cell :class:`~repro.sim.sweep.SweepSpec` that opts
+into ``exec_config``: the cell itself fans its (construction, |G|) churn
+cases out across the spawn pool, exactly as before the sweep migration.
 """
 
 from __future__ import annotations
@@ -24,8 +28,9 @@ from ..analysis.theory import bad_group_probability
 from ..baselines.cuckoo import CuckooResult, CuckooSimulator
 from ..core.params import SystemParams
 from ..sim.montecarlo import ExecutionConfig, spawn_map
+from ..sim.sweep import CellOut, SweepSpec, run_sweep
 
-__all__ = ["run"]
+__all__ = ["run", "build_spec"]
 
 
 def _churn_case(sim_kwargs: dict, events: int) -> CuckooResult:
@@ -35,27 +40,11 @@ def _churn_case(sim_kwargs: dict, events: int) -> CuckooResult:
     return CuckooSimulator(**sim_kwargs).run(events)
 
 
-def run(
-    seed: int = 0,
-    fast: bool = True,
-    n: int | None = None,
-    beta: float = 0.002,
-    sizes: tuple[int, ...] = (8, 16, 32, 64),
-    events: int | None = None,
-    threshold: float = 1.0 / 3.0,
-    commensal_beta: float = 0.02,
-    exec_config: ExecutionConfig | None = None,
-) -> TableResult:
-    n = n or (4096 if fast else 8192)
-    events = events or (20_000 if fast else 100_000)
-    table = TableResult(
-        experiment="E12",
-        title=f"Cuckoo rule vs tiny groups under join-leave attack (n={n})",
-        headers=[
-            "construction", "beta", "|G|", "events survived",
-            "failed", "max bad frac",
-        ],
-    )
+def _cell(
+    rng: np.random.Generator, *, n: int, beta: float, sizes: tuple[int, ...],
+    events: int, threshold: float, commensal_beta: float, seed: int,
+    exec_config: ExecutionConfig | None,
+):
     cases = [
         ("cuckoo", dict(n=n, beta=beta, group_size=size, k=2,
                         threshold=threshold, seed=seed))
@@ -71,22 +60,67 @@ def run(
         _churn_case, [kw for _, kw in cases], [events] * len(cases),
         workers=exec_config.resolved_workers() if use_pool else 1,
     )
+    rows = []
     for (label, kw), out in zip(cases, outs):
-        table.add_row(
+        rows.append([
             label, f"{kw['beta']:.3f}", kw["group_size"], out.events_survived,
             "YES" if out.failed else "no", f"{out.max_bad_fraction:.2f}",
-        )
+        ])
     # tiny-group construction at the same n for contrast
     params = SystemParams(n=n, beta=0.05, seed=seed)
     m = params.group_solicit_size
     pf = bad_group_probability(m, 0.05, params.bad_member_threshold)
-    table.add_row(
-        "tiny groups + PoW", "0.050", m, f"(churn throttled by PoW)",
+    rows.append([
+        "tiny groups + PoW", "0.050", m, "(churn throttled by PoW)",
         "no", f"p_f~{pf:.1e}",
+    ])
+    return CellOut(
+        rows=rows,
+        notes=(
+            "[47]'s finding reproduced in shape: survival grows steeply with "
+            "|G|; the paper's point is that PoW removes the rejoin lever, so "
+            "|G| can drop to Theta(log log n)",
+        ),
     )
-    table.add_note(
-        "[47]'s finding reproduced in shape: survival grows steeply with "
-        "|G|; the paper's point is that PoW removes the rejoin lever, so "
-        "|G| can drop to Theta(log log n)"
+
+
+def build_spec(
+    seed: int = 0,
+    fast: bool = True,
+    n: int | None = None,
+    beta: float = 0.002,
+    sizes: tuple[int, ...] = (8, 16, 32, 64),
+    events: int | None = None,
+    threshold: float = 1.0 / 3.0,
+    commensal_beta: float = 0.02,
+) -> SweepSpec:
+    n = n or (4096 if fast else 8192)
+    events = events or (20_000 if fast else 100_000)
+    return SweepSpec(
+        experiment="E12",
+        title=f"Cuckoo rule vs tiny groups under join-leave attack (n={n})",
+        headers=[
+            "construction", "beta", "|G|", "events survived",
+            "failed", "max bad frac",
+        ],
+        cell=_cell,
+        context=dict(
+            n=n, beta=beta, sizes=tuple(sizes), events=events,
+            threshold=threshold, commensal_beta=commensal_beta, seed=seed,
+        ),
+        seed=seed,
+        pass_exec_config=True,
     )
-    return table
+
+
+def run(
+    seed: int = 0,
+    fast: bool = True,
+    exec_config: ExecutionConfig | None = None,
+    **overrides,
+) -> TableResult:
+    """Execute the sweep; ``build_spec`` is the single source of truth
+    for the experiment's knobs and defaults."""
+    return run_sweep(
+        build_spec(seed=seed, fast=fast, **overrides), exec_config=exec_config
+    )

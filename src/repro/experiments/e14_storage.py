@@ -7,6 +7,9 @@ data is reachable and maintained reliably" — requires repair: without it,
 replica sets thin out with churn until majorities flip; with it,
 availability tracks the red-group fraction as long as churn stays inside
 the ``eps'/2`` model.
+
+Declared as a single-cell :class:`~repro.sim.sweep.SweepSpec` (the churn
+rounds form one stateful trajectory over the paired stores).
 """
 
 from __future__ import annotations
@@ -20,8 +23,9 @@ from ..core.static_case import constructive_static_graph
 from ..core.storage import GroupStore
 from ..inputgraph import make_input_graph
 from ..sim.montecarlo import ExecutionConfig
+from ..sim.sweep import CellOut, SweepSpec, run_sweep
 
-__all__ = ["run"]
+__all__ = ["run", "build_spec"]
 
 
 def _fresh_store(params, beta, rng, topology):
@@ -32,23 +36,11 @@ def _fresh_store(params, beta, rng, topology):
     return GroupStore(gg, bad, departed=departed), bad, departed
 
 
-def run(
-    seed: int = 0,
-    fast: bool = True,
-    n: int | None = None,
-    beta: float = 0.10,
-    objects: int | None = None,
-    churn_rounds: int = 6,
-    departure_rate: float = 0.25,
-    topology: str = "chord",
-    # accepted for uniform dispatch (runner/CLI); this module's
-    # sweeps consume one shared stream, so they stay serial
-    exec_config: ExecutionConfig | None = None,
-) -> TableResult:
-    n = n or (512 if fast else 2048)
-    objects = objects or (300 if fast else 2000)
+def _cell(
+    rng: np.random.Generator, *, n: int, beta: float, objects: int,
+    churn_rounds: int, departure_rate: float, topology: str, seed: int,
+):
     params = SystemParams(n=n, beta=beta, seed=seed)
-    rng = np.random.default_rng(seed)
 
     # Both stores start identical; the repair store migrates to a fresh
     # epoch graph each round (what the dynamic protocol does), while the
@@ -61,19 +53,10 @@ def run(
         store_rep.put(float(k), f"obj-{k:.6f}", int(rng.integers(store_rep.gg.n)), rng)
         store_no.put(float(k), f"obj-{k:.6f}", int(rng.integers(store_no.gg.n)), rng)
 
-    table = TableResult(
-        experiment="E14",
-        title=f"Storage durability under churn (n={n}, beta={beta}, "
-        f"{objects} objects, {departure_rate:.0%} departures/round)",
-        headers=[
-            "round", "availability (epoch repair)", "availability (pinned)",
-            "migrated", "replica-loss failures (pinned)",
-        ],
-    )
-    table.add_row(
+    rows = [[
         0, f"{store_rep.survey(rng).availability:.1%}",
         f"{store_no.survey(rng).availability:.1%}", "-", 0,
-    )
+    ]]
     for rnd in range(1, churn_rounds + 1):
         # departures hit both member pools
         for bad_mask, dep in ((bad_rep, dep_rep), (bad_no, dep_no)):
@@ -85,15 +68,59 @@ def run(
         store_rep = next_store
         s_rep = store_rep.survey(rng)
         s_no = store_no.survey(rng)
-        table.add_row(
+        rows.append([
             rnd, f"{s_rep.succeeded / objects:.1%}",
             f"{s_no.succeeded / objects:.1%}",
             migrated, s_no.failed_replicas,
-        )
-    table.add_note(
-        "epoch repair re-homes objects into each fresh group graph via "
-        "surviving good majorities, holding availability at ~(1 - eps); "
-        "pinned replicas decay until majorities flip — footnote 2's "
-        "redundancy needs the §III membership refresh"
+        ])
+    return CellOut(
+        rows=rows,
+        notes=(
+            "epoch repair re-homes objects into each fresh group graph via "
+            "surviving good majorities, holding availability at ~(1 - eps); "
+            "pinned replicas decay until majorities flip — footnote 2's "
+            "redundancy needs the §III membership refresh",
+        ),
     )
-    return table
+
+
+def build_spec(
+    seed: int = 0,
+    fast: bool = True,
+    n: int | None = None,
+    beta: float = 0.10,
+    objects: int | None = None,
+    churn_rounds: int = 6,
+    departure_rate: float = 0.25,
+    topology: str = "chord",
+) -> SweepSpec:
+    n = n or (512 if fast else 2048)
+    objects = objects or (300 if fast else 2000)
+    return SweepSpec(
+        experiment="E14",
+        title=f"Storage durability under churn (n={n}, beta={beta}, "
+        f"{objects} objects, {departure_rate:.0%} departures/round)",
+        headers=[
+            "round", "availability (epoch repair)", "availability (pinned)",
+            "migrated", "replica-loss failures (pinned)",
+        ],
+        cell=_cell,
+        context=dict(
+            n=n, beta=beta, objects=objects, churn_rounds=churn_rounds,
+            departure_rate=departure_rate, topology=topology, seed=seed,
+        ),
+        seed=seed,
+    )
+
+
+def run(
+    seed: int = 0,
+    fast: bool = True,
+    exec_config: ExecutionConfig | None = None,
+    **overrides,
+) -> TableResult:
+    """Execute the sweep; ``build_spec`` is the single source of truth
+    for the experiment's knobs and defaults."""
+    return run_sweep(
+        build_spec(seed=seed, fast=fast, **overrides), exec_config=exec_config
+    )

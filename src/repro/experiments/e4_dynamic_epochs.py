@@ -6,6 +6,11 @@ triple.  Theorem 3's signature is a *flat* series: the red-group fraction
 stays pinned at the per-epoch construction noise (Lemma 9's ``p_f``) instead
 of drifting — over polynomially many join/departure events (every epoch
 replaces all n IDs, so e epochs = e*n joins + e*n departures).
+
+Declared as a single-cell :class:`~repro.sim.sweep.SweepSpec`: the epoch
+series is one inherently sequential trajectory (epoch ``j+1`` consumes
+epoch ``j``'s graphs), so the whole body is one addressable cell on its
+own spawned stream.
 """
 
 from __future__ import annotations
@@ -17,25 +22,15 @@ from ..churn import UniformChurn
 from ..core.dynamic import EpochSimulator
 from ..core.params import SystemParams
 from ..sim.montecarlo import ExecutionConfig
+from ..sim.sweep import CellOut, SweepSpec, run_sweep
 
-__all__ = ["run"]
+__all__ = ["run", "build_spec"]
 
 
-def run(
-    seed: int = 0,
-    fast: bool = True,
-    n: int | None = None,
-    beta: float = 0.05,
-    d2: float = 10.0,
-    epochs: int | None = None,
-    churn_rate: float = 0.05,
-    topology: str = "chord",
-    # accepted for uniform dispatch (runner/CLI); this module's
-    # sweeps consume one shared stream, so they stay serial
-    exec_config: ExecutionConfig | None = None,
-) -> TableResult:
-    n = n or (512 if fast else 2048)
-    epochs = epochs or (6 if fast else 12)
+def _cell(
+    rng: np.random.Generator, *, n: int, beta: float, d2: float, epochs: int,
+    churn_rate: float, topology: str, probes: int, seed: int,
+):
     # Lemma 9 requires d2 "sufficiently large" for the epoch map to have a
     # stable small fixed point (k >= 2c + gamma); d2 = 10 at these n keeps
     # the per-epoch red probability strictly below the dual-search budget.
@@ -44,19 +39,12 @@ def run(
         params,
         topology=topology,
         churn=UniformChurn(rate=churn_rate),
-        probes=2000 if fast else 10_000,
-        rng=np.random.default_rng(seed),
+        probes=probes,
+        rng=rng,
     )
-    table = TableResult(
-        experiment="E4",
-        title=f"Dynamic ε-robustness over epochs (n={n}, beta={beta}, churn={churn_rate})",
-        headers=[
-            "epoch", "frac red", "frac bad", "frac confused", "q_f",
-            "eps achieved", "departures", "memberships/ID",
-        ],
-    )
+    rows = []
     for rep in sim.run(epochs):
-        table.add_row(
+        rows.append([
             rep.epoch,
             f"{rep.fraction_red:.4f}",
             f"{0.5 * (rep.fraction_bad_1 + rep.fraction_bad_2):.4f}",
@@ -65,17 +53,58 @@ def run(
             f"{rep.robustness.epsilon_achieved:.4f}",
             rep.departures,
             f"{rep.mean_membership:.1f}",
-        )
+        ])
     reds = [r.fraction_red for r in sim.history]
     half = max(1, len(reds) // 2)
     early, late = float(np.mean(reds[:half])), float(np.mean(reds[half:]))
-    table.add_note(
-        f"stability: mean red fraction early={early:.4f} vs late={late:.4f} "
-        f"(Theorem 3 => no upward drift; requires the Lemma 9 regime — "
-        f"see E5/E11 for what happens outside it)"
+    return CellOut(
+        rows=rows,
+        notes=(
+            f"stability: mean red fraction early={early:.4f} vs late={late:.4f} "
+            f"(Theorem 3 => no upward drift; requires the Lemma 9 regime — "
+            f"see E5/E11 for what happens outside it)",
+            f"churn processed: ~{epochs * n} joins + {epochs * n} departures "
+            f"(full population turnover each epoch)",
+        ),
     )
-    table.add_note(
-        f"churn processed: ~{epochs * n} joins + {epochs * n} departures "
-        f"(full population turnover each epoch)"
+
+
+def build_spec(
+    seed: int = 0,
+    fast: bool = True,
+    n: int | None = None,
+    beta: float = 0.05,
+    d2: float = 10.0,
+    epochs: int | None = None,
+    churn_rate: float = 0.05,
+    topology: str = "chord",
+) -> SweepSpec:
+    n = n or (512 if fast else 2048)
+    epochs = epochs or (6 if fast else 12)
+    return SweepSpec(
+        experiment="E4",
+        title=f"Dynamic ε-robustness over epochs (n={n}, beta={beta}, churn={churn_rate})",
+        headers=[
+            "epoch", "frac red", "frac bad", "frac confused", "q_f",
+            "eps achieved", "departures", "memberships/ID",
+        ],
+        cell=_cell,
+        context=dict(
+            n=n, beta=beta, d2=d2, epochs=epochs, churn_rate=churn_rate,
+            topology=topology, probes=2000 if fast else 10_000, seed=seed,
+        ),
+        seed=seed,
     )
-    return table
+
+
+def run(
+    seed: int = 0,
+    fast: bool = True,
+    exec_config: ExecutionConfig | None = None,
+    **overrides,
+) -> TableResult:
+    """Execute the sweep; ``build_spec`` is the single source of truth
+    for the experiment's knobs and defaults."""
+    return run_sweep(
+        build_spec(seed=seed, fast=fast, **overrides), exec_config=exec_config
+    )

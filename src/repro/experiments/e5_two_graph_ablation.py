@@ -19,6 +19,12 @@ Two views:
   for dual, 1 for single) at a large ``n``: the dual series converges below
   the ``1/ln^k n`` budget, the single series escapes to 1.  This is the
   regime the paper's "sufficiently large n" lives in.
+
+Part A is a ``p_f0``-axis :class:`~repro.sim.sweep.SweepSpec` — each cell
+runs its dual/single transition pair (both variants share one sub-seed so
+the comparison stays paired) on its own spawned stream, cell-parallel
+under the process backend.  Part B is deterministic and assembled in the
+spec's finalize hook.
 """
 
 from __future__ import annotations
@@ -32,8 +38,9 @@ from ..core.params import SystemParams
 from ..idspace.ring import Ring
 from ..inputgraph import make_input_graph
 from ..sim.montecarlo import ExecutionConfig
+from ..sim.sweep import SweepSpec, run_sweep
 
-__all__ = ["run"]
+__all__ = ["run", "build_spec"]
 
 
 def _transition_once(
@@ -73,48 +80,37 @@ def _transition_once(
     return rep.fraction_red
 
 
+def _cell(
+    rng: np.random.Generator, *, pf0: float, n: int, beta: float,
+    topology: str, seed: int, **_finalize_only,
+):
+    params = SystemParams(n=n, beta=beta, seed=seed)
+    # one sub-seed for both variants: dual and single see the identical
+    # population and old-graph colouring, so the ratio is a paired contrast
+    sub = int(rng.integers(0, 2**32))
+    r2 = _transition_once(n, beta, pf0, params, True, sub, topology)
+    r1 = _transition_once(n, beta, pf0, params, False, sub, topology)
+    ratio = r1 / max(r2, 1.0 / n)
+    return [[
+        "A: one transition", f"{pf0:.3f}", f"{r2:.4f}", f"{r1:.4f}",
+        f"{ratio:.1f}x", "ratio grows ~1/p_f0",
+    ]]
+
+
 # Part B delegates to the shared epoch-map model (analysis.regimes), which
 # also powers the stability checks of E4's parameter choice.
 
 
-def run(
-    seed: int = 0,
-    fast: bool = True,
-    n: int | None = None,
-    beta: float = 0.05,
-    pf0_values: tuple[float, ...] = (0.005, 0.01, 0.02, 0.05),
-    topology: str = "chord",
-    analytic_n: float = 2.0**20,
-    analytic_epochs: int = 8,
-    # accepted for uniform dispatch (runner/CLI); this module's
-    # sweeps consume one shared stream, so they stay serial
-    exec_config: ExecutionConfig | None = None,
-) -> TableResult:
-    n = n or (512 if fast else 2048)
-    params = SystemParams(n=n, beta=beta, seed=seed)
-    table = TableResult(
-        experiment="E5",
-        title=f"Two-graph vs single-graph capture (n={n}, beta={beta})",
-        headers=[
-            "view", "p_f0 / epoch", "red frac (two)", "red frac (one)",
-            "one/two ratio", "expected",
-        ],
-    )
-    for pf0 in pf0_values:
-        r2 = _transition_once(n, beta, pf0, params, True, seed, topology)
-        r1 = _transition_once(n, beta, pf0, params, False, seed, topology)
-        ratio = r1 / max(r2, 1.0 / n)
-        table.add_row(
-            "A: one transition", f"{pf0:.3f}", f"{r2:.4f}", f"{r1:.4f}",
-            f"{ratio:.1f}x", "ratio grows ~1/p_f0",
-        )
+def _finalize(table: TableResult, results, context) -> None:
     # Part B runs in the Lemma 9 regime: pick the smallest membership-slot
     # count that makes the dual map contract at the analytic n (the
     # "d2 sufficiently large" clause, computed rather than hand-tuned).
-    big_params = SystemParams(n=int(analytic_n), beta=beta, seed=seed)
+    beta, seed = context["beta"], context["seed"]
+    big_params = SystemParams(n=int(context["analytic_n"]), beta=beta, seed=seed)
     m = minimum_d2_for_stability(big_params)
-    dual_series = iterate_epoch_map(big_params, analytic_epochs, dual=True, m=m)
-    single_series = iterate_epoch_map(big_params, analytic_epochs, dual=False, m=m)
+    epochs = context["analytic_epochs"]
+    dual_series = iterate_epoch_map(big_params, epochs, dual=True, m=m)
+    single_series = iterate_epoch_map(big_params, epochs, dual=False, m=m)
     for j, (pd, ps) in enumerate(zip(dual_series, single_series)):
         table.add_row(
             f"B: analytic n=2^20 (m={m})", f"epoch {j}", f"{pd:.2e}",
@@ -131,4 +127,45 @@ def run(
         "accumulating past any 1/polylog budget while the dual map is a "
         "contraction — the reason §III uses two graphs per epoch"
     )
-    return table
+
+
+def build_spec(
+    seed: int = 0,
+    fast: bool = True,
+    n: int | None = None,
+    beta: float = 0.05,
+    pf0_values: tuple[float, ...] = (0.005, 0.01, 0.02, 0.05),
+    topology: str = "chord",
+    analytic_n: float = 2.0**20,
+    analytic_epochs: int = 8,
+) -> SweepSpec:
+    n = n or (512 if fast else 2048)
+    return SweepSpec(
+        experiment="E5",
+        title=f"Two-graph vs single-graph capture (n={n}, beta={beta})",
+        headers=[
+            "view", "p_f0 / epoch", "red frac (two)", "red frac (one)",
+            "one/two ratio", "expected",
+        ],
+        cell=_cell,
+        axes=(("pf0", tuple(pf0_values)),),
+        context=dict(
+            n=n, beta=beta, topology=topology, seed=seed,
+            analytic_n=analytic_n, analytic_epochs=analytic_epochs,
+        ),
+        seed=seed,
+        finalize=_finalize,
+    )
+
+
+def run(
+    seed: int = 0,
+    fast: bool = True,
+    exec_config: ExecutionConfig | None = None,
+    **overrides,
+) -> TableResult:
+    """Execute the sweep; ``build_spec`` is the single source of truth
+    for the experiment's knobs and defaults."""
+    return run_sweep(
+        build_spec(seed=seed, fast=fast, **overrides), exec_config=exec_config
+    )

@@ -11,6 +11,10 @@ Two measurements on a dynamic run:
    erroneously accepts only when *both* its verification searches fail
    (``~q_f^2``), so even ``n`` spam requests per epoch yield ``O(1)``
    erroneous accepts in expectation.
+
+Declared as a single-cell :class:`~repro.sim.sweep.SweepSpec` (the spam
+attack reuses the epoch trajectory's final pair, so the body is one
+sequential unit).
 """
 
 from __future__ import annotations
@@ -23,24 +27,16 @@ from ..core.dynamic import EpochSimulator
 from ..core.group_graph import GroupGraph
 from ..core.params import SystemParams
 from ..sim.montecarlo import ExecutionConfig
+from ..sim.sweep import CellOut, SweepSpec, run_sweep
 
-__all__ = ["run"]
+__all__ = ["run", "build_spec"]
 
 
-def run(
-    seed: int = 0,
-    fast: bool = True,
-    n: int | None = None,
-    beta: float = 0.10,
-    epochs: int = 3,
-    spam_per_good_id: int = 4,
-    # accepted for uniform dispatch (runner/CLI); this module's
-    # sweeps consume one shared stream, so they stay serial
-    exec_config: ExecutionConfig | None = None,
-) -> TableResult:
-    n = n or (512 if fast else 2048)
+def _cell(
+    rng: np.random.Generator, *, n: int, beta: float, epochs: int,
+    spam_per_good_id: int, seed: int,
+):
     params = SystemParams(n=n, beta=beta, seed=seed)
-    rng = np.random.default_rng(seed)
     sim = EpochSimulator(
         params, churn=UniformChurn(rate=0.05), probes=2000, rng=rng
     )
@@ -65,33 +61,68 @@ def run(
     accepted = (~ev1.success) & (~ev2.success)
     per_good = accepted.sum() / max(1, (~pair.bad_mask).sum())
 
-    table = TableResult(
-        experiment="E7",
-        title=f"Lemma 10 state costs (n={n}, beta={beta})",
-        headers=["quantity", "measured", "bound/prediction", "within"],
-    )
+    rows = []
     bound_mean = 2.0 * params.group_solicit_size
-    table.add_row(
+    rows.append([
         "mean memberships/good ID", f"{mean_m:.2f}",
         f"O(log log n) ~ {params.group_solicit_size}",
         "ok" if mean_m <= bound_mean else "FAIL",
-    )
-    table.add_row("p99 memberships", f"{p99:.1f}", "tight tail", "-")
+    ])
+    rows.append(["p99 memberships", f"{p99:.1f}", "tight tail", "-"])
     # the busiest ID owns a Theta(log n / n) arc and is solicited for each
     # of the m = d2 ln ln n points landing in it: max ~ O(log n * log log n)
     max_bound = 2.5 * params.group_solicit_size * params.ln_n
-    table.add_row("max memberships", mx,
-                  f"<= O(log n loglog n) ~ {max_bound:.0f}",
-                  "ok" if mx <= max_bound else "FAIL")
+    rows.append([
+        "max memberships", mx,
+        f"<= O(log n loglog n) ~ {max_bound:.0f}",
+        "ok" if mx <= max_bound else "FAIL",
+    ])
     qf1 = last.qf_1
     pred_err = spam * max(qf1, 1e-6) ** 2 / max(1, (~pair.bad_mask).sum())
-    table.add_row(
+    rows.append([
         f"spam accepts/good ID ({spam} reqs)", f"{per_good:.4f}",
         f"~ spam * q_f^2 / good = {pred_err:.4f}",
         "ok" if per_good <= max(4 * pred_err, 0.05) else "FAIL",
+    ])
+    return CellOut(
+        rows=rows,
+        notes=(
+            "erroneous accepts need a dual verification failure: the state-"
+            "exhaustion attack of §III-A is quadratically damped",
+        ),
     )
-    table.add_note(
-        "erroneous accepts need a dual verification failure: the state-"
-        "exhaustion attack of §III-A is quadratically damped"
+
+
+def build_spec(
+    seed: int = 0,
+    fast: bool = True,
+    n: int | None = None,
+    beta: float = 0.10,
+    epochs: int = 3,
+    spam_per_good_id: int = 4,
+) -> SweepSpec:
+    n = n or (512 if fast else 2048)
+    return SweepSpec(
+        experiment="E7",
+        title=f"Lemma 10 state costs (n={n}, beta={beta})",
+        headers=["quantity", "measured", "bound/prediction", "within"],
+        cell=_cell,
+        context=dict(
+            n=n, beta=beta, epochs=epochs,
+            spam_per_good_id=spam_per_good_id, seed=seed,
+        ),
+        seed=seed,
     )
-    return table
+
+
+def run(
+    seed: int = 0,
+    fast: bool = True,
+    exec_config: ExecutionConfig | None = None,
+    **overrides,
+) -> TableResult:
+    """Execute the sweep; ``build_spec`` is the single source of truth
+    for the experiment's knobs and defaults."""
+    return run_sweep(
+        build_spec(seed=seed, fast=fast, **overrides), exec_config=exec_config
+    )

@@ -11,6 +11,11 @@ Three measurements on the puzzle scheme:
    its IDs to a chosen arc (here 5% of the ring): KS rejects uniformity and
    the arc concentration hits ~100%, versus ~5% under two hashes — the
    attack the composed scheme exists to stop.
+
+Declared as a single-cell :class:`~repro.sim.sweep.SweepSpec` that opts
+into ``exec_config`` (``pass_exec_config``): the minting Monte-Carlo still
+parallelizes its *trial loop* across the process pool when the experiment
+runs in-process.
 """
 
 from __future__ import annotations
@@ -24,8 +29,9 @@ from ..analysis.tables import TableResult
 from ..idspace.hashing import OracleSuite
 from ..pow.puzzles import PuzzleScheme
 from ..sim.montecarlo import ExecutionConfig, run_trials
+from ..sim.sweep import CellOut, SweepSpec, run_sweep
 
-__all__ = ["run"]
+__all__ = ["run", "build_spec"]
 
 
 def _mint_count_trial(
@@ -43,18 +49,11 @@ def _mint_count_trial(
     return float(scheme.mint_fast(power, window_steps, rng).size)
 
 
-def run(
-    seed: int = 0,
-    fast: bool = True,
-    n: int = 4096,
-    beta: float = 0.10,
-    epoch_length: int = 4096,
-    trials: int | None = None,
-    arc: tuple[float, float] = (0.2, 0.05),
-    exec_config: ExecutionConfig | None = None,
-) -> TableResult:
-    trials = trials or (20 if fast else 100)
-    rng = np.random.default_rng(seed)
+def _cell(
+    rng: np.random.Generator, *, n: int, beta: float, epoch_length: int,
+    trials: int, arc: tuple[float, float], seed: int,
+    exec_config: ExecutionConfig | None,
+):
     suite = OracleSuite(seed=seed)
     scheme = PuzzleScheme(suite, epoch_length=epoch_length)
     window_steps = 1.5 * epoch_length / 2.0
@@ -83,37 +82,71 @@ def run(
     def in_arc(ids: np.ndarray) -> float:
         return float(np.mean(np.mod(ids - arc[0], 1.0) < arc[1])) if ids.size else 0.0
 
-    table = TableResult(
+    rows = [
+        [
+            "adversary IDs per window (mean)", f"{mc.mean:.0f}",
+            f"<= (1+eps)*1.5*beta*n = {eps_bound:.0f}",
+            "ok" if mc.hi <= eps_bound else "FAIL",
+        ],
+        ["95% CI", f"[{mc.lo:.0f}, {mc.hi:.0f}]", f"E = {budget:.0f}", "-"],
+        [
+            "two-hash KS p-value", f"{ks_two.p_value:.3f}", ">= 0.01 (uniform)",
+            "ok" if ks_two.looks_uniform() else "FAIL",
+        ],
+        [
+            "two-hash IDs in 5% target arc", f"{in_arc(two_hash_ids):.3f}",
+            "~0.05 (cannot aim)", "ok" if in_arc(two_hash_ids) < 0.15 else "FAIL",
+        ],
+        [
+            "one-hash KS p-value", f"{ks_one.p_value:.2e}", "< 0.01 (clustered)",
+            "ok" if not ks_one.looks_uniform() else "FAIL",
+        ],
+        [
+            "one-hash IDs in 5% target arc", f"{in_arc(one_hash_ids):.3f}",
+            "~1.0 (fully aimed)", "ok" if in_arc(one_hash_ids) > 0.9 else "FAIL",
+        ],
+    ]
+    return CellOut(
+        rows=rows,
+        notes=(
+            "one-hash ablation = §IV-A 'Why Use Two Hash Functions?': grinding "
+            "inputs aims IDs; composing f(g(.)) destroys the aim",
+        ),
+    )
+
+
+def build_spec(
+    seed: int = 0,
+    fast: bool = True,
+    n: int = 4096,
+    beta: float = 0.10,
+    epoch_length: int = 4096,
+    trials: int | None = None,
+    arc: tuple[float, float] = (0.2, 0.05),
+) -> SweepSpec:
+    trials = trials or (20 if fast else 100)
+    return SweepSpec(
         experiment="E8",
         title=f"PoW identity bounds (beta={beta}, n={n}, T={epoch_length})",
         headers=["quantity", "measured", "bound/prediction", "within"],
+        cell=_cell,
+        context=dict(
+            n=n, beta=beta, epoch_length=epoch_length, trials=trials,
+            arc=tuple(arc), seed=seed,
+        ),
+        seed=seed,
+        pass_exec_config=True,
     )
-    table.add_row(
-        "adversary IDs per window (mean)", f"{mc.mean:.0f}",
-        f"<= (1+eps)*1.5*beta*n = {eps_bound:.0f}",
-        "ok" if mc.hi <= eps_bound else "FAIL",
+
+
+def run(
+    seed: int = 0,
+    fast: bool = True,
+    exec_config: ExecutionConfig | None = None,
+    **overrides,
+) -> TableResult:
+    """Execute the sweep; ``build_spec`` is the single source of truth
+    for the experiment's knobs and defaults."""
+    return run_sweep(
+        build_spec(seed=seed, fast=fast, **overrides), exec_config=exec_config
     )
-    table.add_row(
-        "95% CI", f"[{mc.lo:.0f}, {mc.hi:.0f}]", f"E = {budget:.0f}", "-",
-    )
-    table.add_row(
-        "two-hash KS p-value", f"{ks_two.p_value:.3f}", ">= 0.01 (uniform)",
-        "ok" if ks_two.looks_uniform() else "FAIL",
-    )
-    table.add_row(
-        "two-hash IDs in 5% target arc", f"{in_arc(two_hash_ids):.3f}",
-        "~0.05 (cannot aim)", "ok" if in_arc(two_hash_ids) < 0.15 else "FAIL",
-    )
-    table.add_row(
-        "one-hash KS p-value", f"{ks_one.p_value:.2e}", "< 0.01 (clustered)",
-        "ok" if not ks_one.looks_uniform() else "FAIL",
-    )
-    table.add_row(
-        "one-hash IDs in 5% target arc", f"{in_arc(one_hash_ids):.3f}",
-        "~1.0 (fully aimed)", "ok" if in_arc(one_hash_ids) > 0.9 else "FAIL",
-    )
-    table.add_note(
-        "one-hash ablation = §IV-A 'Why Use Two Hash Functions?': grinding "
-        "inputs aims IDs; composing f(g(.)) destroys the aim"
-    )
-    return table

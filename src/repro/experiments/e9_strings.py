@@ -13,6 +13,10 @@ adversary's red groups excluded, under three scenarios:
 
 Reported against Lemma 12's three bounds: agreement, set size ``O(ln n)``,
 message complexity ``~O(n ln T)`` group-messages.
+
+Declared as a single-cell :class:`~repro.sim.sweep.SweepSpec`: the three
+scenarios deliberately replay the *same* gossip stream (a paired contrast),
+so they stay one sequential cell.
 """
 
 from __future__ import annotations
@@ -26,23 +30,15 @@ from ..adversary import UniformAdversary
 from ..inputgraph import make_input_graph
 from ..pow.propagation import StringPropagation
 from ..sim.montecarlo import ExecutionConfig
+from ..sim.sweep import CellOut, SweepSpec, run_sweep
 
-__all__ = ["run"]
+__all__ = ["run", "build_spec"]
 
 
-def run(
-    seed: int = 0,
-    fast: bool = True,
-    n: int | None = None,
-    beta: float = 0.10,
-    epoch_length: int = 4096,
-    topology: str = "chord",
-    # accepted for uniform dispatch (runner/CLI); this module's
-    # sweeps consume one shared stream, so they stay serial
-    exec_config: ExecutionConfig | None = None,
-) -> TableResult:
-    n = n or (512 if fast else 2048)
-    rng = np.random.default_rng(seed)
+def _cell(
+    rng: np.random.Generator, *, n: int, beta: float, epoch_length: int,
+    topology: str, seed: int,
+):
     adv = UniformAdversary(beta)
     ids, bad = adv.population(n, rng)
     H = make_input_graph(topology, ids)
@@ -62,22 +58,12 @@ def run(
             dict(delayed_release=True, forced_injection_output=1e-12),
         ),
     ]
-    table = TableResult(
-        experiment="E9",
-        title=f"String propagation (n={n}, T={epoch_length}, {topology})",
-        headers=[
-            "scenario", "agreement", "s* unanimous", "max |R|",
-            "rounds", "group msgs", "giant comp",
-        ],
-    )
-    # Lemma 12(iii): O~(n ln T) group-edge activations, where O~ hides the
-    # polylog forwarding cap (ln n per bin, ln(nT) bins) and each activation
-    # costs |G|^2 point-to-point messages.
-    g2 = params.group_solicit_size**2
-    msg_bound = 2.0 * n * params.ln_n * np.log(n * epoch_length) * g2
+    # every scenario replays the same gossip stream: one sub-seed, re-used
+    sub = int(rng.integers(0, 2**32))
+    rows = []
     for name, kwargs in scenarios:
-        res = prop.run(np.random.default_rng(seed + 1), **kwargs)
-        table.add_row(
+        res = prop.run(np.random.default_rng(sub), **kwargs)
+        rows.append([
             name,
             "ok" if res.agreement else "FAIL",
             "yes" if res.global_min_agreed else "no",
@@ -85,15 +71,58 @@ def run(
             res.rounds,
             res.messages,
             res.giant_component_size,
-        )
+        ])
+    # Lemma 12(iii): O~(n ln T) group-edge activations, where O~ hides the
+    # polylog forwarding cap (ln n per bin, ln(nT) bins) and each activation
+    # costs |G|^2 point-to-point messages.
+    g2 = params.group_solicit_size**2
+    msg_bound = 2.0 * n * params.ln_n * np.log(n * epoch_length) * g2
     r_bound = int(np.ceil(4 * params.ln_n))
-    table.add_note(f"Lemma 12(ii): |R| <= O(ln n) ~ {r_bound}")
-    table.add_note(
-        f"Lemma 12(iii): messages <= O~(n ln T)*|G|^2 ~ {msg_bound:.2e} "
-        f"(per-ID forwarding capped at O(ln n * ln nT) by bins/counters)"
+    return CellOut(
+        rows=rows,
+        notes=(
+            f"Lemma 12(ii): |R| <= O(ln n) ~ {r_bound}",
+            f"Lemma 12(iii): messages <= O~(n ln T)*|G|^2 ~ {msg_bound:.2e} "
+            f"(per-ID forwarding capped at O(ln n * ln nT) by bins/counters)",
+            "'delayed global min' shows s* disagreement WITHOUT verification "
+            "disagreement: the solution sets absorb the late string (Phase 3)",
+        ),
     )
-    table.add_note(
-        "'delayed global min' shows s* disagreement WITHOUT verification "
-        "disagreement: the solution sets absorb the late string (Phase 3)"
+
+
+def build_spec(
+    seed: int = 0,
+    fast: bool = True,
+    n: int | None = None,
+    beta: float = 0.10,
+    epoch_length: int = 4096,
+    topology: str = "chord",
+) -> SweepSpec:
+    n = n or (512 if fast else 2048)
+    return SweepSpec(
+        experiment="E9",
+        title=f"String propagation (n={n}, T={epoch_length}, {topology})",
+        headers=[
+            "scenario", "agreement", "s* unanimous", "max |R|",
+            "rounds", "group msgs", "giant comp",
+        ],
+        cell=_cell,
+        context=dict(
+            n=n, beta=beta, epoch_length=epoch_length, topology=topology,
+            seed=seed,
+        ),
+        seed=seed,
     )
-    return table
+
+
+def run(
+    seed: int = 0,
+    fast: bool = True,
+    exec_config: ExecutionConfig | None = None,
+    **overrides,
+) -> TableResult:
+    """Execute the sweep; ``build_spec`` is the single source of truth
+    for the experiment's knobs and defaults."""
+    return run_sweep(
+        build_spec(seed=seed, fast=fast, **overrides), exec_config=exec_config
+    )

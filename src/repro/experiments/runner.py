@@ -2,25 +2,42 @@
 
 ``run_experiment("E4")`` runs one experiment; ``run_all()`` runs the full
 suite (used to regenerate EXPERIMENTS.md).  Each experiment module exposes
-``run(seed=..., fast=..., exec_config=..., **overrides) -> TableResult``.
 
-Overrides are validated against the target experiment's signature up front,
-so a typo'd parameter raises a ``TypeError`` naming the experiment instead
-of an opaque traceback from deep inside the module.
+* ``build_spec(seed=..., fast=..., **overrides) -> SweepSpec`` — the
+  declarative grid (axes + per-cell function) the sweep substrate executes;
+* ``run(seed=..., fast=..., exec_config=..., **overrides) -> TableResult``
+  — a thin convenience wrapper over ``run_sweep(build_spec(...))``.
+
+Dispatch goes through the spec: the runner validates overrides against the
+target experiment's ``build_spec`` signature up front (so a typo'd
+parameter raises a ``TypeError`` naming the experiment instead of an
+opaque traceback from deep inside the module), builds the spec, and hands
+it to :func:`repro.sim.sweep.run_sweep`.
 
 Execution: pass an :class:`repro.sim.ExecutionConfig` (surfaced on the CLI
-as ``--backend``/``--workers``) to select the trial-loop backend inside each
-experiment, and — for ``run_all`` with the ``process`` backend — to dispatch
-independent experiments concurrently across a spawn-safe process pool.
+as ``--backend``/``--workers``) to select how sweep cells — and, inside
+single-cell experiments, trial loops — execute.  ``run_all`` with the
+``process`` backend dispatches independent experiments across a spawn-safe
+process pool; workers run their cells with an explicit *serial* config
+(process pools do not nest) and results are identical to the serial path.
+
+Caching: ``cache=True`` consults the on-disk result cache
+(:mod:`repro.experiments.cache`, default ``benchmarks/output/cache/``)
+keyed by ``(experiment, seed, fast, overrides, version)`` before running
+anything, and stores the finished table after a miss; ``force=True``
+recomputes and overwrites.  Surfaced on the CLI as
+``--cache/--no-cache/--force``.
 """
 
 from __future__ import annotations
 
 import inspect
-from typing import Callable, Dict
+from typing import Callable, Dict, Sequence
 
 from ..analysis.tables import TableResult
 from ..sim.montecarlo import ExecutionConfig, spawn_map
+from ..sim.sweep import SweepSpec, run_sweep
+from .cache import ResultCache
 from . import (
     e1_responsibility,
     e2_static_search,
@@ -39,31 +56,39 @@ from . import (
     e15_size_drift,
 )
 
-__all__ = ["EXPERIMENTS", "run_experiment", "run_all"]
+__all__ = ["EXPERIMENTS", "SPEC_BUILDERS", "run_experiment", "run_all"]
 
+_MODULES = {
+    "E1": e1_responsibility,
+    "E2": e2_static_search,
+    "E3": e3_group_quality,
+    "E4": e4_dynamic_epochs,
+    "E5": e5_two_graph_ablation,
+    "E6": e6_costs,
+    "E7": e7_state,
+    "E8": e8_pow,
+    "E9": e9_strings,
+    "E10": e10_precompute,
+    "E11": e11_size_limits,
+    "E12": e12_cuckoo,
+    "E13": e13_quarantine,
+    "E14": e14_storage,
+    "E15": e15_size_drift,
+}
+
+# spec builders are the dispatch surface; EXPERIMENTS keeps the historical
+# name -> run-callable registry for direct use and for the CLI listing
+SPEC_BUILDERS: Dict[str, Callable[..., SweepSpec]] = {
+    name: mod.build_spec for name, mod in _MODULES.items()
+}
 EXPERIMENTS: Dict[str, Callable[..., TableResult]] = {
-    "E1": e1_responsibility.run,
-    "E2": e2_static_search.run,
-    "E3": e3_group_quality.run,
-    "E4": e4_dynamic_epochs.run,
-    "E5": e5_two_graph_ablation.run,
-    "E6": e6_costs.run,
-    "E7": e7_state.run,
-    "E8": e8_pow.run,
-    "E9": e9_strings.run,
-    "E10": e10_precompute.run,
-    "E11": e11_size_limits.run,
-    "E12": e12_cuckoo.run,
-    "E13": e13_quarantine.run,
-    "E14": e14_storage.run,
-    "E15": e15_size_drift.run,
+    name: mod.run for name, mod in _MODULES.items()
 }
 
 
-def _validate_overrides(name: str, fn: Callable[..., TableResult], overrides: dict) -> None:
-    """Reject overrides the experiment does not accept, by name."""
-    sig = inspect.signature(fn)
-    params = sig.parameters
+def _validate_overrides(name: str, builder: Callable[..., SweepSpec], overrides: dict) -> None:
+    """Reject overrides the experiment's spec builder does not accept."""
+    params = inspect.signature(builder).parameters
     accepts_var_kw = any(
         p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()
     )
@@ -73,9 +98,11 @@ def _validate_overrides(name: str, fn: Callable[..., TableResult], overrides: di
         pname for pname, p in params.items()
         if p.kind in (inspect.Parameter.POSITIONAL_OR_KEYWORD,
                       inspect.Parameter.KEYWORD_ONLY)
-        and pname not in ("seed", "fast", "exec_config")
+        and pname not in ("seed", "fast")
     ]
-    unknown = sorted(set(overrides) - set(params))
+    # seed/fast are run_experiment parameters, not overrides: passing them
+    # here would collide with the explicit keywords far from the call site
+    unknown = sorted(set(overrides) - (set(params) - {"seed", "fast"}))
     if unknown:
         raise TypeError(
             f"experiment {name} got unknown override(s) {unknown}; "
@@ -88,53 +115,145 @@ def run_experiment(
     seed: int = 0,
     fast: bool = True,
     exec_config: ExecutionConfig | None = None,
+    cache: bool = False,
+    force: bool = False,
+    cache_dir: str | None = None,
     **overrides,
 ) -> TableResult:
-    """Run one experiment by ID (e.g. "E4")."""
+    """Run one experiment by ID (e.g. "E4"), via its sweep spec.
+
+    With ``cache=True`` a stored table for the same
+    ``(experiment, seed, fast, overrides, version)`` key is returned
+    without executing a single cell (valid at any backend/worker count —
+    the sweep substrate's tables are bit-identical across them);
+    ``force=True`` recomputes and refreshes the stored entry.
+    """
+    key = name.upper()
     try:
-        fn = EXPERIMENTS[name.upper()]
+        builder = SPEC_BUILDERS[key]
     except KeyError:
         raise ValueError(
-            f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
+            f"unknown experiment {name!r}; choose from {sorted(SPEC_BUILDERS)}"
         ) from None
-    _validate_overrides(name.upper(), fn, overrides)
-    kwargs = dict(overrides)
-    if exec_config is not None and "exec_config" in inspect.signature(fn).parameters:
-        kwargs["exec_config"] = exec_config
-    return fn(seed=seed, fast=fast, **kwargs)
+    _validate_overrides(key, builder, overrides)
+    store = ResultCache(cache_dir) if (cache or force) else None
+    if store is not None and not force:
+        hit = store.load(key, seed, fast, overrides)
+        if hit is not None:
+            return hit
+    spec = builder(seed=seed, fast=fast, **overrides)
+    table = run_sweep(spec, exec_config=exec_config)
+    if store is not None:
+        store.store(key, seed, fast, overrides, table)
+    return table
 
 
-def _run_one(name: str, seed: int, fast: bool) -> TableResult:
-    """Spawn-pool entry point: run one experiment serially in a worker.
+def _run_one(
+    name: str,
+    seed: int,
+    fast: bool,
+    cache: bool,
+    force: bool,
+    cache_dir: str | None,
+    overrides: dict,
+) -> TableResult:
+    """Spawn-pool entry point: run one experiment in a worker.
 
-    Module-level so it pickles under the ``spawn`` start method.  The child
-    runs its trial loops serially — process backends do not nest.
+    Module-level so it pickles under the ``spawn`` start method.  The
+    child receives an *explicit* serial trial-loop config — process
+    backends do not nest, and the caller's ``exec_config`` must not leak
+    into workers implicitly — plus the caller's cache settings, so warm
+    entries short-circuit inside the worker too.
     """
-    return run_experiment(name, seed=seed, fast=fast)
+    return run_experiment(
+        name,
+        seed=seed,
+        fast=fast,
+        exec_config=ExecutionConfig(backend="serial"),
+        cache=cache,
+        force=force,
+        cache_dir=cache_dir,
+        **overrides,
+    )
 
 
 def run_all(
     seed: int = 0,
     fast: bool = True,
     exec_config: ExecutionConfig | None = None,
+    cache: bool = False,
+    force: bool = False,
+    cache_dir: str | None = None,
+    names: Sequence[str] | None = None,
+    overrides: Dict[str, dict] | None = None,
 ) -> Dict[str, TableResult]:
-    """Run the whole suite in ID order.
+    """Run the suite (default: all experiments) in ID order.
 
     With ``exec_config.backend == "process"`` the independent experiments
     are dispatched across a spawn-safe process pool (each experiment keeps
     its own seed, so results are identical to the serial path; a single
     worker degrades to a plain serial map).  Otherwise they run serially
     in-process, with ``exec_config`` forwarded into each experiment's
-    trial loops.
+    sweep.  With ``cache=True`` only experiments whose key
+    ``(name, seed, fast, overrides, version)`` is absent from the result
+    cache are re-executed.  ``names`` restricts the suite to a subset;
+    ``overrides`` maps experiment IDs to per-experiment override dicts
+    (both participate in the cache key).
     """
-    order = sorted(EXPERIMENTS, key=lambda k: int(k[1:]))
+    # normalize override keys the same way experiment names are normalized,
+    # so overrides={"e1": ...} applies to (and cache-keys) "E1"
+    overrides = {k.upper(): dict(v) for k, v in (overrides or {}).items()}
+    if names is None:
+        order = sorted(SPEC_BUILDERS, key=lambda k: int(k[1:]))
+    else:
+        order = [n.upper() for n in names]
+        for n in order:
+            if n not in SPEC_BUILDERS:
+                raise ValueError(
+                    f"unknown experiment {n!r}; choose from {sorted(SPEC_BUILDERS)}"
+                )
+    # validate everything in the parent, before anything runs or is shipped
+    # to a pool: override entries for experiments outside the run would be
+    # silently dead, and seed/fast smuggled through the mapping would
+    # surface as a duplicate-keyword crash inside a worker
+    stray = sorted(set(overrides) - set(order))
+    if stray:
+        raise ValueError(
+            f"overrides given for experiment(s) {stray} not in this run "
+            f"(running {order})"
+        )
+    for n in order:
+        _validate_overrides(n, SPEC_BUILDERS[n], overrides.get(n, {}))
     if exec_config is not None and exec_config.backend == "process":
-        tables = spawn_map(
-            _run_one, order, [seed] * len(order), [fast] * len(order),
+        tables: Dict[str, TableResult] = {}
+        todo = list(order)
+        if cache and not force:
+            # consult the cache in the parent so a warm suite never pays
+            # pool startup: only the misses are shipped to workers
+            store = ResultCache(cache_dir)
+            for n in order:
+                hit = store.load(n, seed, fast, overrides.get(n, {}))
+                if hit is not None:
+                    tables[n] = hit
+            todo = [n for n in order if n not in tables]
+        results = spawn_map(
+            _run_one,
+            todo,
+            [seed] * len(todo),
+            [fast] * len(todo),
+            [cache] * len(todo),
+            [force] * len(todo),
+            [cache_dir] * len(todo),
+            [dict(overrides.get(n, {})) for n in todo],
             workers=exec_config.resolved_workers(),
         )
-        return dict(zip(order, tables))
+        tables.update(zip(todo, results))
+        return {name: tables[name] for name in order}
     return {
-        name: run_experiment(name, seed=seed, fast=fast, exec_config=exec_config)
+        name: run_experiment(
+            name, seed=seed, fast=fast, exec_config=exec_config,
+            cache=cache, force=force, cache_dir=cache_dir,
+            **overrides.get(name, {}),
+        )
         for name in order
     }

@@ -1,8 +1,13 @@
-"""Simulation substrate: RNG discipline, round engine, Monte-Carlo runner.
+"""Simulation substrate: RNG discipline, round engine, Monte-Carlo runner,
+and the declarative sweep substrate.
 
 The Monte-Carlo runner supports pluggable execution backends (``serial`` |
 ``process`` | ``vectorized``) via :class:`ExecutionConfig`; see
 ``repro.sim.montecarlo`` and the ``--backend``/``--workers`` CLI flags.
+``repro.sim.sweep`` layers experiment grids on top: a :class:`SweepSpec`
+declares axes plus a per-cell function, each cell gets an independent
+spawned RNG stream keyed by its coordinates, and cells execute on any
+backend with bit-identical tables at any worker count.
 """
 
 from .montecarlo import (
@@ -15,19 +20,36 @@ from .montecarlo import (
     spawn_map,
     wilson_interval,
 )
-from .rng import child, make_rng, spawn, stream_for
+from .rng import child, make_rng, spawn, stream_for, tag_entropy
+from .sweep import (
+    Cell,
+    CellOut,
+    CellResult,
+    SweepSpec,
+    cells_executed,
+    reset_cells_executed,
+    run_sweep,
+)
 
 __all__ = [
     "BACKENDS",
+    "Cell",
+    "CellOut",
+    "CellResult",
     "ExecutionConfig",
     "MCResult",
+    "SweepSpec",
+    "cells_executed",
     "child",
     "make_rng",
+    "reset_cells_executed",
+    "run_sweep",
     "run_trials",
     "run_trials_batched",
     "run_trials_parallel",
     "spawn",
     "spawn_map",
     "stream_for",
+    "tag_entropy",
     "wilson_interval",
 ]

@@ -10,11 +10,23 @@ reproducibility discipline for parallel Monte-Carlo (see the HPC guides'
 
 from __future__ import annotations
 
+import zlib
 from typing import Iterator
 
 import numpy as np
 
-__all__ = ["make_rng", "spawn", "child", "stream_for"]
+__all__ = ["make_rng", "spawn", "child", "stream_for", "tag_entropy"]
+
+
+def tag_entropy(tag: object) -> int:
+    """Stable 32-bit entropy word for a tag.
+
+    ``hash()`` is salted per-process by ``PYTHONHASHSEED``, so tag-keyed
+    streams derived from it differ across processes; CRC-32 of the tag's
+    UTF-8 ``repr`` is stable across processes, platforms, and Python
+    versions (and ``repr`` keeps ``3`` and ``"3"`` distinct).
+    """
+    return zlib.crc32(repr(tag).encode("utf-8")) & 0xFFFFFFFF
 
 
 def make_rng(seed: int | None = 0) -> np.random.Generator:
@@ -40,7 +52,10 @@ def stream_for(seed: int, *tags) -> np.random.Generator:
 
     Used when a component needs a generator addressable by name (e.g. the
     per-epoch churn stream) without threading generator objects through every
-    call site.  Distinct tags give independent streams.
+    call site.  Distinct tags give independent streams.  Tags are digested
+    with :func:`tag_entropy` (not ``hash()``, which is salted per-process),
+    so the same ``(seed, *tags)`` names the same stream in every process.
     """
-    ss = np.random.SeedSequence([seed & 0xFFFFFFFF, *(abs(hash(t)) & 0xFFFFFFFF for t in tags)])
+    # the seed goes in whole — truncating it would alias seeds 2^32 apart
+    ss = np.random.SeedSequence([seed, *(tag_entropy(t) for t in tags)])
     return np.random.Generator(np.random.PCG64(ss))

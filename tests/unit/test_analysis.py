@@ -169,3 +169,49 @@ class TestTables:
         t = TableResult("EX", "demo", ["x"])
         with pytest.raises(ValueError):
             t.column("nope")
+
+
+class TestTableJson:
+    """JSON round trip — the contract the on-disk result cache rests on."""
+
+    def _table(self) -> TableResult:
+        t = TableResult("EX", "demo title", ["name", "count", "rate", "ok"])
+        t.add_row("alpha", 3, 0.125, "ok")
+        t.add_row("beta", 0, 1.0, "FAIL")
+        t.add_note("first note")
+        t.add_note("second | note: with punctuation")
+        return t
+
+    def test_round_trip_equal_fields(self):
+        t = self._table()
+        back = TableResult.from_json(t.to_json())
+        assert back.experiment == t.experiment
+        assert back.title == t.title
+        assert back.headers == t.headers
+        assert back.rows == t.rows
+        assert back.notes == t.notes
+
+    def test_round_trip_render_identical(self):
+        t = self._table()
+        assert TableResult.from_json(t.to_json()).render() == t.render()
+
+    def test_non_str_cells_keep_types(self):
+        t = TableResult("EX", "t", ["i", "f", "s", "none"])
+        t.add_row(7, 2.5, "txt", None)
+        back = TableResult.from_json(t.to_json())
+        assert back.rows == [[7, 2.5, "txt", None]]
+        assert isinstance(back.rows[0][0], int)
+        assert isinstance(back.rows[0][1], float)
+
+    def test_numpy_cells_coerce_render_identical(self):
+        t = TableResult("EX", "t", ["i", "f"])
+        t.add_row(np.int64(42), np.float64(0.25))
+        back = TableResult.from_json(t.to_json())
+        assert back.rows == [[42, 0.25]]
+        assert back.render() == t.render()
+
+    def test_empty_table(self):
+        t = TableResult("EX", "empty", ["a"])
+        back = TableResult.from_json(t.to_json())
+        assert back.rows == [] and back.notes == []
+        assert back.render() == t.render()

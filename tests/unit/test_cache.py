@@ -1,0 +1,110 @@
+"""Unit tests: on-disk result cache (repro.experiments.cache).
+
+The cache key is ``(experiment, seed, fast, overrides, version)`` — the
+execution backend is deliberately excluded (tables are bit-identical at
+any worker count), and any component change must produce a different key.
+Corrupt entries are misses, never crashes.
+"""
+
+import numpy as np
+import pytest
+
+from repro import __version__
+from repro.analysis.tables import TableResult
+from repro.experiments.cache import ResultCache, cache_key, default_cache_dir
+
+
+def _table() -> TableResult:
+    t = TableResult(experiment="E1", title="t", headers=["a", "b"])
+    t.add_row(1, "x")
+    t.add_row(2.5, "y")
+    t.add_note("n1")
+    return t
+
+
+class TestCacheKey:
+    def test_stable(self):
+        assert cache_key("E1", 0, True, {}) == cache_key("E1", 0, True, {})
+
+    def test_case_insensitive_experiment(self):
+        assert cache_key("e1", 0, True, {}) == cache_key("E1", 0, True, {})
+
+    def test_components_change_key(self):
+        base = cache_key("E1", 0, True, {})
+        assert cache_key("E2", 0, True, {}) != base
+        assert cache_key("E1", 1, True, {}) != base
+        assert cache_key("E1", 0, False, {}) != base
+        assert cache_key("E1", 0, True, {"probes": 100}) != base
+
+    def test_version_in_key(self):
+        assert cache_key("E1", 0, True, {}, version=__version__) != cache_key(
+            "E1", 0, True, {}, version="0.0.0-other"
+        )
+
+    def test_override_order_irrelevant(self):
+        a = cache_key("E1", 0, True, {"x": 1, "y": 2})
+        b = cache_key("E1", 0, True, {"y": 2, "x": 1})
+        assert a == b
+
+    def test_tuple_and_list_overrides_equal(self):
+        # the CLI cannot distinguish them; neither should the key
+        assert cache_key("E1", 0, True, {"ns": (1, 2)}) == cache_key(
+            "E1", 0, True, {"ns": [1, 2]}
+        )
+
+    def test_numpy_scalar_overrides(self):
+        assert cache_key("E1", 0, True, {"n": np.int64(128)}) == cache_key(
+            "E1", 0, True, {"n": 128}
+        )
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        rc = ResultCache(tmp_path)
+        assert rc.load("E1", 0, True, {}) is None
+        rc.store("E1", 0, True, {}, _table())
+        hit = rc.load("E1", 0, True, {})
+        assert hit is not None
+        assert hit.render() == _table().render()
+        assert hit.rows == _table().rows
+
+    def test_distinct_overrides_distinct_entries(self, tmp_path):
+        rc = ResultCache(tmp_path)
+        rc.store("E1", 0, True, {}, _table())
+        assert rc.load("E1", 0, True, {"probes": 9}) is None
+
+    def test_corrupt_entry_is_miss(self, tmp_path):
+        rc = ResultCache(tmp_path)
+        path = rc.store("E1", 0, True, {}, _table())
+        path.write_text("{not json")
+        assert rc.load("E1", 0, True, {}) is None
+
+    def test_store_creates_directories(self, tmp_path):
+        rc = ResultCache(tmp_path / "deep" / "cache")
+        path = rc.store("E1", 0, True, {}, _table())
+        assert path.exists()
+
+    def test_unwritable_root_degrades_to_noop(self, tmp_path):
+        # a file where the cache root should be: mkdir fails with OSError
+        blocker = tmp_path / "blocker"
+        blocker.write_text("")
+        rc = ResultCache(blocker / "cache")
+        with pytest.warns(RuntimeWarning, match="not writable"):
+            assert rc.store("E1", 0, True, {}, _table()) is None
+        assert rc.load("E1", 0, True, {}) is None  # still just a miss
+
+    def test_concurrent_writers_use_distinct_tmp_names(self, tmp_path):
+        rc = ResultCache(tmp_path)
+        path = rc.store("E1", 0, True, {}, _table())
+        # no stale tmp files left behind after a successful store
+        assert list(tmp_path.glob("*.tmp")) == []
+        assert path is not None and path.suffix == ".json"
+
+    def test_env_override_of_default_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env-cache"))
+        assert default_cache_dir() == tmp_path / "env-cache"
+
+    def test_default_dir_under_benchmarks(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        path = default_cache_dir()
+        assert path.parts[-3:] == ("benchmarks", "output", "cache")

@@ -35,3 +35,31 @@ class TestParser:
     def test_experiments_single(self, capsys):
         assert main(["experiments", "E10"]) == 0
         assert "[E10]" in capsys.readouterr().out
+
+    def test_experiments_cache_flags_parse(self):
+        args = build_parser().parse_args(
+            ["experiments", "E1", "--cache", "--force", "--cache-dir", "/tmp/x"]
+        )
+        assert args.cache and args.force and args.cache_dir == "/tmp/x"
+        assert build_parser().parse_args(
+            ["experiments", "E1", "--no-cache"]
+        ).cache is False
+        assert build_parser().parse_args(["experiments", "E1"]).cache is False
+
+    def test_cache_dir_implies_cache(self, tmp_path, capsys):
+        assert main(
+            ["experiments", "E13", "--cache-dir", str(tmp_path)]
+        ) == 0
+        capsys.readouterr()
+        assert list(tmp_path.glob("e13-*.json"))  # entry written without --cache
+
+    def test_experiments_cached_run_hits(self, tmp_path, capsys):
+        from repro.sim import cells_executed, reset_cells_executed
+
+        argv = ["experiments", "E13", "--cache", "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        reset_cells_executed()
+        assert main(argv) == 0
+        assert cells_executed() == 0  # warm: rendered from the cache
+        assert capsys.readouterr().out == cold

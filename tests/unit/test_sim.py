@@ -1,9 +1,12 @@
 """Unit tests: simulation substrate (repro.sim)."""
 
+import subprocess
+import sys
+
 import numpy as np
 import pytest
 
-from repro.sim import child, make_rng, spawn, stream_for
+from repro.sim import child, make_rng, spawn, stream_for, tag_entropy
 from repro.sim.engine import SyncEngine
 from repro.sim.metrics import MetricsRecorder
 from repro.sim.montecarlo import run_trials, wilson_interval
@@ -29,6 +32,46 @@ class TestRng:
     def test_stream_for_tags(self):
         assert stream_for(0, "a").random() == stream_for(0, "a").random()
         assert stream_for(0, "a").random() != stream_for(0, "b").random()
+
+    def test_stream_for_pinned_draws(self):
+        """Regression: tag digests must be stable across processes and
+        versions.  The old ``abs(hash(t))`` digest was salted by
+        ``PYTHONHASHSEED``, so the same (seed, tag) named different
+        streams in different processes; these draws pin the CRC-32-based
+        stream forever."""
+        assert tag_entropy("epoch") == 392650914
+        draws = stream_for(123, "epoch").random(3)
+        assert draws == pytest.approx(
+            [0.5296747315353953, 0.7141755751655828, 0.3646584897641174],
+            abs=0.0,
+        )
+        draws2 = stream_for(7, "churn", 2).random(2)
+        assert draws2 == pytest.approx(
+            [0.7604700989999414, 0.3159676731700014], abs=0.0
+        )
+
+    def test_stream_for_stable_across_hash_seeds(self):
+        """The same (seed, tag) stream in a child process with a different
+        hash salt — the exact failure mode of the hash() digest."""
+        import os
+        import pathlib
+
+        import repro
+
+        src = str(pathlib.Path(repro.__file__).resolve().parents[1])
+        env = dict(os.environ, PYTHONHASHSEED="12345", PYTHONPATH=src)
+        code = (
+            "from repro.sim import stream_for;"
+            "print(repr(stream_for(123, 'epoch').random()))"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True, check=True, env=env,
+        ).stdout.strip()
+        assert float(out) == stream_for(123, "epoch").random()
+
+    def test_tag_entropy_distinguishes_types(self):
+        assert tag_entropy(3) != tag_entropy("3")
 
 
 class TestEngine:

@@ -2,9 +2,11 @@
 """Regenerate EXPERIMENTS.md from benchmarks/output/*.txt.
 
 Run the benchmark suite first (it writes the rendered tables), then this
-script assembles them with the paper-claim commentary:
+script assembles them with the paper-claim commentary.  The bench files
+do not match pytest's default ``test_*.py`` collection pattern, so name
+them explicitly:
 
-    pytest benchmarks/ --benchmark-only
+    pytest benchmarks/bench_*.py
     python tools/gen_experiments_md.py
 """
 
@@ -124,8 +126,8 @@ CLAIMS = {
 HEADER = """\
 # EXPERIMENTS — paper claims vs measured results
 
-Generated from `benchmarks/output/` (run `pytest benchmarks/
---benchmark-only` to refresh, then `python tools/gen_experiments_md.py`).
+Generated from `benchmarks/output/` (run `pytest benchmarks/bench_*.py`
+to refresh, then `python tools/gen_experiments_md.py`).
 
 The paper is a theory/protocol paper: its "tables and figures" are the
 quantitative claims of Theorem 3, Corollary 1, Lemmas 1-12, the §I-D scaling
@@ -135,13 +137,21 @@ simulator's constants; the **shapes** (who wins, scaling exponents, where
 knees sit, flat-vs-diverging series) are the reproduction targets, and each
 section states the expected shape next to the measured table.
 
-Execution backends: `python -m repro experiments` accepts
-`--backend {serial,process,vectorized}` and `--workers W`.  The `process`
-backend runs trial loops (and, via `run_all`, whole experiments) across a
-spawn-safe process pool and is **bit-identical** to serial for a fixed
-`--seed`, so every table below is reproducible at any worker count;
-`benchmarks/output/timings.txt` (from `pytest benchmarks/bench_parallel.py`)
-records the serial-vs-parallel wall clock.
+Execution: every experiment declares its grid as a `repro.sim.sweep.SweepSpec`
+(axes + a per-cell function); the substrate spawns one independent RNG
+stream per cell (`SeedSequence.spawn`, keyed by the cell's grid
+coordinates) and assembles rows in deterministic grid order.  `python -m
+repro experiments` accepts `--backend {serial,process,vectorized}` and
+`--workers W`: the `process` backend dispatches sweep cells (E1/E2/E3/E5/E6
+genuinely cell-parallel), trial loops, and — via `run_all` — whole
+experiments across a spawn-safe pool, **bit-identical** to serial for a
+fixed `--seed`, so every table below is reproducible at any worker count.
+`--cache` / `--no-cache` / `--force` drive the on-disk result cache
+(`benchmarks/output/cache/`, keyed by experiment/seed/fast/overrides/
+version): a warm run loads tables without executing a single cell.
+`benchmarks/output/timings.txt` (from `pytest benchmarks/bench_parallel.py
+benchmarks/bench_sweep.py`) records serial vs cell-parallel vs cache-hit
+wall clock.
 
 """
 

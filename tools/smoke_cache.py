@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""CI smoke: the result cache round trip on a real experiment.
+
+Runs E1 twice with caching enabled against a scratch cache root:
+
+1. the cold run executes the sweep and stores the table;
+2. the warm run must be a cache hit — zero sweep cells executed
+   (asserted via the substrate's cell-execution counter) — and must
+   render byte-identically to the cold table.
+
+Exercised by the ``smoke-cache`` job in ``.github/workflows/ci.yml``;
+also handy locally::
+
+    PYTHONPATH=src python tools/smoke_cache.py [--experiment E1]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import time
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--experiment", default="E1")
+    ap.add_argument("--seed", type=int, default=0)
+    args = ap.parse_args(argv)
+
+    from repro.experiments import run_experiment
+    from repro.sim import cells_executed, reset_cells_executed
+
+    with tempfile.TemporaryDirectory(prefix="repro-cache-smoke-") as cache_dir:
+        t0 = time.perf_counter()
+        cold = run_experiment(
+            args.experiment, seed=args.seed, fast=True,
+            cache=True, cache_dir=cache_dir,
+        )
+        t_cold = time.perf_counter() - t0
+        cold_cells = cells_executed()
+        assert cold_cells > 0, "cold run executed no cells?"
+
+        reset_cells_executed()
+        t0 = time.perf_counter()
+        warm = run_experiment(
+            args.experiment, seed=args.seed, fast=True,
+            cache=True, cache_dir=cache_dir,
+        )
+        t_warm = time.perf_counter() - t0
+        assert cells_executed() == 0, (
+            f"warm run re-executed {cells_executed()} cells — not a cache hit"
+        )
+        assert warm.render() == cold.render(), "cache hit rendered differently"
+
+    print(cold.render())
+    print()
+    print(
+        f"{args.experiment}: cold {t_cold:.2f}s ({cold_cells} cells) -> "
+        f"warm {t_warm:.3f}s (0 cells, render-identical): cache smoke ok"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
