@@ -1,0 +1,59 @@
+"""Bench vectorized — serial reference loops vs array kernels (+ parity).
+
+The acceptance bar for the vectorized trial kernels: at the paper-scale
+(non-``fast``) ``n`` of the static-case experiments, the ``vectorized``
+execution path beats the explicit ``serial`` reference by >= 5x wall clock
+on one core while rendering the *identical* table:
+
+* **E2** (n=4096) — one ``p_f`` cell evaluating all its probes through the
+  batched secure-search kernel vs the per-probe scalar search loop;
+* **E3** (n=8192) — the (beta x d2) grid building every group construction
+  through the one-pass CSR kernel vs the per-leader ``np.unique`` loop.
+
+Timings land in ``benchmarks/output/timings.txt`` (human log) and
+``benchmarks/output/BENCH_vectorized.json`` (machine-readable rows of
+``{experiment, n, backend, wall_s, cells, trials}`` — the perf-trajectory
+file future PRs measure against).
+
+Run with::
+
+    pytest benchmarks/bench_vectorized.py -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.benchio import KERNEL_BENCH_CASES as CASES
+from repro.experiments import run_experiment
+from repro.sim import ExecutionConfig
+
+# the acceptance bar: >= 5x at paper scale, per measurement point
+MIN_SPEEDUP = 5.0
+
+SERIAL = ExecutionConfig(backend="serial")
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_bench_kernels_serial_vs_vectorized(name, timing_sink, bench_json):
+    case = CASES[name]
+    kwargs = dict(case["kwargs"], seed=0)
+    serial_table, t_serial = timing_sink(
+        f"{name}-kernel", "serial", 1,
+        lambda: run_experiment(name, exec_config=SERIAL, **kwargs),
+    )
+    bench_json(name, case["n"], "serial", t_serial, case["cells"], case["trials"])
+    vec_table, t_vec = timing_sink(
+        f"{name}-kernel", "vectorized", 1,
+        lambda: run_experiment(name, **kwargs),  # default = vectorized kernels
+    )
+    bench_json(name, case["n"], "vectorized", t_vec, case["cells"], case["trials"])
+    # parity is unconditional: kernels must be table-invisible
+    assert serial_table.render() == vec_table.render()
+    speedup = t_serial / t_vec
+    print(f"[kernel] {name}: serial {t_serial:.2f}s / vectorized {t_vec:.2f}s "
+          f"= {speedup:.1f}x")
+    assert speedup >= MIN_SPEEDUP, (
+        f"{name}: expected >= {MIN_SPEEDUP}x kernel speedup at "
+        f"n={case['n']}; serial {t_serial:.2f}s vs vectorized {t_vec:.2f}s"
+    )

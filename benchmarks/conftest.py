@@ -15,6 +15,12 @@ through the ``timing_sink`` fixture: each backend run appends a
 ``name backend workers seconds`` line to ``benchmarks/output/timings.txt``,
 so serial vs process vs cell-parallel vs cache-hit speed is tracked next
 to the tables.
+
+The ``bench_json`` fixture is the machine-readable counterpart: rows of
+``{experiment, n, backend, wall_s, cells, trials}`` merged into
+``benchmarks/output/BENCH_vectorized.json`` (via
+``repro.analysis.benchio``), the repo's perf-trajectory file — re-runs
+replace rows by ``(experiment, n, backend)`` instead of appending.
 """
 
 from __future__ import annotations
@@ -23,6 +29,8 @@ import pathlib
 import time
 
 import pytest
+
+from repro.analysis.benchio import BENCH_FILENAME, bench_row, record_bench_rows
 
 OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
 
@@ -63,3 +71,27 @@ def timing_sink():
         return result, elapsed
 
     return record
+
+
+@pytest.fixture(scope="session")
+def bench_json():
+    """Machine-readable bench rows: ``record(experiment, n, backend,
+    wall_s, cells, trials)``.
+
+    Rows accumulate over the session and are merged into
+    ``output/BENCH_vectorized.json`` at teardown (replacing rows with the
+    same ``(experiment, n, backend)`` key), so benchmark files compose
+    into one trajectory file no matter which subset was run.
+    """
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    rows: list[dict] = []
+
+    def record(experiment, n, backend, wall_s, cells, trials):
+        row = bench_row(experiment, n, backend, wall_s, cells, trials)
+        rows.append(row)
+        print(f"[bench-json] {row}")
+        return row
+
+    yield record
+    if rows:
+        record_bench_rows(OUTPUT_DIR / BENCH_FILENAME, rows)

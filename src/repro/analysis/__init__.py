@@ -1,5 +1,6 @@
-"""Theory predictions, statistics, and table rendering."""
+"""Theory predictions, statistics, table rendering, and benchmark I/O."""
 
+from .benchio import BENCH_FILENAME, bench_row, read_bench_rows, record_bench_rows
 from .regimes import (
     RegimeReport,
     epoch_map_analysis,
@@ -19,6 +20,10 @@ from .theory import (
 )
 
 __all__ = [
+    "BENCH_FILENAME",
+    "bench_row",
+    "read_bench_rows",
+    "record_bench_rows",
     "TableResult",
     "render_table",
     "bad_group_probability",

@@ -5,13 +5,20 @@ Commands
 ``experiments [IDs...] [--workers W] [--backend B] [--cache] [--force]``
     Run experiments (default: all) and print their tables.
     ``--backend`` selects the execution backend (``serial`` | ``process``
-    | ``vectorized``) for sweep cells and trial loops; ``--workers``
-    sizes the ``process`` pool (default: CPU count).  The ``process``
-    backend is bit-identical to serial for a fixed ``--seed``.
+    | ``vectorized``) for sweep cells and trial loops; when omitted the
+    substrate default applies — serial cell scheduling with the
+    *vectorized* array kernels, while an explicit ``--backend serial``
+    requests the reference loop implementations.  All backends render
+    bit-identical tables for a fixed ``--seed``; ``--workers`` sizes the
+    ``process`` pool (default: CPU count).
     ``--cache``/``--no-cache`` toggles the on-disk result cache
     (``benchmarks/output/cache/``; a warm run re-executes nothing),
     ``--force`` recomputes and refreshes cached entries, and
     ``--cache-dir`` relocates the store.
+``cache ls [--cache-dir D]`` / ``cache prune [--older-than N] [--max-bytes B]``
+    Inspect or evict stored result tables: ``ls`` lists entries with
+    size and age; ``prune`` drops entries older than N days and/or
+    evicts oldest-first down to a total-size budget.
 ``validate TOPOLOGY [-n N]``
     Build an input graph and check properties P1-P4.
 ``simulate [-n N] [--beta B] [--epochs E] [--churn R]``
@@ -32,7 +39,14 @@ def _cmd_experiments(args) -> int:
     from .experiments import EXPERIMENTS, run_experiment
     from .sim.montecarlo import ExecutionConfig
 
-    exec_config = ExecutionConfig(backend=args.backend, workers=args.workers)
+    # no --backend: leave the config unset so the substrate default applies
+    # (serial cell scheduling + vectorized kernels); --workers only matters
+    # for the process pool, which requires an explicit --backend process
+    exec_config = (
+        ExecutionConfig(backend=args.backend, workers=args.workers)
+        if args.backend is not None
+        else None
+    )
     names = [n.upper() for n in (args.ids or sorted(
         EXPERIMENTS, key=lambda k: int(k[1:])
     ))]
@@ -84,6 +98,51 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _human_bytes(size: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if size < 1024 or unit == "GiB":
+            return f"{size:.0f}{unit}" if unit == "B" else f"{size:.1f}{unit}"
+        size /= 1024
+    return f"{size:.1f}GiB"  # pragma: no cover - unreachable
+
+
+def _cmd_cache(args) -> int:
+    from .experiments.cache import ResultCache
+
+    store = ResultCache(args.cache_dir)
+    if args.action == "ls":
+        entries = store.entries()
+        if not entries:
+            print(f"cache at {store.root}: empty")
+            return 0
+        print(f"cache at {store.root}: {len(entries)} entries, "
+              f"{_human_bytes(sum(e.size for e in entries))}")
+        print(f"{'experiment':>10} {'size':>10} {'age':>12}  file")
+        for e in entries:
+            age_days = e.age_seconds() / 86400.0
+            print(
+                f"{e.experiment:>10} {_human_bytes(e.size):>10} "
+                f"{age_days:>10.1f}d  {e.path.name}"
+            )
+        return 0
+    # prune
+    if args.older_than is None and args.max_bytes is None:
+        print("cache prune: nothing to do (pass --older-than and/or --max-bytes)")
+        return 2
+    removed = store.prune(
+        older_than=None if args.older_than is None else args.older_than * 86400.0,
+        max_bytes=args.max_bytes,
+    )
+    freed = sum(e.size for e in removed)
+    kept = store.entries()
+    print(
+        f"pruned {len(removed)} entries ({_human_bytes(freed)}) from "
+        f"{store.root}; {len(kept)} entries "
+        f"({_human_bytes(sum(e.size for e in kept))}) remain"
+    )
+    return 0
+
+
 def _cmd_info(args) -> int:
     from . import __version__
     from .core.params import DEFAULTS
@@ -114,10 +173,12 @@ def build_parser() -> argparse.ArgumentParser:
     pe.add_argument("--full", action="store_true", help="full (slow) scale")
     pe.add_argument(
         "--backend", choices=["serial", "process", "vectorized"],
-        default="serial",
-        help="trial-loop execution backend (process is bit-identical to "
-             "serial for a fixed seed; vectorized falls back to serial "
-             "with a warning until an experiment supplies a batch trial)",
+        default=None,
+        help="execution backend (default: serial cell scheduling with the "
+             "vectorized array kernels; 'serial' requests the reference "
+             "loop kernels; 'process' dispatches cells across a spawn "
+             "pool).  All backends render bit-identical tables for a "
+             "fixed seed",
     )
     pe.add_argument(
         "--workers", type=_positive_int, default=None,
@@ -141,6 +202,26 @@ def build_parser() -> argparse.ArgumentParser:
              "$REPRO_CACHE_DIR); implies --cache",
     )
     pe.set_defaults(fn=_cmd_experiments)
+
+    pc = sub.add_parser("cache", help="inspect or prune the result cache")
+    pc.add_argument(
+        "action", choices=["ls", "prune"],
+        help="ls: list stored tables; prune: evict by age/size bounds",
+    )
+    pc.add_argument(
+        "--cache-dir", default=None,
+        help="cache root (default: benchmarks/output/cache, or "
+             "$REPRO_CACHE_DIR)",
+    )
+    pc.add_argument(
+        "--older-than", type=float, default=None, metavar="DAYS",
+        help="prune: drop entries older than DAYS (may be fractional)",
+    )
+    pc.add_argument(
+        "--max-bytes", type=int, default=None, metavar="BYTES",
+        help="prune: evict oldest-first until the store fits BYTES",
+    )
+    pc.set_defaults(fn=_cmd_cache)
 
     pv = sub.add_parser("validate", help="check P1-P4 on a topology")
     pv.add_argument("topology")

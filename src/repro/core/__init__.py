@@ -16,6 +16,7 @@ from .initialization import InitReport, elect_representative_cluster, heavyweigh
 from .quarantine import QuarantinePolicy, QuarantineState, SpamRoundReport
 from .storage import GroupStore, StoreStats
 from .groups import (
+    KERNELS,
     GroupQuality,
     GroupSet,
     build_groups,
@@ -25,7 +26,12 @@ from .groups import (
 from .membership import BuildReport, EpochPair, GraphSide, build_new_graph, measure_qf
 from .params import DEFAULTS, SystemParams
 from .robustness import RobustnessReport, evaluate_robustness
-from .secure_routing import SecureRouter, SecureSearchOutcome, majority_filter
+from .secure_routing import (
+    BatchSearchOutcome,
+    SecureRouter,
+    SecureSearchOutcome,
+    majority_filter,
+)
 from .static_case import (
     StaticSearchStats,
     constructive_static_graph,
@@ -37,6 +43,7 @@ from .static_case import (
 __all__ = [
     "SystemParams",
     "DEFAULTS",
+    "KERNELS",
     "GroupSet",
     "GroupQuality",
     "build_groups",
@@ -51,6 +58,7 @@ __all__ = [
     "measure_responsibility_bound",
     "SecureRouter",
     "SecureSearchOutcome",
+    "BatchSearchOutcome",
     "majority_filter",
     "RobustnessReport",
     "evaluate_robustness",

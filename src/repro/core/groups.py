@@ -13,6 +13,19 @@ groups besides leading its own (Lemma 10 bounds the expected count).
 Storage is CSR (flat ``member_idx`` + ``offsets``): classification of all n
 groups is then three vectorized reductions instead of n Python loops — this
 is the layout the construction, churn, and state-cost experiments all share.
+
+Construction comes in two kernels selected by ``kernel=``:
+
+``"vectorized"`` (the default)
+    One hashing/sampling pass produces the flat ``(leader, member)`` edge
+    array for *all* groups; a single row-sort (the edges are then lexsorted
+    by ``(leader, member)``) plus a segment-dedup mask collapses duplicate
+    oracle points and emits the CSR arrays directly — no per-group
+    ``np.unique`` calls, no Python-level per-leader loop.
+``"serial"``
+    The original per-leader loop, kept as the reference oracle.  Both
+    kernels consume the RNG/oracle identically and produce **byte-identical
+    CSR arrays** (property-tested), so tables never depend on the kernel.
 """
 
 from __future__ import annotations
@@ -25,7 +38,21 @@ from ..idspace.hashing import RandomOracle
 from ..idspace.ring import Ring
 from .params import SystemParams
 
-__all__ = ["GroupSet", "build_groups", "classify_groups", "GroupQuality"]
+__all__ = [
+    "GroupSet",
+    "KERNELS",
+    "build_groups",
+    "build_groups_fast",
+    "classify_groups",
+    "GroupQuality",
+]
+
+KERNELS = ("serial", "vectorized")
+
+
+def _require_kernel(kernel: str) -> None:
+    if kernel not in KERNELS:
+        raise ValueError(f"unknown kernel {kernel!r}; choose from {KERNELS}")
 
 
 class GroupSet:
@@ -87,12 +114,36 @@ class GroupQuality:
         return float(self.is_bad.mean()) if self.is_bad.size else 0.0
 
 
+def _points_to_csr(ring: Ring, pts: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized kernel: oracle points ``(ng, m)`` -> CSR ``(indptr, member_idx)``.
+
+    One bulk successor lookup maps every point to its member index; sorting
+    each row then makes the flat ``(leader, member)`` edge array lexsorted
+    by ``(leader, member)``, so duplicate members inside a group are exactly
+    the positions equal to their left neighbor — a single segment-dedup mask
+    replaces the per-group ``np.unique`` calls, and the kept-per-row counts
+    cumsum straight into ``indptr``.  Byte-identical to the serial loop.
+    """
+    ng, m = pts.shape
+    if pts.size == 0:  # no leaders or zero solicit: all-empty groups
+        return np.zeros(ng + 1, dtype=np.int64), np.empty(0, dtype=np.int64)
+    idx = ring.successor_index_bulk(pts.ravel()).reshape(ng, m)
+    idx.sort(axis=1)
+    keep = np.empty((ng, m), dtype=bool)
+    keep[:, 0] = True
+    np.not_equal(idx[:, 1:], idx[:, :-1], out=keep[:, 1:])
+    indptr = np.zeros(ng + 1, dtype=np.int64)
+    np.cumsum(keep.sum(axis=1), out=indptr[1:])
+    return indptr, idx[keep].astype(np.int64, copy=False)
+
+
 def build_groups(
     ring: Ring,
     params: SystemParams,
     oracle: RandomOracle,
     leaders: np.ndarray | None = None,
     solicit: int | None = None,
+    kernel: str = "vectorized",
 ) -> GroupSet:
     """Form ``G_w`` for every leader ``w`` by hashing (paper §III-A).
 
@@ -103,13 +154,22 @@ def build_groups(
 
     ``leaders`` defaults to every ID on the ring (the paper's "n IDs and n
     groups"); the dynamic protocol passes new-epoch leaders against the old
-    ring instead.
+    ring instead.  ``kernel`` selects the vectorized CSR construction or the
+    per-leader reference loop; the oracle calls — the only part a verifier
+    must be able to replay point-wise — are identical either way.
     """
+    _require_kernel(kernel)
     if leaders is None:
         leaders = np.arange(ring.n, dtype=np.int64)
     m = params.group_solicit_size if solicit is None else int(solicit)
-    rows: list[np.ndarray] = []
     ids = ring.ids
+    if kernel == "vectorized":
+        pts = np.empty((len(leaders), m), dtype=np.float64)
+        for i, lead in enumerate(leaders):
+            pts[i] = oracle.many(float(ids[lead]) if lead < ring.n else int(lead), m)
+        indptr, member_idx = _points_to_csr(ring, pts)
+        return GroupSet(np.asarray(leaders), indptr, member_idx, ring.n)
+    rows: list[np.ndarray] = []
     for lead in leaders:
         pts = oracle.many(float(ids[lead]) if lead < ring.n else int(lead), m)
         members = np.unique(ring.successor_index_many(pts))
@@ -126,6 +186,7 @@ def build_groups_fast(
     rng: np.random.Generator,
     n_groups: int | None = None,
     solicit: int | None = None,
+    kernel: str = "vectorized",
 ) -> GroupSet:
     """Monte-Carlo variant of :func:`build_groups`.
 
@@ -134,17 +195,25 @@ def build_groups_fast(
     ``hashing.RandomOracle.uniform_stream``), and it is the only way to run
     the large-n sweeps.  Cross-checked against :func:`build_groups` in the
     test suite.
+
+    Both kernels consume exactly one ``rng.random((ng, m))`` draw and build
+    identical CSR arrays, so downstream streams and tables do not depend on
+    the kernel choice.
     """
+    _require_kernel(kernel)
     ng = ring.n if n_groups is None else int(n_groups)
     m = params.group_solicit_size if solicit is None else int(solicit)
     pts = rng.random((ng, m))
+    leaders = np.arange(ng, dtype=np.int64) % ring.n
+    if kernel == "vectorized":
+        indptr, member_idx = _points_to_csr(ring, pts)
+        return GroupSet(leaders, indptr, member_idx, ring.n)
     idx = ring.successor_index_many(pts.ravel()).reshape(ng, m)
     idx.sort(axis=1)
     rows = [np.unique(idx[g]) for g in range(ng)]
     indptr = np.zeros(ng + 1, dtype=np.int64)
     indptr[1:] = np.cumsum([r.size for r in rows])
     member_idx = np.concatenate(rows) if rows else np.empty(0, dtype=np.int64)
-    leaders = np.arange(ng, dtype=np.int64) % ring.n
     return GroupSet(leaders, indptr, member_idx, ring.n)
 
 

@@ -27,6 +27,7 @@ from ..inputgraph.base import InputGraph
 from .group_graph import GroupGraph
 from .groups import GroupQuality, GroupSet, build_groups, build_groups_fast, classify_groups
 from .params import SystemParams
+from .secure_routing import SecureRouter
 
 __all__ = [
     "StaticSearchStats",
@@ -68,6 +69,7 @@ def constructive_static_graph(
     bad_mask: np.ndarray,
     rng: np.random.Generator | None = None,
     oracle: RandomOracle | None = None,
+    kernel: str = "vectorized",
 ) -> tuple[GroupGraph, GroupSet, GroupQuality]:
     """Build all groups by hashing and mark red from composition (§I-C).
 
@@ -75,13 +77,15 @@ def constructive_static_graph(
     fast Monte-Carlo equivalent (distribution-identical; see
     ``groups.build_groups_fast``).  In the static case neighbor sets are
     assumed correct (the paper's §II premise), so red == bad composition.
+    ``kernel`` selects the group-construction kernel (byte-identical CSR
+    either way; ``"serial"`` is the per-leader reference loop).
     """
     if oracle is not None:
-        gs = build_groups(H.ring, params, oracle)
+        gs = build_groups(H.ring, params, oracle, kernel=kernel)
     else:
         if rng is None:
             raise ValueError("need either oracle or rng")
-        gs = build_groups_fast(H.ring, params, rng)
+        gs = build_groups_fast(H.ring, params, rng, kernel=kernel)
     quality = classify_groups(gs, bad_mask, params)
     gg = GroupGraph(H, params, red=quality.is_bad.copy(), groups=gs)
     return gg, gs, quality
@@ -90,18 +94,50 @@ def constructive_static_graph(
 def measure_static_search(
     gg: GroupGraph, probes: int, rng: np.random.Generator,
     resp_constant: float = 8.0,
+    kernel: str = "vectorized",
 ) -> StaticSearchStats:
     """Measure ``X`` and ``rho`` on a marked group graph.
 
     ``resp_constant`` is the hidden constant in Lemma 1's
     ``rho(G_v) = O(log^c n / n)`` against which the max responsibility is
     reported.
+
+    Execution is a :class:`~repro.core.secure_routing.SecureRouter` pass
+    over all probes: ``kernel="vectorized"`` (the default) routes and
+    classifies the whole probe batch in one lockstep kernel call;
+    ``kernel="serial"`` is the per-probe reference loop (one scalar
+    secure search per probe).  Both consume identical RNG draws and
+    produce identical statistics — the sweep substrate parity-tests them.
     """
     n = gg.n
-    batch = gg.H.random_route_batch(probes, rng)
-    ev = gg.evaluate(batch)
-    visited = batch.paths[ev.search_path_mask]
-    counts = np.bincount(visited, minlength=n).astype(np.float64) / probes
+    # same draw order as InputGraph.random_route_batch, so stats (and every
+    # cached table built on them) are unchanged by the kernel split
+    sources = rng.integers(0, n, size=probes)
+    targets = rng.random(probes)
+    router = SecureRouter(gg)
+    if kernel == "serial":
+        delivered = 0
+        path_len_total = 0
+        counts = np.zeros(n, dtype=np.int64)
+        for s, t in zip(sources, targets):
+            out = router.search(int(s), float(t))
+            delivered += 1 if out.delivered else 0
+            prefix = out.path[: min(out.first_blocked + 1, out.path.size)]
+            path_len_total += prefix.size
+            np.add.at(counts, prefix, 1)
+        # arranged exactly as the kernel's float reductions (mean = sum/n,
+        # failure = 1 - mean) so both paths agree to the last bit
+        failure_rate = 1.0 - delivered / probes
+        mean_path_len = path_len_total / probes
+        resp = counts.astype(np.float64) / probes
+    else:
+        batch = gg.H.route_many(sources, targets)
+        out = router.route_outcomes(batch)
+        mask = out.search_path_mask()
+        failure_rate = out.failure_rate
+        mean_path_len = float(mask.sum(axis=1).mean())
+        visited = batch.paths[mask]
+        resp = np.bincount(visited, minlength=n).astype(np.float64) / probes
     c = gg.H.congestion_exponent
     log_n = np.log(max(np.e, n))
     rho_bound = resp_constant * (log_n**c) / n
@@ -110,9 +146,9 @@ def measure_static_search(
         n=n,
         pf=pf,
         probes=probes,
-        failure_rate=ev.failure_rate,
-        mean_search_path_len=float(ev.search_path_mask.sum(axis=1).mean()),
-        max_responsibility=float(counts.max()),
+        failure_rate=float(failure_rate),
+        mean_search_path_len=float(mean_path_len),
+        max_responsibility=float(resp.max()),
         responsibility_bound=float(rho_bound),
         x_upper_pred=float(min(1.0, pf * resp_constant * (log_n**c))),
     )

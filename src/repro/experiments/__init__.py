@@ -6,10 +6,11 @@ convenience wrapper; the runner dispatches, validates overrides, and
 consults the on-disk result cache (:mod:`repro.experiments.cache`).
 """
 
-from .cache import ResultCache
+from .cache import CacheEntry, ResultCache
 from .runner import EXPERIMENTS, SPEC_BUILDERS, run_all, run_experiment
 
 __all__ = [
+    "CacheEntry",
     "EXPERIMENTS",
     "ResultCache",
     "SPEC_BUILDERS",

@@ -12,6 +12,10 @@ guarantees bit-identical tables at any worker count, so a table computed
 by a 4-worker pool is a valid hit for a serial run and vice versa.  The
 package version is part of the key, so caches self-invalidate on release
 bumps; corrupt or unreadable entries are treated as misses, never errors.
+
+The store only ever grows on its own; :meth:`ResultCache.entries` and
+:meth:`ResultCache.prune` (surfaced as ``repro cache ls`` / ``repro cache
+prune``) give operators inspection and age/size-bounded eviction.
 """
 
 from __future__ import annotations
@@ -20,11 +24,14 @@ import hashlib
 import json
 import os
 import pathlib
+import re
+import time
 import warnings
+from dataclasses import dataclass
 
 from ..analysis.tables import TableResult
 
-__all__ = ["ResultCache", "cache_key", "default_cache_dir"]
+__all__ = ["CacheEntry", "ResultCache", "cache_key", "default_cache_dir"]
 
 # three levels above src/repro/experiments/ is the repo root — but only
 # for the source checkout this project is actually run from; under an
@@ -87,6 +94,20 @@ def cache_key(
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:20]
 
 
+@dataclass(frozen=True)
+class CacheEntry:
+    """Metadata for one stored table (the ``cache ls`` row)."""
+
+    path: pathlib.Path
+    experiment: str
+    key: str
+    size: int          # bytes on disk
+    mtime: float       # seconds since the epoch
+
+    def age_seconds(self, now: float | None = None) -> float:
+        return (time.time() if now is None else now) - self.mtime
+
+
 class ResultCache:
     """JSON table store keyed by :func:`cache_key`."""
 
@@ -146,3 +167,90 @@ class ResultCache:
                 pass
             return None
         return path
+
+    # -- inspection / eviction --------------------------------------------------
+
+    # exactly what path_for() writes: lowercase experiment id, dash, the
+    # 20-hex-char truncated sha256 — anything else in the directory is NOT
+    # ours and must never be listed or pruned
+    _ENTRY_RE = re.compile(r"^(?P<experiment>[a-z0-9_]+)-(?P<key>[0-9a-f]{20})$")
+
+    def entries(self) -> list[CacheEntry]:
+        """All stored tables, oldest first (the eviction order).
+
+        Only names matching the writer's own ``<experiment>-<20-hex-key>
+        .json`` shape are entries; writer ``.tmp`` files and foreign files
+        that merely look JSON-ish are ignored.  Entries that vanish between
+        the glob and the stat (a concurrent prune) are skipped, not errors.
+        """
+        out: list[CacheEntry] = []
+        if not self.root.is_dir():
+            return out
+        for path in self.root.glob("*-*.json"):
+            m = self._ENTRY_RE.match(path.stem)
+            if m is None:
+                continue
+            experiment, key = m.group("experiment"), m.group("key")
+            try:
+                st = path.stat()
+            except OSError:
+                continue
+            out.append(
+                CacheEntry(
+                    path=path,
+                    experiment=experiment.upper(),
+                    key=key,
+                    size=int(st.st_size),
+                    mtime=float(st.st_mtime),
+                )
+            )
+        out.sort(key=lambda e: (e.mtime, e.path.name))
+        return out
+
+    def total_bytes(self) -> int:
+        return sum(e.size for e in self.entries())
+
+    def prune(
+        self,
+        older_than: float | None = None,
+        max_bytes: int | None = None,
+        now: float | None = None,
+    ) -> list[CacheEntry]:
+        """Evict entries by age and/or total size; returns what was removed.
+
+        ``older_than`` (seconds) drops every entry whose mtime is further
+        in the past; ``max_bytes`` then evicts oldest-first until the
+        store's total size fits the budget.  With neither bound this is a
+        no-op — pruning is always an explicit decision.  Entries already
+        deleted by a concurrent pruner are counted as removed (the goal
+        state holds either way).
+        """
+        if older_than is None and max_bytes is None:
+            return []
+        now = time.time() if now is None else now
+        entries = self.entries()
+        removed: list[CacheEntry] = []
+        survivors: list[CacheEntry] = []
+        for e in entries:
+            if older_than is not None and e.age_seconds(now) > older_than:
+                removed.append(e)
+            else:
+                survivors.append(e)
+        if max_bytes is not None:
+            total = sum(e.size for e in survivors)
+            # survivors are oldest first: evict from the front
+            i = 0
+            while total > max_bytes and i < len(survivors):
+                removed.append(survivors[i])
+                total -= survivors[i].size
+                i += 1
+        for e in removed:
+            try:
+                e.path.unlink(missing_ok=True)
+            except OSError as exc:
+                warnings.warn(
+                    f"could not remove cache entry {e.path} ({exc})",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+        return removed

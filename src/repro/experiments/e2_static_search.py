@@ -12,6 +12,11 @@ rebuilds the *same* substrate graph (keyed by the experiment seed, so the
 sweep still varies only ``p_f``) and then colours/probes it from its own
 spawned stream — cells are independent, so the process backend dispatches
 them concurrently with a bit-identical table.
+
+Each cell evaluates all its probes in one batched secure-search kernel
+(``pass_kernel``): the default ``vectorized`` path walks every probe path
+in lockstep, the explicit ``serial`` backend runs the per-probe scalar
+reference loop — identical statistics either way, parity-tested.
 """
 
 from __future__ import annotations
@@ -30,7 +35,7 @@ __all__ = ["run", "build_spec"]
 
 def _cell(
     rng: np.random.Generator, *, pf: float, topology: str, n: int,
-    probes: int, seed: int,
+    probes: int, seed: int, kernel: str = "vectorized",
 ):
     # identical substrate in every cell: the graph is a function of the
     # experiment seed, so only the red colouring and probes vary with p_f
@@ -38,7 +43,7 @@ def _cell(
     H = make_input_graph(topology, ids)
     params = SystemParams(n=n, seed=seed)
     gg = synthetic_static_graph(H, params, pf, rng)
-    stats = measure_static_search(gg, probes, rng)
+    stats = measure_static_search(gg, probes, rng, kernel=kernel)
     slope = stats.failure_rate / max(stats.pf, 1e-12)
     row = [
         f"{pf:.3f}", f"{stats.pf:.4f}", f"{stats.failure_rate:.4f}",
@@ -86,6 +91,7 @@ def build_spec(
         context=dict(topology=topology, n=n, probes=probes, seed=seed),
         seed=seed,
         finalize=_finalize,
+        pass_kernel=True,
     )
 
 

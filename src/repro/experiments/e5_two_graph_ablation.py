@@ -24,7 +24,9 @@ Part A is a ``p_f0``-axis :class:`~repro.sim.sweep.SweepSpec` — each cell
 runs its dual/single transition pair (both variants share one sub-seed so
 the comparison stays paired) on its own spawned stream, cell-parallel
 under the process backend.  Part B is deterministic and assembled in the
-spec's finalize hook.
+spec's finalize hook.  The transition machinery (``build_new_graph``)
+batches its per-slot searches internally, so the cell is kernel-neutral:
+serial and vectorized backends render the identical table.
 """
 
 from __future__ import annotations

@@ -162,14 +162,16 @@ def _run_one(
     Module-level so it pickles under the ``spawn`` start method.  The
     child receives an *explicit* serial trial-loop config — process
     backends do not nest, and the caller's ``exec_config`` must not leak
-    into workers implicitly — plus the caller's cache settings, so warm
-    entries short-circuit inside the worker too.
+    into workers implicitly — with the ``vectorized`` cell kernels kept
+    (kernels are byte-identical, so this only affects speed), plus the
+    caller's cache settings, so warm entries short-circuit inside the
+    worker too.
     """
     return run_experiment(
         name,
         seed=seed,
         fast=fast,
-        exec_config=ExecutionConfig(backend="serial"),
+        exec_config=ExecutionConfig(backend="serial", kernel="vectorized"),
         cache=cache,
         force=force,
         cache_dir=cache_dir,

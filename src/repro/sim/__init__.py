@@ -12,8 +12,10 @@ backend with bit-identical tables at any worker count.
 
 from .montecarlo import (
     BACKENDS,
+    KERNELS,
     ExecutionConfig,
     MCResult,
+    resolve_kernel,
     run_trials,
     run_trials_batched,
     run_trials_parallel,
@@ -33,6 +35,7 @@ from .sweep import (
 
 __all__ = [
     "BACKENDS",
+    "KERNELS",
     "Cell",
     "CellOut",
     "CellResult",
@@ -43,6 +46,7 @@ __all__ = [
     "child",
     "make_rng",
     "reset_cells_executed",
+    "resolve_kernel",
     "run_sweep",
     "run_trials",
     "run_trials_batched",

@@ -23,6 +23,18 @@ CLI as ``--backend``/``--workers``):
     for a fixed seed and chunk size, but a *different* stream layout than
     the per-trial serial path (documented, not a bug).
 
+Orthogonal to the backend (how trials/cells are *scheduled*), a sweep
+cell may support two *kernels* (how the cell body computes):
+``"vectorized"`` array kernels — the default execution path for the
+static-case experiments — and the ``"serial"`` reference loops they are
+parity-tested against.  :func:`resolve_kernel` maps an
+:class:`ExecutionConfig` to the kernel its cells should use: an explicit
+``backend="serial"`` requests the reference loops, everything else (and
+no config at all) the kernels, and ``ExecutionConfig(kernel=...)``
+overrides the mapping (e.g. process-pool workers run serial trial loops
+with vectorized kernels).  Kernels are byte-identical by contract, so
+the choice never shows up in a table.
+
 Confidence intervals: 0/1-valued trials are detected and get the Wilson
 score interval (the normal approximation produces ``lo < 0`` / ``hi > 1``
 exactly in the rare-event regime the paper's probabilities live in); other
@@ -43,8 +55,10 @@ import numpy as np
 
 __all__ = [
     "BACKENDS",
+    "KERNELS",
     "ExecutionConfig",
     "MCResult",
+    "resolve_kernel",
     "run_trials",
     "run_trials_batched",
     "run_trials_parallel",
@@ -53,6 +67,7 @@ __all__ = [
 ]
 
 BACKENDS = ("serial", "process", "vectorized")
+KERNELS = ("serial", "vectorized")
 
 Trial = Callable[[np.random.Generator], float]
 BatchTrial = Callable[[np.random.Generator, int], np.ndarray]
@@ -70,11 +85,15 @@ class ExecutionConfig:
         Process count for the ``process`` backend (``None`` -> CPU count).
     chunk_size:
         Trials per work unit (``None`` -> split evenly across workers).
+    kernel:
+        Explicit cell-kernel override (``"serial"`` | ``"vectorized"``);
+        ``None`` derives it from the backend via :func:`resolve_kernel`.
     """
 
     backend: str = "serial"
     workers: int | None = None
     chunk_size: int | None = None
+    kernel: str | None = None
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -85,9 +104,16 @@ class ExecutionConfig:
             raise ValueError("workers must be >= 1")
         if self.chunk_size is not None and self.chunk_size < 1:
             raise ValueError("chunk_size must be >= 1")
+        if self.kernel is not None and self.kernel not in KERNELS:
+            raise ValueError(
+                f"unknown kernel {self.kernel!r}; choose from {KERNELS}"
+            )
 
     def resolved_workers(self) -> int:
         return self.workers if self.workers is not None else (os.cpu_count() or 1)
+
+    def resolved_kernel(self) -> str:
+        return resolve_kernel(self)
 
     def resolved_chunk(self, trials: int) -> int:
         if self.chunk_size is not None:
@@ -108,6 +134,23 @@ class MCResult:
 
     def __str__(self) -> str:  # pragma: no cover
         return f"{self.mean:.4g} [{self.lo:.4g}, {self.hi:.4g}] (x{self.trials})"
+
+
+def resolve_kernel(config: "ExecutionConfig | None") -> str:
+    """Which cell kernel an execution config selects.
+
+    ``None`` (no config) and every non-``serial`` backend resolve to the
+    ``"vectorized"`` array kernels — the promoted default execution path.
+    An explicit ``backend="serial"`` is the request for the reference loop
+    implementations (the parity oracle).  ``ExecutionConfig.kernel``
+    overrides both, which is how process-pool workers combine serial trial
+    scheduling with vectorized cell kernels.
+    """
+    if config is None:
+        return "vectorized"
+    if config.kernel is not None:
+        return config.kernel
+    return "serial" if config.backend == "serial" else "vectorized"
 
 
 def wilson_interval(successes: int, trials: int, z: float = 1.96) -> tuple[float, float]:

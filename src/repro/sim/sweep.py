@@ -43,7 +43,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..analysis.tables import TableResult
-from .montecarlo import ExecutionConfig, spawn_map
+from .montecarlo import ExecutionConfig, resolve_kernel, spawn_map
 from .rng import tag_entropy
 
 __all__ = [
@@ -137,6 +137,14 @@ class SweepSpec:
         When True the cell receives an ``exec_config=`` keyword: the
         caller's config when cells run in-process, ``None`` when cells are
         themselves dispatched across a process pool (pools do not nest).
+    pass_kernel:
+        When True the cell receives a ``kernel=`` keyword
+        (``"vectorized"`` | ``"serial"``) resolved from the caller's
+        execution config (:func:`~repro.sim.montecarlo.resolve_kernel`):
+        the vectorized array kernels are the default execution path, an
+        explicit serial backend selects the reference loops.  Cells must
+        be kernel-transparent — both choices produce the identical rows —
+        so the flag never changes a table, only how fast it is computed.
     notes:
         Static notes appended after the per-cell notes.
     """
@@ -150,6 +158,7 @@ class SweepSpec:
     seed: int = 0
     finalize: Callable[[TableResult, list, dict], None] | None = None
     pass_exec_config: bool = False
+    pass_kernel: bool = False
     notes: tuple = ()
 
     def cells(self) -> list[Cell]:
@@ -249,6 +258,8 @@ def run_sweep(
     context = dict(spec.context)
     if spec.pass_exec_config:
         context["exec_config"] = None if use_pool else exec_config
+    if spec.pass_kernel:
+        context["kernel"] = resolve_kernel(exec_config)
 
     results: list[CellResult]
     if use_pool:

@@ -45,6 +45,28 @@ def test_experiment_produces_table(name):
     assert f"[{name}]" in rendered
 
 
+# the static-case pipeline experiments promoted to the vectorized kernels
+KERNEL_EXPERIMENTS = ("E1", "E2", "E3", "E5", "E6")
+
+
+@pytest.mark.parametrize("name", KERNEL_EXPERIMENTS)
+def test_serial_and_vectorized_backends_render_identical(name):
+    """Acceptance bar of the kernel layer: the explicit serial backend (the
+    reference loop implementations) and the default vectorized kernels must
+    render bit-identical tables."""
+    from repro.sim import ExecutionConfig
+
+    kwargs = dict(seed=3, fast=True, **FAST_OVERRIDES.get(name, {}))
+    serial = run_experiment(
+        name, exec_config=ExecutionConfig(backend="serial"), **kwargs
+    )
+    vectorized = run_experiment(
+        name, exec_config=ExecutionConfig(backend="vectorized"), **kwargs
+    )
+    default = run_experiment(name, **kwargs)  # no config -> vectorized kernels
+    assert serial.render() == vectorized.render() == default.render()
+
+
 def test_registry_is_dense():
     """E1..E15 with no gaps — DESIGN.md §3 promises one per claim."""
     nums = sorted(int(k[1:]) for k in EXPERIMENTS)

@@ -1,5 +1,6 @@
 """Unit tests: theory predictions, stats, tables (repro.analysis)."""
 
+import json
 import math
 
 import numpy as np
@@ -215,3 +216,62 @@ class TestTableJson:
         back = TableResult.from_json(t.to_json())
         assert back.rows == [] and back.notes == []
         assert back.render() == t.render()
+
+
+class TestBenchIO:
+    """Machine-readable benchmark rows (repro.analysis.benchio)."""
+
+    def _row(self, **kw):
+        from repro.analysis import bench_row
+
+        base = dict(experiment="e2", n=4096, backend="serial",
+                    wall_s=1.234567891, cells=1, trials=100_000)
+        base.update(kw)
+        return bench_row(**base)
+
+    def test_row_shape_and_normalization(self):
+        row = self._row()
+        assert row == {
+            "experiment": "E2", "n": 4096, "backend": "serial",
+            "wall_s": 1.234568, "cells": 1, "trials": 100_000,
+        }
+
+    def test_read_missing_and_corrupt(self, tmp_path):
+        from repro.analysis import read_bench_rows
+
+        assert read_bench_rows(tmp_path / "nope.json") == []
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert read_bench_rows(bad) == []
+        bad.write_text('{"a": 1}')  # not a list
+        assert read_bench_rows(bad) == []
+
+    def test_record_merges_by_key(self, tmp_path):
+        from repro.analysis import read_bench_rows, record_bench_rows
+
+        path = tmp_path / "BENCH_vectorized.json"
+        record_bench_rows(path, [self._row(wall_s=2.0)])
+        record_bench_rows(path, [
+            self._row(wall_s=1.0),                       # replaces same key
+            self._row(backend="vectorized", wall_s=0.1),  # new key
+        ])
+        rows = read_bench_rows(path)
+        assert len(rows) == 2
+        by_backend = {r["backend"]: r for r in rows}
+        assert by_backend["serial"]["wall_s"] == 1.0
+        assert by_backend["vectorized"]["wall_s"] == 0.1
+
+    def test_record_sorted_and_stable(self, tmp_path):
+        from repro.analysis import record_bench_rows
+
+        path = tmp_path / "bench.json"
+        record_bench_rows(path, [
+            self._row(experiment="E3", n=8192),
+            self._row(experiment="E2", n=512),
+            self._row(experiment="E2", n=4096),
+        ])
+        first = path.read_text()
+        record_bench_rows(path, [])  # no-op merge must not reorder
+        assert path.read_text() == first
+        keys = [(r["experiment"], r["n"]) for r in json.loads(first)]
+        assert keys == [("E2", 512), ("E2", 4096), ("E3", 8192)]

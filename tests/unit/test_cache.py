@@ -108,3 +108,100 @@ class TestResultCache:
         monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
         path = default_cache_dir()
         assert path.parts[-3:] == ("benchmarks", "output", "cache")
+
+
+class TestEntriesAndPrune:
+    """`repro cache ls` / `prune` machinery (the store must not only grow)."""
+
+    def _seed_store(self, tmp_path, count=4):
+        import os
+
+        rc = ResultCache(tmp_path)
+        paths = []
+        for i in range(count):
+            p = rc.store(f"E{i + 1}", 0, True, {}, _table())
+            # deterministic, well-separated ages: E1 oldest ... E4 newest
+            age_days = count - i
+            mtime = 1_700_000_000 + (count - age_days) * 86400
+            os.utime(p, (mtime, mtime))
+            paths.append(p)
+        return rc, paths
+
+    def test_entries_oldest_first_with_metadata(self, tmp_path):
+        rc, paths = self._seed_store(tmp_path)
+        entries = rc.entries()
+        assert [e.experiment for e in entries] == ["E1", "E2", "E3", "E4"]
+        assert all(e.size > 0 for e in entries)
+        assert [e.path for e in entries] == paths
+
+    def test_entries_empty_and_missing_root(self, tmp_path):
+        assert ResultCache(tmp_path / "nope").entries() == []
+        assert ResultCache(tmp_path).entries() == []
+
+    def test_entries_ignore_tmp_and_foreign_files(self, tmp_path):
+        rc = ResultCache(tmp_path)
+        rc.store("E1", 0, True, {}, _table())
+        (tmp_path / "e9-deadbeef.1234.tmp").write_text("partial")
+        (tmp_path / "README").write_text("not an entry")
+        # dashed .json files that are not <exp>-<20-hex-key>.json are foreign
+        (tmp_path / "my-notes.json").write_text("{}")
+        (tmp_path / "e2-SHOUTYKEY0123456789a.json").write_text("{}")
+        (tmp_path / "e2-abc.json").write_text("{}")  # key too short
+        assert [e.experiment for e in rc.entries()] == ["E1"]
+
+    def test_prune_never_deletes_foreign_files(self, tmp_path):
+        rc = ResultCache(tmp_path)
+        rc.store("E1", 0, True, {}, _table())
+        foreign = tmp_path / "my-notes.json"
+        foreign.write_text("{\"precious\": true}")
+        removed = rc.prune(max_bytes=0)
+        assert [e.experiment for e in removed] == ["E1"]
+        assert foreign.exists()
+
+    def test_prune_noop_without_bounds(self, tmp_path):
+        rc, _ = self._seed_store(tmp_path)
+        assert rc.prune() == []
+        assert len(rc.entries()) == 4
+
+    def test_prune_older_than(self, tmp_path):
+        rc, _ = self._seed_store(tmp_path)
+        now = 1_700_000_000 + 4 * 86400
+        removed = rc.prune(older_than=2.5 * 86400, now=now)
+        assert sorted(e.experiment for e in removed) == ["E1", "E2"]
+        assert [e.experiment for e in rc.entries()] == ["E3", "E4"]
+
+    def test_prune_max_bytes_evicts_oldest_first(self, tmp_path):
+        rc, _ = self._seed_store(tmp_path)
+        entries = rc.entries()
+        keep_two = entries[-1].size + entries[-2].size
+        removed = rc.prune(max_bytes=keep_two)
+        assert sorted(e.experiment for e in removed) == ["E1", "E2"]
+        assert [e.experiment for e in rc.entries()] == ["E3", "E4"]
+
+    def test_prune_max_bytes_zero_clears_store(self, tmp_path):
+        rc, _ = self._seed_store(tmp_path)
+        removed = rc.prune(max_bytes=0)
+        assert len(removed) == 4
+        assert rc.entries() == []
+
+    def test_prune_combined_bounds(self, tmp_path):
+        rc, _ = self._seed_store(tmp_path)
+        now = 1_700_000_000 + 4 * 86400
+        sizes = {e.experiment: e.size for e in rc.entries()}
+        removed = rc.prune(
+            older_than=3.5 * 86400,            # drops E1
+            max_bytes=sizes["E4"],             # then evicts E2, E3
+            now=now,
+        )
+        assert sorted(e.experiment for e in removed) == ["E1", "E2", "E3"]
+        assert [e.experiment for e in rc.entries()] == ["E4"]
+
+    def test_pruned_entry_is_a_miss_not_an_error(self, tmp_path):
+        rc = ResultCache(tmp_path)
+        rc.store("E1", 0, True, {}, _table())
+        rc.prune(max_bytes=0)
+        assert rc.load("E1", 0, True, {}) is None
+
+    def test_total_bytes(self, tmp_path):
+        rc, _ = self._seed_store(tmp_path)
+        assert rc.total_bytes() == sum(e.size for e in rc.entries())

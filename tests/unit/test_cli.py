@@ -63,3 +63,62 @@ class TestParser:
         assert main(argv) == 0
         assert cells_executed() == 0  # warm: rendered from the cache
         assert capsys.readouterr().out == cold
+
+    def test_backend_default_is_substrate_default(self):
+        # no --backend: exec_config stays unset so the vectorized kernels
+        # (the promoted default path) apply
+        args = build_parser().parse_args(["experiments", "E1"])
+        assert args.backend is None
+
+    def test_explicit_serial_backend_parses(self):
+        args = build_parser().parse_args(
+            ["experiments", "E1", "--backend", "serial"]
+        )
+        assert args.backend == "serial"
+
+
+class TestCacheCommand:
+    def _fill(self, cache_dir, experiments=("E1", "E2")):
+        from repro.analysis.tables import TableResult
+        from repro.experiments.cache import ResultCache
+
+        rc = ResultCache(cache_dir)
+        for name in experiments:
+            t = TableResult(experiment=name, title="t", headers=["a"])
+            t.add_row("x")
+            rc.store(name, 0, True, {}, t)
+        return rc
+
+    def test_ls_empty(self, tmp_path, capsys):
+        assert main(["cache", "ls", "--cache-dir", str(tmp_path)]) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_ls_lists_entries(self, tmp_path, capsys):
+        self._fill(tmp_path)
+        assert main(["cache", "ls", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "2 entries" in out
+        assert "E1" in out and "E2" in out
+
+    def test_prune_requires_a_bound(self, tmp_path, capsys):
+        self._fill(tmp_path)
+        assert main(["cache", "prune", "--cache-dir", str(tmp_path)]) == 2
+        assert "nothing to do" in capsys.readouterr().out
+
+    def test_prune_max_bytes(self, tmp_path, capsys):
+        rc = self._fill(tmp_path)
+        assert main([
+            "cache", "prune", "--cache-dir", str(tmp_path), "--max-bytes", "0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "pruned 2 entries" in out
+        assert rc.entries() == []
+
+    def test_prune_older_than_keeps_fresh_entries(self, tmp_path, capsys):
+        rc = self._fill(tmp_path)
+        assert main([
+            "cache", "prune", "--cache-dir", str(tmp_path),
+            "--older-than", "1",
+        ]) == 0
+        assert "pruned 0 entries" in capsys.readouterr().out
+        assert len(rc.entries()) == 2

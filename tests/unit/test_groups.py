@@ -99,6 +99,67 @@ class TestBuildGroups:
         assert gs.n_groups == 2
 
 
+class TestKernelEquivalence:
+    """The vectorized CSR kernel must be byte-identical to the loop."""
+
+    def _assert_same(self, a, b):
+        assert np.array_equal(a.leaders, b.leaders)
+        assert np.array_equal(a.indptr, b.indptr)
+        assert np.array_equal(a.member_idx, b.member_idx)
+        assert a.indptr.dtype == b.indptr.dtype
+        assert a.member_idx.dtype == b.member_idx.dtype
+        assert a.n_ids == b.n_ids
+
+    def test_oracle_build_kernels_identical(self, ring, params):
+        h = RandomOracle("h1", 4)
+        self._assert_same(
+            build_groups(ring, params, h, kernel="vectorized"),
+            build_groups(ring, params, h, kernel="serial"),
+        )
+
+    def test_fast_build_kernels_identical(self, ring, params):
+        self._assert_same(
+            build_groups_fast(ring, params, np.random.default_rng(5),
+                              kernel="vectorized"),
+            build_groups_fast(ring, params, np.random.default_rng(5),
+                              kernel="serial"),
+        )
+
+    def test_fast_build_kernels_consume_same_stream(self, ring, params):
+        """Downstream draws must not depend on the kernel choice."""
+        r1 = np.random.default_rng(5)
+        r2 = np.random.default_rng(5)
+        build_groups_fast(ring, params, r1, kernel="vectorized")
+        build_groups_fast(ring, params, r2, kernel="serial")
+        assert r1.random() == r2.random()
+
+    def test_kernels_identical_with_custom_solicit_and_subset(self, ring, params):
+        for solicit in (1, 3, 17):
+            self._assert_same(
+                build_groups_fast(ring, params, np.random.default_rng(0),
+                                  n_groups=10, solicit=solicit,
+                                  kernel="vectorized"),
+                build_groups_fast(ring, params, np.random.default_rng(0),
+                                  n_groups=10, solicit=solicit,
+                                  kernel="serial"),
+            )
+
+    def test_oracle_subset_leaders_kernels_identical(self, ring, params):
+        h = RandomOracle("h2", 11)
+        leaders = np.array([0, 5, 17, 255])
+        self._assert_same(
+            build_groups(ring, params, h, leaders=leaders, kernel="vectorized"),
+            build_groups(ring, params, h, leaders=leaders, kernel="serial"),
+        )
+
+    def test_unknown_kernel_rejected(self, ring, params):
+        with pytest.raises(ValueError, match="kernel"):
+            build_groups_fast(ring, params, np.random.default_rng(0),
+                              kernel="gpu")
+        with pytest.raises(ValueError, match="kernel"):
+            build_groups(ring, params, RandomOracle("h1", 0), kernel="loop")
+
+
 class TestClassify:
     def test_no_bad_ids_all_good(self, ring, params):
         gs = build_groups_fast(ring, params, np.random.default_rng(0))

@@ -131,6 +131,57 @@ class TestRing:
             small_ring.ids[0] = 0.0
 
 
+class TestSuccessorBulk:
+    """The LUT-accelerated bulk path must equal the binary search exactly."""
+
+    def test_small_batch_delegates(self, small_ring):
+        pts = np.random.default_rng(0).random(64)
+        assert np.array_equal(
+            small_ring.successor_index_bulk(pts),
+            small_ring.successor_index_many(pts),
+        )
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_large_batch_matches_binary_search(self, seed):
+        rng = np.random.default_rng(seed)
+        ring = Ring(rng.random(2048))
+        pts = rng.random(50_000)
+        assert np.array_equal(
+            ring.successor_index_bulk(pts), ring.successor_index_many(pts)
+        )
+
+    def test_adversarially_clustered_ring(self):
+        # all IDs inside one LUT bucket: forces the advance loop into its
+        # binary-search fallback, which must stay exact
+        rng = np.random.default_rng(7)
+        ids = 0.5 + 1e-7 * np.sort(rng.random(512))
+        ring = Ring(ids)
+        pts = np.concatenate([
+            rng.random(30_000),
+            0.5 + 1e-7 * rng.random(30_000),  # hammer the crowded bucket
+        ])
+        assert np.array_equal(
+            ring.successor_index_bulk(pts), ring.successor_index_many(pts)
+        )
+
+    def test_boundary_points(self):
+        ring = Ring(np.random.default_rng(3).random(1024))
+        eps = float(np.nextafter(1.0, 0.0))
+        pts = np.concatenate([
+            np.zeros(2048),                      # 0.0 -> first ID
+            np.full(2048, eps),                  # just under 1 -> wraps to 0
+            np.repeat(ring.ids[:512], 4),        # exact IDs are own successors
+        ])
+        assert np.array_equal(
+            ring.successor_index_bulk(pts), ring.successor_index_many(pts)
+        )
+
+    def test_wraps_past_last_id(self):
+        ring = Ring(np.linspace(0.1, 0.6, 2048))
+        pts = np.full(10_000, 0.9)  # clockwise past every ID: successor is 0
+        assert (ring.successor_index_bulk(pts) == 0).all()
+
+
 class TestLnEstimation:
     def test_estimate_ln_n_order_of_magnitude(self):
         for n in (128, 1024, 8192):

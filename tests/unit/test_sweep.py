@@ -37,6 +37,10 @@ def config_probe_cell(rng, *, k, exec_config):
     return [[k, backend]]
 
 
+def kernel_probe_cell(rng, *, k, kernel):
+    return [[k, kernel]]
+
+
 def _spec(**kw):
     defaults = dict(
         experiment="TOY",
@@ -174,6 +178,48 @@ class TestExecConfigPassthrough:
         cfg = ExecutionConfig(backend="process", workers=2)
         # multi-cell grid: cells ship to workers, inner loops must be serial
         assert run_sweep(spec, exec_config=cfg).rows == [[1, "none"], [2, "none"]]
+
+
+class TestKernelPassthrough:
+    def _spec(self):
+        return _spec(
+            cell=kernel_probe_cell, axes=(("k", (1, 2)),), context={},
+            headers=["k", "kernel"], pass_kernel=True,
+        )
+
+    def test_default_is_vectorized(self):
+        # no exec config: the vectorized kernels are the promoted default
+        assert run_sweep(self._spec()).rows == [
+            [1, "vectorized"], [2, "vectorized"],
+        ]
+
+    def test_serial_backend_selects_reference_loops(self):
+        cfg = ExecutionConfig(backend="serial")
+        assert run_sweep(self._spec(), exec_config=cfg).rows == [
+            [1, "serial"], [2, "serial"],
+        ]
+
+    def test_vectorized_backend_selects_kernels(self):
+        cfg = ExecutionConfig(backend="vectorized")
+        assert run_sweep(self._spec(), exec_config=cfg).rows == [
+            [1, "vectorized"], [2, "vectorized"],
+        ]
+
+    def test_pooled_cells_keep_vectorized_kernels(self):
+        cfg = ExecutionConfig(backend="process", workers=2)
+        assert run_sweep(self._spec(), exec_config=cfg).rows == [
+            [1, "vectorized"], [2, "vectorized"],
+        ]
+
+    def test_explicit_kernel_overrides_backend(self):
+        cfg = ExecutionConfig(backend="serial", kernel="vectorized")
+        assert run_sweep(self._spec(), exec_config=cfg).rows == [
+            [1, "vectorized"], [2, "vectorized"],
+        ]
+
+    def test_invalid_kernel_rejected(self):
+        with pytest.raises(ValueError, match="kernel"):
+            ExecutionConfig(kernel="gpu")
 
 
 class TestExecutionCounter:

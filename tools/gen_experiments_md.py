@@ -146,12 +146,28 @@ repro experiments` accepts `--backend {serial,process,vectorized}` and
 genuinely cell-parallel), trial loops, and — via `run_all` — whole
 experiments across a spawn-safe pool, **bit-identical** to serial for a
 fixed `--seed`, so every table below is reproducible at any worker count.
+
+The static-case pipeline runs on vectorized trial kernels by default: group
+construction is a one-pass CSR kernel (flat `(leader, member)` edge array,
+single sort + segment dedup — no per-group `np.unique`), and E2-style
+secure searches evaluate every probe in one lockstep batch over the group
+graph (`SecureRouter.search_batch`, good-majority tests precomputed as
+boolean arrays).  An explicit `--backend serial` selects the original loop
+implementations, which are kept as the reference oracle and parity-tested:
+all backends render byte-identical tables.  Measured on one core at
+paper-scale n, the kernels are >= 5x (E3 construction grid, n=8192, ~8x)
+to ~70x (E2 probe batch, n=4096) faster than the loops —
+`benchmarks/output/BENCH_vectorized.json` (from
+`pytest benchmarks/bench_vectorized.py` or `tools/smoke_vectorized.py`,
+uploaded as a CI artifact) is the machine-readable perf-trajectory record.
+
 `--cache` / `--no-cache` / `--force` drive the on-disk result cache
 (`benchmarks/output/cache/`, keyed by experiment/seed/fast/overrides/
-version): a warm run loads tables without executing a single cell.
-`benchmarks/output/timings.txt` (from `pytest benchmarks/bench_parallel.py
-benchmarks/bench_sweep.py`) records serial vs cell-parallel vs cache-hit
-wall clock.
+version): a warm run loads tables without executing a single cell;
+`repro cache ls` / `repro cache prune [--older-than N] [--max-bytes B]`
+inspect and bound the store.  `benchmarks/output/timings.txt` (from
+`pytest benchmarks/bench_parallel.py benchmarks/bench_sweep.py`) records
+serial vs cell-parallel vs cache-hit wall clock.
 
 """
 

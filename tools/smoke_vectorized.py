@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""CI smoke: vectorized kernels vs serial reference on real experiment cells.
+
+Runs one E2 cell (n=4096, the batched secure-search kernel vs the
+per-probe scalar loop) and the E3 construction grid (n=8192, the one-pass
+CSR group-construction kernel vs the per-leader ``np.unique`` loop) under
+both the ``serial`` and ``vectorized`` execution paths, then
+
+1. asserts the rendered tables are **byte-identical** (kernels must never
+   show up in a table), and
+2. records ``{experiment, n, backend, wall_s, cells, trials}`` rows into
+   ``benchmarks/output/BENCH_vectorized.json`` — the machine-readable
+   perf-trajectory file the CI job uploads as an artifact — and checks
+   the measured serial/vectorized speedup against ``--min-speedup``.
+
+Exercised by the ``smoke-vectorized`` job in ``.github/workflows/ci.yml``;
+also handy locally::
+
+    PYTHONPATH=src python tools/smoke_vectorized.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def _timed(fn, repeats_budget_s: float = 5.0):
+    """Run ``fn`` once; if it is quick, repeat and keep the best time
+    (one-cell runs are tiny — min-of-3 shields the speedup check from
+    scheduler jitter on shared CI hosts)."""
+    t0 = time.perf_counter()
+    result = fn()
+    best = time.perf_counter() - t0
+    if best < repeats_budget_s:
+        for _ in range(2):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+    return result, best
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument(
+        "--min-speedup", type=float, default=None,
+        help="fail if serial/vectorized wall-clock ratio is below this "
+             "(default: 5.0 at paper scale, 2.0 with --quick — small cells "
+             "are overhead-dominated)",
+    )
+    ap.add_argument(
+        "--quick", action="store_true",
+        help="fast-scale cells (local sanity; CI runs paper scale)",
+    )
+    ap.add_argument(
+        "--out", default=None,
+        help="bench JSON path (default: benchmarks/output/BENCH_vectorized.json)",
+    )
+    args = ap.parse_args(argv)
+    if args.min_speedup is None:
+        args.min_speedup = 2.0 if args.quick else 5.0
+
+    import pathlib
+
+    # the measurement points are shared with benchmarks/bench_vectorized.py
+    # (repro.analysis.benchio) so both writers key the same trajectory rows
+    from repro.analysis.benchio import (
+        BENCH_FILENAME,
+        KERNEL_BENCH_CASES,
+        KERNEL_BENCH_CASES_QUICK,
+        record_bench_rows,
+    )
+    from repro.experiments import run_experiment
+    from repro.sim import ExecutionConfig
+
+    out_path = pathlib.Path(
+        args.out
+        if args.out is not None
+        else pathlib.Path(__file__).resolve().parent.parent
+        / "benchmarks" / "output" / BENCH_FILENAME
+    )
+    serial_cfg = ExecutionConfig(backend="serial")
+    cases = KERNEL_BENCH_CASES_QUICK if args.quick else KERNEL_BENCH_CASES
+    rows, failures = [], []
+    for name, case in cases.items():
+        kwargs = dict(case["kwargs"], seed=args.seed)
+        serial_table, t_serial = _timed(
+            lambda: run_experiment(name, exec_config=serial_cfg, **kwargs)
+        )
+        vec_table, t_vec = _timed(lambda: run_experiment(name, **kwargs))
+        if serial_table.render() != vec_table.render():
+            failures.append(f"{name}: serial and vectorized tables differ")
+            continue
+        speedup = t_serial / t_vec
+        rows.append(dict(
+            experiment=name, n=case["n"], backend="serial",
+            wall_s=t_serial, cells=case["cells"], trials=case["trials"],
+        ))
+        rows.append(dict(
+            experiment=name, n=case["n"], backend="vectorized",
+            wall_s=t_vec, cells=case["cells"], trials=case["trials"],
+        ))
+        print(
+            f"{name} (n={case['n']}): serial {t_serial:.3f}s / "
+            f"vectorized {t_vec:.3f}s = {speedup:.1f}x, tables identical"
+        )
+        if speedup < args.min_speedup:
+            failures.append(
+                f"{name}: speedup {speedup:.1f}x < {args.min_speedup}x"
+            )
+    record_bench_rows(out_path, rows)
+    print(f"wrote {len(rows)} rows to {out_path}")
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    print("vectorized smoke ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
