@@ -1,19 +1,25 @@
 """Bench vectorized — serial reference loops vs array kernels (+ parity).
 
 The acceptance bar for the vectorized trial kernels: at the paper-scale
-(non-``fast``) ``n`` of the static-case experiments, the ``vectorized``
-execution path beats the explicit ``serial`` reference by >= 5x wall clock
-on one core while rendering the *identical* table:
+(non-``fast``) ``n`` of each measurement point, the ``vectorized``
+execution path beats the explicit ``serial`` reference by that case's
+``min_speedup`` on one core while rendering the *identical* table:
 
 * **E2** (n=4096) — one ``p_f`` cell evaluating all its probes through the
   batched secure-search kernel vs the per-probe scalar search loop;
 * **E3** (n=8192) — the (beta x d2) grid building every group construction
-  through the one-pass CSR kernel vs the per-leader ``np.unique`` loop.
+  through the one-pass CSR kernel vs the per-leader ``np.unique`` loop;
+* **E4** (n=2048) — one epoch of the dynamic trajectory: lockstep
+  construction searches + flat-edge-pass composition vs the per-probe /
+  per-group reference loops (>= 5x, measured ~60x);
+* **E8** / **E12** — parity/trajectory rows for the PoW window kernel and
+  the cuckoo relocation kernel (their loops are not the cell bottleneck /
+  inherently sequential, so no 5x bar — see ``repro.analysis.benchio``).
 
 Timings land in ``benchmarks/output/timings.txt`` (human log) and
 ``benchmarks/output/BENCH_vectorized.json`` (machine-readable rows of
-``{experiment, n, backend, wall_s, cells, trials}`` — the perf-trajectory
-file future PRs measure against).
+``{experiment, n, backend, wall_s, cells, trials}`` — the perf-ledger
+file CI diffs against the previous run).
 
 Run with::
 
@@ -27,9 +33,6 @@ import pytest
 from repro.analysis.benchio import KERNEL_BENCH_CASES as CASES
 from repro.experiments import run_experiment
 from repro.sim import ExecutionConfig
-
-# the acceptance bar: >= 5x at paper scale, per measurement point
-MIN_SPEEDUP = 5.0
 
 SERIAL = ExecutionConfig(backend="serial")
 
@@ -53,7 +56,9 @@ def test_bench_kernels_serial_vs_vectorized(name, timing_sink, bench_json):
     speedup = t_serial / t_vec
     print(f"[kernel] {name}: serial {t_serial:.2f}s / vectorized {t_vec:.2f}s "
           f"= {speedup:.1f}x")
-    assert speedup >= MIN_SPEEDUP, (
-        f"{name}: expected >= {MIN_SPEEDUP}x kernel speedup at "
-        f"n={case['n']}; serial {t_serial:.2f}s vs vectorized {t_vec:.2f}s"
-    )
+    bar = case.get("min_speedup")
+    if bar is not None:
+        assert speedup >= bar, (
+            f"{name}: expected >= {bar}x kernel speedup at "
+            f"n={case['n']}; serial {t_serial:.2f}s vs vectorized {t_vec:.2f}s"
+        )

@@ -37,7 +37,9 @@ reproduced claims.
 from .core.params import SystemParams
 
 # bump whenever table content can change (it keys the result cache, so a
-# bump invalidates every stored entry): 1.1.0 = per-cell sweep streams +
-# stable stream_for digests
-__version__ = "1.1.0"
+# bump invalidates every stored entry): 1.2.0 = dynamic-case kernels — the
+# E8 window Monte-Carlo and the E12 churn cases draw from new canonical
+# streams (shared-rng count windows; per-case spawned streams + pre-drawn
+# event arrays), so their pre-1.2 cached tables are stale by construction
+__version__ = "1.2.0"
 __all__ = ["SystemParams", "__version__"]

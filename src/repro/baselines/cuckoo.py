@@ -22,6 +22,22 @@ is needed to survive ``10^5`` adversarial join/leave events; their
 reruns that methodology and contrasts it with the PoW tiny-group
 construction, which gets away with ``Theta(log log n)`` because proof-of-work
 rate-limits exactly the rejoin churn this attack is made of.
+
+Execution kernels (selected by ``kernel=``, differential-tested):
+
+``"vectorized"`` (the default)
+    Array-native relocation: occupancy queries are boolean scans over the
+    flat partition arrays and every event's victim cohort relocates in one
+    batched counter update — no Python-level bucket bookkeeping at all.
+``"serial"``
+    The reference oracle: explicit per-k-region/per-group bucket sets and
+    one scalar ``_move`` per displaced ID.
+
+Both kernels share one canonical RNG discipline — joiner choices and join
+points are pre-drawn for the whole attack up front, victim cohorts are
+enumerated in ascending ring-index order, and each cohort's fresh points
+come from a single ``rng.random(len(victims))`` draw — so the event
+trajectories (and final counters) are bit-identical across kernels.
 """
 
 from __future__ import annotations
@@ -32,6 +48,8 @@ from dataclasses import dataclass
 import numpy as np
 
 __all__ = ["CuckooResult", "CuckooSimulator"]
+
+_KERNELS = ("serial", "vectorized")
 
 
 @dataclass(frozen=True)
@@ -73,6 +91,13 @@ class CuckooSimulator:
         Groups with fewer present members than this are ignored by the
         failure check (they hold no quorum; with sane parameters occupancy
         stays well above it).
+    seed / rng:
+        Entropy: pass ``rng`` to make an externally spawned stream the
+        *single* entropy source (the sweep substrate's per-case streams do
+        this); ``seed`` is the fallback for direct construction.
+    kernel:
+        ``"vectorized"`` array relocation (default) or the ``"serial"``
+        bucket-set reference loop; trajectories are bit-identical.
     """
 
     def __init__(
@@ -85,7 +110,11 @@ class CuckooSimulator:
         threshold: float = 0.5,
         min_occupancy: int = 3,
         seed: int = 0,
+        rng: np.random.Generator | None = None,
+        kernel: str = "vectorized",
     ):
+        if kernel not in _KERNELS:
+            raise ValueError(f"unknown kernel {kernel!r}; choose from {_KERNELS}")
         self.n = int(n)
         self.beta = float(beta)
         self.group_size = int(group_size)
@@ -93,7 +122,8 @@ class CuckooSimulator:
         self.commensal = bool(commensal)
         self.threshold = float(threshold)
         self.min_occupancy = int(min_occupancy)
-        self.rng = np.random.default_rng(seed)
+        self.kernel = kernel
+        self.rng = rng if rng is not None else np.random.default_rng(seed)
 
         self.n_groups = max(1, self.n // self.group_size)
         self.n_kregions = max(1, self.n // self.k)
@@ -111,14 +141,15 @@ class CuckooSimulator:
             self.group_of, weights=self.is_bad.astype(np.float64),
             minlength=self.n_groups,
         ).astype(np.int64)
-        # k-region buckets for O(k) eviction
-        self._kbuckets: list[set[int]] = [set() for _ in range(self.n_kregions)]
-        for i in range(self.n):
-            self._kbuckets[self.kregion_of[i]].add(i)
-        # group buckets for the commensal variant
-        self._gbuckets: list[set[int]] = [set() for _ in range(self.n_groups)]
-        for i in range(self.n):
-            self._gbuckets[self.group_of[i]].add(i)
+        if self.kernel == "serial":
+            # k-region buckets for O(k) eviction
+            self._kbuckets: list[set[int]] = [set() for _ in range(self.n_kregions)]
+            for i in range(self.n):
+                self._kbuckets[self.kregion_of[i]].add(i)
+            # group buckets for the commensal variant
+            self._gbuckets: list[set[int]] = [set() for _ in range(self.n_groups)]
+            for i in range(self.n):
+                self._gbuckets[self.group_of[i]].add(i)
 
     # -- partitions -------------------------------------------------------------
 
@@ -135,6 +166,7 @@ class CuckooSimulator:
     # -- moves -------------------------------------------------------------------
 
     def _move(self, idx: int, pos: float) -> None:
+        """Scalar relocation with bucket-set bookkeeping (serial kernel)."""
         old_g, old_k = self.group_of[idx], self.kregion_of[idx]
         new_g = int(self._group(pos))
         new_k = int(self._kregion(pos))
@@ -153,22 +185,95 @@ class CuckooSimulator:
             self._kbuckets[new_k].add(idx)
             self.kregion_of[idx] = new_k
 
-    def _join(self, idx: int) -> None:
-        """Place ``idx`` at a random point and apply the cuckoo rule."""
-        pos = float(self.rng.random())
-        self._move(idx, pos)
+    def _move_batch(self, idxs: np.ndarray, pos: np.ndarray) -> None:
+        """Batched relocation (vectorized kernel): one fused counter update
+        for a whole event cohort (joiner + victims).  ``idxs`` are distinct
+        by construction (the joiner plus a subset of one partition region
+        that excludes it), so the fancy-index assignments cannot collide
+        and reading all old groups before writing matches the sequential
+        per-ID move order exactly."""
+        new_g = np.minimum(
+            (pos * self.n_groups).astype(np.int64), self.n_groups - 1
+        )
+        new_k = np.minimum(
+            (pos * self.n_kregions).astype(np.int64), self.n_kregions - 1
+        )
+        old_g = self.group_of[idxs]
+        self.positions[idxs] = pos
+        delta = np.concatenate([new_g, old_g])
+        sign = np.empty(delta.size, dtype=np.int64)
+        sign[: new_g.size] = 1
+        sign[new_g.size:] = -1
+        np.add.at(self.group_total, delta, sign)
+        bad = self.is_bad[idxs]
+        if bad.any():
+            np.add.at(
+                self.group_bad,
+                np.concatenate([new_g[bad], old_g[bad]]),
+                np.concatenate([np.ones(int(bad.sum()), dtype=np.int64),
+                                -np.ones(int(bad.sum()), dtype=np.int64)]),
+            )
+        self.group_of[idxs] = new_g
+        self.kregion_of[idxs] = new_k
+
+    # -- victim cohorts (canonical ascending order) -------------------------------
+
+    def _victims_serial(self, idx: int) -> np.ndarray:
         if self.commensal:
             g = int(self.group_of[idx])
-            others = [i for i in self._gbuckets[g] if i != idx]
-            if len(others) > self.k:
-                sel = self.rng.choice(len(others), size=self.k, replace=False)
-                others = [others[s] for s in sel]
-            victims = others
+            others = np.asarray(
+                sorted(i for i in self._gbuckets[g] if i != idx), dtype=np.int64
+            )
         else:
             kr = int(self.kregion_of[idx])
-            victims = [i for i in self._kbuckets[kr] if i != idx]
-        for v in victims:
-            self._move(v, float(self.rng.random()))
+            others = np.asarray(
+                sorted(i for i in self._kbuckets[kr] if i != idx), dtype=np.int64
+            )
+        return others
+
+    def _join(self, idx: int, pos: float) -> None:
+        """Place ``idx`` at ``pos`` and apply the cuckoo rule.
+
+        Shared RNG discipline across kernels: the commensal down-sample
+        draw happens iff the cohort exceeds ``k`` (one ``choice`` call),
+        then the cohort's fresh points come from one ``rng.random`` draw;
+        victims are enumerated ascending, so both kernels consume the
+        stream identically.
+
+        The vectorized kernel enumerates the victim cohort from the
+        *pre-join* arrays: the joiner's move only changes its own region
+        membership, and the cohort excludes the joiner either way, so the
+        set equals the serial kernel's post-move bucket lookup — which
+        lets the joiner and its victims relocate in one fused batch.
+        """
+        if self.kernel == "serial":
+            self._move(idx, pos)
+            others = self._victims_serial(idx)
+            if self.commensal and others.size > self.k:
+                sel = self.rng.choice(others.size, size=self.k, replace=False)
+                others = others[sel]
+            new_pos = self.rng.random(others.size)
+            for v, p in zip(others, new_pos):
+                self._move(int(v), float(p))
+            return
+        if self.commensal:
+            target = min(int(pos * self.n_groups), self.n_groups - 1)
+            others = np.flatnonzero(self.group_of == target)
+        else:
+            target = min(int(pos * self.n_kregions), self.n_kregions - 1)
+            others = np.flatnonzero(self.kregion_of == target)
+        others = others[others != idx]
+        if self.commensal and others.size > self.k:
+            sel = self.rng.choice(others.size, size=self.k, replace=False)
+            others = others[sel]
+        new_pos = self.rng.random(others.size)
+        cohort = np.empty(others.size + 1, dtype=np.int64)
+        cohort[0] = idx
+        cohort[1:] = others
+        cohort_pos = np.empty(others.size + 1, dtype=np.float64)
+        cohort_pos[0] = pos
+        cohort_pos[1:] = new_pos
+        self._move_batch(cohort, cohort_pos)
 
     # -- measurement -------------------------------------------------------------
 
@@ -185,7 +290,10 @@ class CuckooSimulator:
 
         Each event: the adversary departs one of its IDs and immediately
         rejoins it (fresh random position + cuckoo eviction) — [47]'s
-        attack loop.
+        attack loop.  Joiner choices and join points for the whole attack
+        are pre-drawn as two array operations (part of the canonical
+        stream both kernels share); a run that fails early simply leaves
+        the tail of those draws unused.
         """
         bad_idx = np.flatnonzero(self.is_bad)
         max_frac = self.max_group_bad_fraction()
@@ -194,9 +302,10 @@ class CuckooSimulator:
                 self.n, self.beta, self.group_size, self.k, events, False,
                 max_frac, self.threshold, self.commensal,
             )
+        joiners = bad_idx[self.rng.integers(0, bad_idx.size, size=events)]
+        join_pos = self.rng.random(events)
         for ev in range(1, events + 1):
-            joiner = int(self.rng.choice(bad_idx))
-            self._join(joiner)
+            self._join(int(joiners[ev - 1]), float(join_pos[ev - 1]))
             if ev % check_every == 0 or ev == events:
                 frac = self.max_group_bad_fraction()
                 max_frac = max(max_frac, frac)

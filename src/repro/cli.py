@@ -15,10 +15,14 @@ Commands
     (``benchmarks/output/cache/``; a warm run re-executes nothing),
     ``--force`` recomputes and refreshes cached entries, and
     ``--cache-dir`` relocates the store.
-``cache ls [--cache-dir D]`` / ``cache prune [--older-than N] [--max-bytes B]``
+``cache ls [--cache-dir D]`` / ``cache prune [--older-than N] [--max-bytes B]
+[--keep-latest-per-experiment]``
     Inspect or evict stored result tables: ``ls`` lists entries with
     size and age; ``prune`` drops entries older than N days and/or
     evicts oldest-first down to a total-size budget.
+    ``--keep-latest-per-experiment`` exempts each experiment's newest
+    entry from eviction (alone, it evicts everything else) — the janitor
+    policy for stores that accumulated entries across version bumps.
 ``validate TOPOLOGY [-n N]``
     Build an input graph and check properties P1-P4.
 ``simulate [-n N] [--beta B] [--epochs E] [--churn R]``
@@ -126,12 +130,20 @@ def _cmd_cache(args) -> int:
             )
         return 0
     # prune
-    if args.older_than is None and args.max_bytes is None:
-        print("cache prune: nothing to do (pass --older-than and/or --max-bytes)")
+    if (
+        args.older_than is None
+        and args.max_bytes is None
+        and not args.keep_latest_per_experiment
+    ):
+        print(
+            "cache prune: nothing to do (pass --older-than, --max-bytes "
+            "and/or --keep-latest-per-experiment)"
+        )
         return 2
     removed = store.prune(
         older_than=None if args.older_than is None else args.older_than * 86400.0,
         max_bytes=args.max_bytes,
+        keep_latest_per_experiment=args.keep_latest_per_experiment,
     )
     freed = sum(e.size for e in removed)
     kept = store.entries()
@@ -220,6 +232,11 @@ def build_parser() -> argparse.ArgumentParser:
     pc.add_argument(
         "--max-bytes", type=int, default=None, metavar="BYTES",
         help="prune: evict oldest-first until the store fits BYTES",
+    )
+    pc.add_argument(
+        "--keep-latest-per-experiment", action="store_true",
+        help="prune: exempt each experiment's newest entry from eviction "
+             "(alone: evict everything else — the post-version-bump janitor)",
     )
     pc.set_defaults(fn=_cmd_cache)
 

@@ -17,11 +17,15 @@ graphs:
   new topology; a group that ends up linking wrongly is *confused*
   (Lemma 8).
 
-:func:`build_new_graph` performs one graph's construction fully vectorized:
-all bootstrap searches for all leaders are routed as one batch, then all
-verification searches, then all neighbor searches — three ``route_many``
-calls instead of ``O(n log log n)`` Python-level searches.  This is what
-makes multi-epoch, multi-seed sweeps (experiments E4/E5) tractable.
+:func:`build_new_graph` performs one graph's construction fully vectorized
+(``kernel="vectorized"``, the default): all bootstrap searches for all
+leaders are routed as one batch, then all verification searches, then all
+neighbor searches, and every group's composition falls out of one flat
+``(group, member)`` edge pass.  This is what makes multi-epoch, multi-seed
+sweeps (experiments E4/E5) tractable.  ``kernel="serial"`` keeps the
+reference oracle — per-probe scalar searches and the per-group
+``np.unique`` loop — which consumes the RNG identically and is pinned
+bit-identical by the dynamic differential-oracle suite.
 
 The per-slot outcomes match Lemma 7's case analysis:
 
@@ -182,6 +186,7 @@ def _search_fail_mask(
     points: np.ndarray,
     params: SystemParams,
     ledger: CostLedger,
+    kernel: str = "vectorized",
 ) -> np.ndarray:
     """Route a search batch and return per-query failure under ``red``.
 
@@ -190,11 +195,30 @@ def _search_fail_mask(
     good candidates over their own links).  Charges routing messages: each
     hop between groups of solicited size ``s`` costs ``s^2`` messages
     (Cor. 1 accounting).
+
+    ``kernel="serial"`` is the per-probe reference oracle: one scalar
+    ``H.route`` per query with an explicit red-prefix check.  The default
+    vectorized kernel classifies the whole batch in one lockstep
+    ``evaluate`` pass; both charge identical ledger totals and produce
+    identical masks (differential-tested).
     """
+    s = params.group_solicit_size
+    if kernel == "serial":
+        q = points.size
+        fail = np.zeros(q, dtype=bool)
+        hops = 0
+        for i in range(q):
+            path, resolved = H.route(int(sources[i]), float(points[i]))
+            hops += path.size - 1
+            # exclude the initiating position, exactly as the batched
+            # evaluate(include_source=False) does
+            fail[i] = not (resolved and not red[path[1:]].any())
+        ledger.add_messages("routing", hops * s * s)
+        ledger.count_op("searches", q)
+        return fail
     batch = H.route_many(sources, points)
     gg = GroupGraph(H, params, red=red)
     ev = gg.evaluate(batch, include_source=False)
-    s = params.group_solicit_size
     hops = int((batch.paths != -1).sum() - batch.paths.shape[0])
     ledger.add_messages("routing", hops * s * s)
     ledger.count_op("searches", batch.paths.shape[0])
@@ -216,6 +240,26 @@ def _good_sources(
     return rng.choice(blue, size=count, replace=True)
 
 
+def _distinct_per_group(
+    owner: np.ndarray, values: np.ndarray, n_groups: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Distinct ``values`` per ``owner`` group, vectorized.
+
+    Returns ``(flat, counts)`` where ``flat`` lists each group's distinct
+    values in ascending order (groups concatenated in index order) and
+    ``counts[g]`` is group ``g``'s distinct count — exactly what the
+    per-group ``np.unique`` reference loop produces, via one lexsort plus
+    a segment-dedup mask (the PR-3 CSR construction idiom).
+    """
+    if owner.size == 0:
+        return np.empty(0, dtype=np.int64), np.zeros(n_groups, dtype=np.int64)
+    order = np.lexsort((values, owner))
+    ow, vals = owner[order], values[order]
+    keep = np.ones(ow.size, dtype=bool)
+    keep[1:] = (ow[1:] != ow[:-1]) | (vals[1:] != vals[:-1])
+    return vals[keep], np.bincount(ow[keep], minlength=n_groups)
+
+
 def build_new_graph(
     old: EpochPair,
     new_ring: Ring,
@@ -225,6 +269,7 @@ def build_new_graph(
     rng: np.random.Generator,
     two_graphs: bool = True,
     ledger: CostLedger | None = None,
+    kernel: str = "vectorized",
 ) -> BuildReport:
     """Construct new group graph ``which`` (1 or 2) for the next epoch.
 
@@ -233,6 +278,14 @@ def build_new_graph(
     only old graph 1 is consulted and a *single* search failure captures a
     slot — the naive design whose error accumulates across epochs
     (experiment E5).
+
+    ``kernel`` selects the execution path: ``"vectorized"`` (default)
+    routes every search batch in lockstep, resolves candidate successors
+    through the bucket-LUT bulk lookup, and derives all group compositions
+    from one flat ``(group, member)`` edge pass; ``"serial"`` is the
+    reference oracle — per-probe scalar searches and the per-group
+    ``np.unique`` composition loop.  Both consume the RNG identically and
+    produce bit-identical reports (pinned by the differential test suite).
     """
     ledger = ledger if ledger is not None else CostLedger()
     n_new = new_ring.n
@@ -247,16 +300,23 @@ def build_new_graph(
 
     # --- bootstrap dual searches ------------------------------------------------
     boot_src_1 = _good_sources(old.red1, q, rng)
-    fail_a = _search_fail_mask(old.H, old.red1, boot_src_1, flat_pts, params, ledger)
+    fail_a = _search_fail_mask(
+        old.H, old.red1, boot_src_1, flat_pts, params, ledger, kernel
+    )
     if two_graphs:
         boot_src_2 = _good_sources(old.red2, q, rng)
-        fail_b = _search_fail_mask(old.H, old.red2, boot_src_2, flat_pts, params, ledger)
+        fail_b = _search_fail_mask(
+            old.H, old.red2, boot_src_2, flat_pts, params, ledger, kernel
+        )
         captured = fail_a & fail_b
     else:
         captured = fail_a
 
     # --- candidate successors among the member pool ------------------------------
-    cand = old.ring.successor_index_many(flat_pts)
+    if kernel == "serial":
+        cand = old.ring.successor_index_many(flat_pts)
+    else:
+        cand = old.ring.successor_index_bulk(flat_pts)
     cand_bad = old.bad_mask[cand]
     cand_departed = old.ring_departed[cand] & ~cand_bad
 
@@ -266,9 +326,13 @@ def build_new_graph(
     gi = np.flatnonzero(good_cand)
     if gi.size:
         vsrc = cand[gi]
-        vf1 = _search_fail_mask(old.H, old.red1, vsrc, flat_pts[gi], params, ledger)
+        vf1 = _search_fail_mask(
+            old.H, old.red1, vsrc, flat_pts[gi], params, ledger, kernel
+        )
         if two_graphs:
-            vf2 = _search_fail_mask(old.H, old.red2, vsrc, flat_pts[gi], params, ledger)
+            vf2 = _search_fail_mask(
+                old.H, old.red2, vsrc, flat_pts[gi], params, ledger, kernel
+            )
             vfail[gi] = vf1 & vf2
         else:
             vfail[gi] = vf1
@@ -282,23 +346,36 @@ def build_new_graph(
     accept_m = (good_cand & ~vfail).reshape(n_new, m)
     cand_m = cand.reshape(n_new, m)
 
-    sizes = np.zeros(n_new, dtype=np.int64)
-    n_bad = np.zeros(n_new, dtype=np.int64)
-    membership_counts = np.zeros(old_n, dtype=np.int64)
-    good_rows: list[np.ndarray] = []
-    for gidx in range(n_new):
-        good_members = np.unique(cand_m[gidx][accept_m[gidx]])
-        bad_members = np.unique(cand_m[gidx][badcand_m[gidx]])
-        n_b = int(captured_m[gidx].sum()) + bad_members.size
-        sizes[gidx] = good_members.size + n_b
-        n_bad[gidx] = n_b
-        membership_counts[good_members] += 1
-        good_rows.append(good_members)
-    good_indptr = np.zeros(n_new + 1, dtype=np.int64)
-    good_indptr[1:] = np.cumsum([r.size for r in good_rows])
-    good_members_flat = (
-        np.concatenate(good_rows) if good_rows else np.empty(0, dtype=np.int64)
-    )
+    if kernel == "serial":
+        sizes = np.zeros(n_new, dtype=np.int64)
+        n_bad = np.zeros(n_new, dtype=np.int64)
+        membership_counts = np.zeros(old_n, dtype=np.int64)
+        good_rows: list[np.ndarray] = []
+        for gidx in range(n_new):
+            good_members = np.unique(cand_m[gidx][accept_m[gidx]])
+            bad_members = np.unique(cand_m[gidx][badcand_m[gidx]])
+            n_b = int(captured_m[gidx].sum()) + bad_members.size
+            sizes[gidx] = good_members.size + n_b
+            n_bad[gidx] = n_b
+            membership_counts[good_members] += 1
+            good_rows.append(good_members)
+        good_indptr = np.zeros(n_new + 1, dtype=np.int64)
+        good_indptr[1:] = np.cumsum([r.size for r in good_rows])
+        good_members_flat = (
+            np.concatenate(good_rows) if good_rows else np.empty(0, dtype=np.int64)
+        )
+    else:
+        owner = np.repeat(np.arange(n_new, dtype=np.int64), m)
+        acc, bad_sel = accept_m.ravel(), badcand_m.ravel()
+        good_members_flat, good_counts = _distinct_per_group(
+            owner[acc], cand[acc], n_new
+        )
+        _, bad_distinct = _distinct_per_group(owner[bad_sel], cand[bad_sel], n_new)
+        n_bad = captured_m.sum(axis=1) + bad_distinct
+        sizes = good_counts + n_bad
+        membership_counts = np.bincount(good_members_flat, minlength=old_n)
+        good_indptr = np.zeros(n_new + 1, dtype=np.int64)
+        np.cumsum(good_counts, out=good_indptr[1:])
 
     with np.errstate(invalid="ignore"):
         bad_frac = np.where(sizes > 0, n_bad / np.maximum(sizes, 1), 1.0)
@@ -369,12 +446,31 @@ def build_new_graph(
 
 
 def measure_qf(
-    pair: EpochPair, params: SystemParams, probes: int, rng: np.random.Generator
+    pair: EpochPair,
+    params: SystemParams,
+    probes: int,
+    rng: np.random.Generator,
+    kernel: str = "vectorized",
 ) -> tuple[float, float]:
-    """Measured search-failure probability ``q_f`` of each graph in a pair."""
+    """Measured search-failure probability ``q_f`` of each graph in a pair.
+
+    Both kernels draw the probe batch identically (sources, then targets —
+    the ``random_route_batch`` order); ``"serial"`` then walks one scalar
+    search per probe while the default evaluates the batch in lockstep,
+    with bit-equal rates.
+    """
     out = []
     for which in (1, 2):
         gg = pair.group_graph(which, params)
-        rate, _, _ = gg.sample_failure_rate(probes, rng)
+        if kernel == "serial":
+            src = rng.integers(0, gg.n, size=probes)
+            tgt = rng.random(probes)
+            success = np.zeros(probes, dtype=bool)
+            for i in range(probes):
+                path, resolved = gg.H.route(int(src[i]), float(tgt[i]))
+                success[i] = resolved and not gg.red[path].any()
+            rate = float(1.0 - success.mean()) if success.size else 0.0
+        else:
+            rate, _, _ = gg.sample_failure_rate(probes, rng)
         out.append(rate)
     return out[0], out[1]

@@ -210,39 +210,65 @@ class ResultCache:
     def total_bytes(self) -> int:
         return sum(e.size for e in self.entries())
 
+    def latest_per_experiment(self) -> dict[str, CacheEntry]:
+        """The newest stored entry for each experiment (by mtime)."""
+        latest: dict[str, CacheEntry] = {}
+        for e in self.entries():  # oldest first: later entries overwrite
+            latest[e.experiment] = e
+        return latest
+
     def prune(
         self,
         older_than: float | None = None,
         max_bytes: int | None = None,
         now: float | None = None,
+        keep_latest_per_experiment: bool = False,
     ) -> list[CacheEntry]:
         """Evict entries by age and/or total size; returns what was removed.
 
         ``older_than`` (seconds) drops every entry whose mtime is further
         in the past; ``max_bytes`` then evicts oldest-first until the
-        store's total size fits the budget.  With neither bound this is a
-        no-op — pruning is always an explicit decision.  Entries already
-        deleted by a concurrent pruner are counted as removed (the goal
-        state holds either way).
+        store's total size fits the budget.  With no bound and no policy
+        this is a no-op — pruning is always an explicit decision.  Entries
+        already deleted by a concurrent pruner are counted as removed (the
+        goal state holds either way).
+
+        ``keep_latest_per_experiment`` is the version-bump janitor policy:
+        the newest entry of each experiment is exempt from every bound, so
+        one warm table per experiment survives (stale-version entries are
+        never *served* — the key includes the package version — but this
+        keeps the store from accumulating one generation per release).  On
+        its own, the flag evicts everything *except* those newest entries,
+        still oldest-first.
         """
-        if older_than is None and max_bytes is None:
+        if older_than is None and max_bytes is None and not keep_latest_per_experiment:
             return []
         now = time.time() if now is None else now
         entries = self.entries()
+        protected: set[pathlib.Path] = set()
+        if keep_latest_per_experiment:
+            protected = {e.path for e in self.latest_per_experiment().values()}
+        only_policy = older_than is None and max_bytes is None
         removed: list[CacheEntry] = []
         survivors: list[CacheEntry] = []
         for e in entries:
-            if older_than is not None and e.age_seconds(now) > older_than:
+            if e.path in protected:
+                survivors.append(e)
+            elif only_policy or (
+                older_than is not None and e.age_seconds(now) > older_than
+            ):
                 removed.append(e)
             else:
                 survivors.append(e)
         if max_bytes is not None:
             total = sum(e.size for e in survivors)
-            # survivors are oldest first: evict from the front
+            # survivors are oldest first: evict from the front, skipping
+            # the protected newest-per-experiment entries
             i = 0
             while total > max_bytes and i < len(survivors):
-                removed.append(survivors[i])
-                total -= survivors[i].size
+                if survivors[i].path not in protected:
+                    removed.append(survivors[i])
+                    total -= survivors[i].size
                 i += 1
         for e in removed:
             try:

@@ -14,8 +14,14 @@ constants): survival time increases steeply with group size; sizes ≤ 16
 fail quickly; 64 survives the full run.
 
 Declared as a single-cell :class:`~repro.sim.sweep.SweepSpec` that opts
-into ``exec_config``: the cell itself fans its (construction, |G|) churn
-cases out across the spawn pool, exactly as before the sweep migration.
+into ``exec_config`` *and* ``pass_kernel``: the cell spawns one child RNG
+stream per (construction, |G|) case from its own sweep stream — the single
+entropy source, so every case reproduces identically on any backend — and
+either fans the cases out across the spawn pool (``--backend process``) or
+batches them through the :class:`~repro.baselines.cuckoo.CuckooSimulator`
+relocation kernel selected by ``kernel`` (vectorized array relocation by
+default, the bucket-set reference loop under ``--backend serial``; the
+kernels are trajectory-bit-identical).
 """
 
 from __future__ import annotations
@@ -33,31 +39,45 @@ from ..sim.sweep import CellOut, SweepSpec, run_sweep
 __all__ = ["run", "build_spec"]
 
 
-def _churn_case(sim_kwargs: dict, events: int) -> CuckooResult:
+def _churn_case(
+    sim_kwargs: dict,
+    events: int,
+    seed_seq: np.random.SeedSequence,
+    kernel: str,
+) -> CuckooResult:
     """One (construction, |G|) churn run — module-level so the ``process``
-    backend can dispatch the independent cases across spawn workers; each
-    case builds its own seeded simulator, so results match serial exactly."""
-    return CuckooSimulator(**sim_kwargs).run(events)
+    backend can dispatch the independent cases across spawn workers.  The
+    case's generator is rebuilt from its parent-spawned ``SeedSequence``,
+    so the sweep's per-cell stream stays the single entropy source and
+    results match the in-process path bit-for-bit at any worker count."""
+    rng = np.random.Generator(np.random.PCG64(seed_seq))
+    return CuckooSimulator(**sim_kwargs, rng=rng, kernel=kernel).run(events)
 
 
 def _cell(
     rng: np.random.Generator, *, n: int, beta: float, sizes: tuple[int, ...],
     events: int, threshold: float, commensal_beta: float, seed: int,
-    exec_config: ExecutionConfig | None,
+    exec_config: ExecutionConfig | None, kernel: str,
 ):
     cases = [
         ("cuckoo", dict(n=n, beta=beta, group_size=size, k=2,
-                        threshold=threshold, seed=seed))
+                        threshold=threshold))
         for size in sizes
     ] + [
         ("commensal cuckoo", dict(n=n, beta=commensal_beta, group_size=size,
-                                  k=4, commensal=True, threshold=threshold,
-                                  seed=seed))
+                                  k=4, commensal=True, threshold=threshold))
         for size in sizes
     ]
+    # one independent child stream per case, spawned from the cell's own
+    # sweep stream — the single entropy source (no re-derivation from seed)
+    child_seqs = rng.bit_generator.seed_seq.spawn(len(cases))  # type: ignore[attr-defined]
     use_pool = exec_config is not None and exec_config.backend == "process"
     outs = spawn_map(
-        _churn_case, [kw for _, kw in cases], [events] * len(cases),
+        _churn_case,
+        [kw for _, kw in cases],
+        [events] * len(cases),
+        child_seqs,
+        [kernel] * len(cases),
         workers=exec_config.resolved_workers() if use_pool else 1,
     )
     rows = []
@@ -110,6 +130,7 @@ def build_spec(
         ),
         seed=seed,
         pass_exec_config=True,
+        pass_kernel=True,
     )
 
 

@@ -13,14 +13,18 @@ Three measurements on the puzzle scheme:
    attack the composed scheme exists to stop.
 
 Declared as a single-cell :class:`~repro.sim.sweep.SweepSpec` that opts
-into ``exec_config`` (``pass_exec_config``): the minting Monte-Carlo still
-parallelizes its *trial loop* across the process pool when the experiment
-runs in-process.
+into ``pass_kernel``: the window Monte-Carlo runs on the batched
+``mint_count_windows`` kernel by default (one array draw for the whole
+trial loop) while ``--backend serial`` selects the per-window
+``mint_fast_count`` reference loop.  The KS inputs come from the shared
+``uniformity_windows`` generator in both kernels (each window is already
+one array draw; the generator is differential-tested against the
+sequential ``mint_fast``/``mint_fast_one_hash`` oracle pair).  Kernels
+share the RNG draw order exactly, so the rendered table is bit-identical
+either way (pinned by the dynamic differential suite).
 """
 
 from __future__ import annotations
-
-import functools
 
 import numpy as np
 
@@ -28,55 +32,38 @@ from ..analysis.stats import ks_uniform
 from ..analysis.tables import TableResult
 from ..idspace.hashing import OracleSuite
 from ..pow.puzzles import PuzzleScheme
-from ..sim.montecarlo import ExecutionConfig, run_trials
+from ..sim.montecarlo import ExecutionConfig, aggregate_trials
 from ..sim.sweep import CellOut, SweepSpec, run_sweep
 
 __all__ = ["run", "build_spec"]
 
 
-def _mint_count_trial(
-    rng: np.random.Generator,
-    power: float,
-    window_steps: float,
-    epoch_length: int,
-) -> float:
-    """One adversary-window minting trial (module-level: picklable, so the
-    ``process`` backend can ship it to spawn workers).  ``mint_fast``
-    depends only on the scheme's threshold (derived from ``epoch_length``)
-    and the per-trial ``rng`` — the oracle suite is never queried — so a
-    default suite serves and values match the serial path bit-for-bit."""
-    scheme = PuzzleScheme(OracleSuite(), epoch_length=epoch_length)
-    return float(scheme.mint_fast(power, window_steps, rng).size)
-
-
 def _cell(
     rng: np.random.Generator, *, n: int, beta: float, epoch_length: int,
-    trials: int, arc: tuple[float, float], seed: int,
-    exec_config: ExecutionConfig | None,
+    trials: int, arc: tuple[float, float], seed: int, kernel: str,
 ):
     suite = OracleSuite(seed=seed)
     scheme = PuzzleScheme(suite, epoch_length=epoch_length)
     window_steps = 1.5 * epoch_length / 2.0
+    power = beta * n
 
-    mc = run_trials(
-        functools.partial(
-            _mint_count_trial,
-            power=beta * n,
-            window_steps=window_steps,
-            epoch_length=epoch_length,
-        ),
-        trials,
-        rng,
-        config=exec_config,
-    )
+    if kernel == "serial":
+        counts = np.asarray(
+            [scheme.mint_fast_count(power, window_steps, rng) for _ in range(trials)]
+        )
+    else:
+        counts = scheme.mint_count_windows(power, window_steps, rng, trials)
+    mc = aggregate_trials(counts)
     budget = 1.5 * beta * n  # (window/T2) * beta * n solutions expected
     eps_bound = 1.10 * budget  # (1 + eps) slack, eps = 0.10
 
-    two_hash_ids = scheme.mint_fast(beta * n, 40 * window_steps, rng)
-    ks_two = ks_uniform(two_hash_ids)
-    one_hash_ids = scheme.mint_fast_one_hash(
-        beta * n, 40 * window_steps, rng, arc_start=arc[0], arc_width=arc[1]
+    # both kernels share the KS-input generator: each window is already one
+    # array draw, and the generator is pinned against the sequential
+    # mint_fast/mint_fast_one_hash oracle pair by the differential suite
+    two_hash_ids, one_hash_ids = scheme.uniformity_windows(
+        power, 40 * window_steps, rng, arc_start=arc[0], arc_width=arc[1]
     )
+    ks_two = ks_uniform(two_hash_ids)
     ks_one = ks_uniform(one_hash_ids)
 
     def in_arc(ids: np.ndarray) -> float:
@@ -135,7 +122,7 @@ def build_spec(
             arc=tuple(arc), seed=seed,
         ),
         seed=seed,
-        pass_exec_config=True,
+        pass_kernel=True,
     )
 
 

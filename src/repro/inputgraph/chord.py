@@ -57,6 +57,14 @@ class ChordGraph(InputGraph):
         # the hop of last resort in routing.
         self._fingers = np.column_stack([table, succ, pred]).astype(np.int64)
         self._m = m
+        # Clockwise distances current -> finger / successor depend only on
+        # the (node, column) pair, so they are precomputed once: the routing
+        # loop then gathers one float row per active query instead of
+        # re-deriving mod-subtractions over the finger matrix every hop.
+        # Same arithmetic as the inline form, so paths are bit-identical.
+        fwd = self._fingers[:, : m + 1]  # fingers + successor
+        self._d_fwd = np.mod(ids[fwd] - ids[:, None], 1.0)
+        self._d_succ = np.mod(ids[succ] - ids, 1.0)
         super().__init__(ring)
 
     # -- topology -------------------------------------------------------------
@@ -85,7 +93,7 @@ class ChordGraph(InputGraph):
         q = sources.size
         ids = self.ring.ids
         n = self.n
-        resp = self.ring.successor_index_many(targets).astype(np.int64)
+        resp = self.ring.successor_index_bulk(targets).astype(np.int64)
         succ_of = (np.arange(n) + 1) % n
 
         max_hops = 4 * self._m + 8
@@ -107,7 +115,7 @@ class ChordGraph(InputGraph):
             c = cur[ai]
             t = targets[ai]
             d_t = np.mod(t - ids[c], 1.0)  # distance from current to key point
-            d_succ = np.mod(ids[succ_of[c]] - ids[c], 1.0)
+            d_succ = self._d_succ[c]
             # Key in (current, successor]: the successor is responsible.
             arrive = (d_t > 0) & (d_t <= d_succ)
             # Also handle d_t == 0 => current responsible (cur == resp already
@@ -119,7 +127,7 @@ class ChordGraph(InputGraph):
                 ri = ai[rest]
                 cr = cur[ri]
                 fid = fwd[cr]  # (r, m+1)
-                d_f = np.mod(ids[fid] - ids[cr][:, None], 1.0)
+                d_f = self._d_fwd[cr]
                 valid = (d_f > 0) & (d_f < d_t[rest][:, None])
                 # closest preceding finger = max clockwise distance among valid
                 score = np.where(valid, d_f, -1.0)

@@ -142,6 +142,64 @@ class PuzzleScheme:
         count = int(rng.binomial(trials, self.tau)) if trials > 0 else 0
         return rng.random(count)
 
+    def mint_fast_count(
+        self, compute_units: float, steps: float, rng: np.random.Generator
+    ) -> int:
+        """Solution *count* of one :meth:`mint_fast` window: the single
+        ``Binomial(M, tau)`` draw, without materializing the per-solution
+        uniform IDs.  This is the per-window serial reference the batched
+        :meth:`mint_count_windows` kernel is differential-tested against."""
+        trials = int(round(compute_units * steps * self.hash_rate))
+        return int(rng.binomial(trials, self.tau)) if trials > 0 else 0
+
+    def mint_count_windows(
+        self,
+        compute_units: float,
+        steps: float,
+        rng: np.random.Generator,
+        windows: int,
+    ) -> np.ndarray:
+        """Solution counts of ``windows`` independent minting windows, drawn
+        as one array operation.
+
+        NumPy's ``Generator`` fills distribution arrays by consuming the
+        bit stream sequentially, so ``binomial(M, tau, size=w)`` equals
+        ``w`` successive :meth:`mint_fast_count` calls on the same
+        generator draw-for-draw — the "unchanged RNG draw order" contract
+        the differential suite pins.  This is E8's vectorized kernel: the
+        whole adversary-window Monte-Carlo collapses into one call.
+        """
+        if windows <= 0:
+            return np.empty(0, dtype=np.int64)
+        trials = int(round(compute_units * steps * self.hash_rate))
+        if trials <= 0:
+            return np.zeros(windows, dtype=np.int64)
+        return rng.binomial(trials, self.tau, size=windows).astype(np.int64)
+
+    def uniformity_windows(
+        self,
+        compute_units: float,
+        steps: float,
+        rng: np.random.Generator,
+        arc_start: float = 0.0,
+        arc_width: float = 1.0,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Both KS-test input windows (two-hash IDs, one-hash IDs) from one
+        call.
+
+        Each window is already a single array draw; this generator fixes
+        the canonical draw order — a :meth:`mint_fast` window followed by
+        a :meth:`mint_fast_one_hash` window on the same generator — so it
+        and the two sequential oracle calls are interchangeable
+        bit-for-bit (pinned by the differential suite).  E8's uniformity
+        rows consume this on every kernel.
+        """
+        two_hash = self.mint_fast(compute_units, steps, rng)
+        one_hash = self.mint_fast_one_hash(
+            compute_units, steps, rng, arc_start=arc_start, arc_width=arc_width
+        )
+        return two_hash, one_hash
+
     def mint_fast_one_hash(
         self,
         compute_units: float,

@@ -15,6 +15,7 @@ from .montecarlo import (
     KERNELS,
     ExecutionConfig,
     MCResult,
+    aggregate_trials,
     resolve_kernel,
     run_trials,
     run_trials_batched,
@@ -42,6 +43,7 @@ __all__ = [
     "ExecutionConfig",
     "MCResult",
     "SweepSpec",
+    "aggregate_trials",
     "cells_executed",
     "child",
     "make_rng",

@@ -58,6 +58,7 @@ __all__ = [
     "KERNELS",
     "ExecutionConfig",
     "MCResult",
+    "aggregate_trials",
     "resolve_kernel",
     "run_trials",
     "run_trials_batched",
@@ -163,6 +164,18 @@ def wilson_interval(successes: int, trials: int, z: float = 1.96) -> tuple[float
     center = (p + z * z / (2 * trials)) / denom
     half = (z / denom) * math.sqrt(p * (1 - p) / trials + z * z / (4 * trials * trials))
     return max(0.0, center - half), min(1.0, center + half)
+
+
+def aggregate_trials(values) -> MCResult:
+    """Aggregate already-computed trial values into an :class:`MCResult`.
+
+    The public seam for cells that produce their trial values through a
+    batched kernel (one array op) rather than a per-trial callable: both
+    paths then share the exact CI/mean bookkeeping, so a kernel choice can
+    never change a reported statistic.
+    """
+    vals = np.asarray(values, dtype=float)
+    return _aggregate(vals, int(vals.size))
 
 
 def _spawn_children(

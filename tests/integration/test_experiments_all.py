@@ -45,8 +45,10 @@ def test_experiment_produces_table(name):
     assert f"[{name}]" in rendered
 
 
-# the static-case pipeline experiments promoted to the vectorized kernels
-KERNEL_EXPERIMENTS = ("E1", "E2", "E3", "E5", "E6")
+# the experiments promoted to the vectorized kernels: the static-case
+# pipeline (PR 3) plus the dynamic-case trajectories (E4 epochs, E8 PoW
+# windows, E12 churn — this PR)
+KERNEL_EXPERIMENTS = ("E1", "E2", "E3", "E4", "E5", "E6", "E8", "E12")
 
 
 @pytest.mark.parametrize("name", KERNEL_EXPERIMENTS)
@@ -279,3 +281,34 @@ def test_run_all_process_threads_serial_config_and_overrides(tmp_path):
     for name in names:
         hit = rc.load(name, 1, True, overrides[name])
         assert hit is not None and hit.render() == serial[name].render()
+
+
+def test_e12_per_case_streams_cross_backend_deterministic():
+    """E12's churn cases draw from per-case streams spawned off the cell's
+    sweep stream (the single entropy source — no seed re-derivation inside
+    the case), so serial kernel, vectorized kernel, and a 2-worker spawn
+    pool must all render the byte-identical table."""
+    from repro.sim import ExecutionConfig
+
+    kwargs = dict(seed=5, fast=True, **FAST_OVERRIDES["E12"])
+    serial = run_experiment(
+        "E12", exec_config=ExecutionConfig(backend="serial"), **kwargs
+    )
+    default = run_experiment("E12", **kwargs)
+    pooled = run_experiment(
+        "E12", exec_config=ExecutionConfig(backend="process", workers=2), **kwargs
+    )
+    assert serial.render() == default.render() == pooled.render()
+
+
+def test_e4_trajectory_table_independent_of_probe_kernel_scale():
+    """Changing only the kernel must never change an E4 table even at a
+    different (n, epochs) point than the parity matrix covers."""
+    from repro.sim import ExecutionConfig
+
+    kwargs = dict(seed=11, fast=True, n=96, epochs=3, probes=300)
+    serial = run_experiment(
+        "E4", exec_config=ExecutionConfig(backend="serial"), **kwargs
+    )
+    vectorized = run_experiment("E4", **kwargs)
+    assert serial.render() == vectorized.render()

@@ -108,3 +108,51 @@ class TestCuckoo:
         out = sim.run(50)
         assert out.n == 256 and out.group_size == 16
         assert 0.0 <= out.max_bad_fraction <= 1.0
+
+
+class TestCuckooEntropyAndKernels:
+    """The explicit-rng seam (ISSUE-4 satellite): an externally spawned
+    stream is the single entropy source, and the kernel choice never
+    changes a trajectory."""
+
+    def test_explicit_rng_overrides_seed(self):
+        a = CuckooSimulator(n=256, beta=0.05, group_size=16,
+                            rng=np.random.default_rng(123), seed=999)
+        b = CuckooSimulator(n=256, beta=0.05, group_size=16,
+                            rng=np.random.default_rng(123), seed=0)
+        assert a.run(200) == b.run(200)
+
+    def test_seed_fallback_without_rng(self):
+        a = CuckooSimulator(n=256, beta=0.05, group_size=16, seed=7)
+        b = CuckooSimulator(n=256, beta=0.05, group_size=16, seed=7)
+        assert a.run(200) == b.run(200)
+
+    def test_unknown_kernel_rejected(self):
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError, match="kernel"):
+            CuckooSimulator(n=256, beta=0.05, group_size=16, kernel="bogus")
+
+    def test_kernels_share_one_trajectory(self):
+        outs = {}
+        for kernel in ("serial", "vectorized"):
+            sim = CuckooSimulator(
+                n=512, beta=0.04, group_size=16, k=2, threshold=1 / 3,
+                rng=np.random.default_rng(42), kernel=kernel,
+            )
+            outs[kernel] = (sim.run(500), sim.group_total.copy(),
+                            sim.group_bad.copy())
+        assert outs["serial"][0] == outs["vectorized"][0]
+        assert np.array_equal(outs["serial"][1], outs["vectorized"][1])
+        assert np.array_equal(outs["serial"][2], outs["vectorized"][2])
+
+    def test_vectorized_counters_consistent_after_run(self):
+        sim = CuckooSimulator(n=512, beta=0.05, group_size=16, k=2, seed=0,
+                              kernel="vectorized")
+        sim.run(500, check_every=100)
+        total = np.bincount(sim.group_of, minlength=sim.n_groups)
+        bad = np.bincount(
+            sim.group_of, weights=sim.is_bad.astype(float), minlength=sim.n_groups
+        ).astype(int)
+        assert np.array_equal(total, sim.group_total)
+        assert np.array_equal(bad, sim.group_bad)

@@ -205,3 +205,96 @@ class TestEntriesAndPrune:
     def test_total_bytes(self, tmp_path):
         rc, _ = self._seed_store(tmp_path)
         assert rc.total_bytes() == sum(e.size for e in rc.entries())
+
+
+class TestVersionBump:
+    """Version-keyed invalidation: a stale-version entry is ignored, never
+    served (the E4/E8/E12 kernel PR bumps __version__ because their cell
+    streams changed — old tables must become misses, not wrong answers)."""
+
+    def test_store_then_version_bump_is_miss(self, tmp_path, monkeypatch):
+        import repro
+
+        rc = ResultCache(tmp_path)
+        rc.store("E8", 0, True, {}, _table())
+        assert rc.load("E8", 0, True, {}) is not None
+        # simulate the next release: same store, new package version
+        monkeypatch.setattr(repro, "__version__", "999.0.0-test")
+        assert rc.load("E8", 0, True, {}) is None
+        # the stale entry is still on disk (prune policy's job, not load's)
+        assert len(rc.entries()) == 1
+
+    def test_store_under_new_version_keeps_both_entries(self, tmp_path, monkeypatch):
+        import repro
+
+        rc = ResultCache(tmp_path)
+        rc.store("E12", 0, True, {}, _table())
+        monkeypatch.setattr(repro, "__version__", "999.0.0-test")
+        rc.store("E12", 0, True, {}, _table())
+        assert rc.load("E12", 0, True, {}) is not None
+        assert len(rc.entries()) == 2  # one per version generation
+
+    def test_version_explicitly_in_key(self):
+        assert cache_key("E4", 0, True, {}, version="a") != cache_key(
+            "E4", 0, True, {}, version="b"
+        )
+
+
+class TestKeepLatestPerExperiment:
+    """`prune --keep-latest-per-experiment`: the post-version-bump janitor
+    preserves each experiment's newest entry across every bound."""
+
+    def _seed_versions(self, tmp_path):
+        """Two generations for E1/E2 plus one lone E3 entry, with strictly
+        increasing mtimes: E1-old < E2-old < E1-new < E2-new < E3."""
+        import os
+
+        rc = ResultCache(tmp_path)
+        base = 1_700_000_000
+        paths = {}
+        for i, (exp, seed) in enumerate(
+            [("E1", 0), ("E2", 0), ("E1", 1), ("E2", 1), ("E3", 0)]
+        ):
+            p = rc.store(exp, seed, True, {}, _table())
+            os.utime(p, (base + i * 3600, base + i * 3600))
+            paths[(exp, seed)] = p
+        return rc, paths, base + 4 * 3600
+
+    def test_latest_per_experiment_mapping(self, tmp_path):
+        rc, paths, _ = self._seed_versions(tmp_path)
+        latest = rc.latest_per_experiment()
+        assert latest["E1"].path == paths[("E1", 1)]
+        assert latest["E2"].path == paths[("E2", 1)]
+        assert latest["E3"].path == paths[("E3", 0)]
+
+    def test_policy_alone_keeps_one_entry_per_experiment(self, tmp_path):
+        rc, paths, _ = self._seed_versions(tmp_path)
+        removed = rc.prune(keep_latest_per_experiment=True)
+        # eviction order matches entries() (oldest first)
+        assert [e.path for e in removed] == [paths[("E1", 0)], paths[("E2", 0)]]
+        assert sorted(e.path for e in rc.entries()) == sorted(
+            [paths[("E1", 1)], paths[("E2", 1)], paths[("E3", 0)]]
+        )
+
+    def test_policy_protects_newest_from_age_bound(self, tmp_path):
+        rc, paths, now = self._seed_versions(tmp_path)
+        # an age bound that would otherwise clear the whole store
+        removed = rc.prune(
+            older_than=0.0, now=now + 10, keep_latest_per_experiment=True
+        )
+        assert len(removed) == 2
+        kept = {e.path for e in rc.entries()}
+        assert kept == {paths[("E1", 1)], paths[("E2", 1)], paths[("E3", 0)]}
+
+    def test_policy_protects_newest_from_size_bound(self, tmp_path):
+        rc, paths, _ = self._seed_versions(tmp_path)
+        removed = rc.prune(max_bytes=0, keep_latest_per_experiment=True)
+        # only the two stale generations go; the three newest survive even
+        # though the size budget is zero
+        assert [e.path for e in removed] == [paths[("E1", 0)], paths[("E2", 0)]]
+        assert len(rc.entries()) == 3
+
+    def test_no_policy_no_bounds_still_noop(self, tmp_path):
+        rc, _, _ = self._seed_versions(tmp_path)
+        assert rc.prune() == []
+        assert len(rc.entries()) == 5

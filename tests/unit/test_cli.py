@@ -122,3 +122,37 @@ class TestCacheCommand:
         ]) == 0
         assert "pruned 0 entries" in capsys.readouterr().out
         assert len(rc.entries()) == 2
+
+    def test_prune_keep_latest_per_experiment(self, tmp_path, capsys):
+        import os
+
+        rc = self._fill(tmp_path)
+        # second generation for E1 (distinct seed -> distinct key), newest
+        from repro.analysis.tables import TableResult
+
+        t = TableResult(experiment="E1", title="t", headers=["a"])
+        t.add_row("y")
+        p = rc.store("E1", 1, True, {}, t)
+        base = 1_700_000_000
+        for i, e in enumerate(rc.entries()):
+            os.utime(e.path, (base + i, base + i))
+        os.utime(p, (base + 100, base + 100))
+        assert main([
+            "cache", "prune", "--cache-dir", str(tmp_path),
+            "--keep-latest-per-experiment",
+        ]) == 0
+        assert "pruned 1 entries" in capsys.readouterr().out
+        kept = rc.entries()
+        assert len(kept) == 2  # newest E1 + the lone E2
+        assert {e.experiment for e in kept} == {"E1", "E2"}
+        assert p in [e.path for e in kept]
+
+    def test_prune_flag_alone_counts_as_a_bound(self, tmp_path, capsys):
+        self._fill(tmp_path)
+        # with only one entry per experiment the policy removes nothing,
+        # but it is a valid pruning request (exit 0, not the usage error)
+        assert main([
+            "cache", "prune", "--cache-dir", str(tmp_path),
+            "--keep-latest-per-experiment",
+        ]) == 0
+        assert "pruned 0 entries" in capsys.readouterr().out

@@ -93,3 +93,29 @@ class TestStep:
             0.5 * (rep.fraction_red_1 + rep.fraction_red_2)
         )
         assert rep.qf == pytest.approx(0.5 * (rep.qf_1 + rep.qf_2))
+
+
+class TestKernelSelection:
+    def test_unknown_kernel_rejected(self, params):
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError, match="kernel"):
+            EpochSimulator(params, kernel="bogus")
+
+    def test_default_kernel_is_vectorized(self, params):
+        assert EpochSimulator(params, probes=100).kernel == "vectorized"
+
+    def test_serial_kernel_step_matches_vectorized(self, params):
+        import numpy as np
+
+        reports = {}
+        for kernel in ("serial", "vectorized"):
+            sim = EpochSimulator(
+                params, probes=200, rng=np.random.default_rng(2), kernel=kernel
+            )
+            reports[kernel] = sim.step()
+        a, b = reports["serial"], reports["vectorized"]
+        assert a.fraction_red == b.fraction_red
+        assert a.qf == b.qf
+        assert a.routing_messages == b.routing_messages
+        assert a.mean_membership == b.mean_membership

@@ -132,3 +132,47 @@ class TestRegistry:
         reg = IdentityRegistry(scheme, n=100, beta=0.1)
         with pytest.raises(KeyError):
             reg.string_for(5)
+
+
+class TestBatchCountKernels:
+    """E8's window kernels: batch draws == per-window serial oracle."""
+
+    def _scheme(self, T=1024):
+        from repro.idspace.hashing import OracleSuite
+
+        return PuzzleScheme(OracleSuite(), epoch_length=T)
+
+    def test_mint_fast_count_matches_mint_fast_size(self):
+        scheme = self._scheme()
+        a = np.random.default_rng(9)
+        b = np.random.default_rng(9)
+        # the count draw is the same Binomial mint_fast opens with
+        assert scheme.mint_fast_count(20, 500, a) == scheme.mint_fast(20, 500, b).size
+
+    def test_mint_count_windows_matches_serial_loop(self):
+        scheme = self._scheme()
+        a = np.random.default_rng(3)
+        b = np.random.default_rng(3)
+        serial = [scheme.mint_fast_count(15, 700, a) for _ in range(25)]
+        batch = scheme.mint_count_windows(15, 700, b, 25)
+        assert np.array_equal(np.asarray(serial), batch)
+        assert a.bit_generator.state == b.bit_generator.state
+
+    def test_mint_count_windows_zero_cases(self):
+        scheme = self._scheme()
+        rng = np.random.default_rng(0)
+        assert scheme.mint_count_windows(10, 100, rng, 0).size == 0
+        zero_power = scheme.mint_count_windows(0, 100, rng, 5)
+        assert zero_power.shape == (5,) and not zero_power.any()
+
+    def test_uniformity_windows_matches_sequential_pair(self):
+        scheme = self._scheme()
+        a = np.random.default_rng(7)
+        b = np.random.default_rng(7)
+        two_ref = scheme.mint_fast(30, 4000, a)
+        one_ref = scheme.mint_fast_one_hash(30, 4000, a, arc_start=0.1,
+                                            arc_width=0.05)
+        two, one = scheme.uniformity_windows(30, 4000, b, arc_start=0.1,
+                                             arc_width=0.05)
+        assert np.array_equal(two_ref, two)
+        assert np.array_equal(one_ref, one)

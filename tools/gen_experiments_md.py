@@ -42,7 +42,13 @@ CLAIMS = {
         "Theorem 3 — ε-robustness maintained over epochs under churn",
         "Paper: over polynomially many joins/departures all but a "
         "1/poly(log n) fraction of groups stay good. Expected shape: flat "
-        "red-fraction series across epochs (no drift), eps within envelope.",
+        "red-fraction series across epochs (no drift), eps within envelope. "
+        "Execution: each epoch *step* runs on the batched kernels by default "
+        "(lockstep construction searches, bucket-LUT successors, flat-edge-"
+        "pass group composition); `--backend serial` selects the per-probe / "
+        "per-group reference loops with a bit-identical trajectory. Measured "
+        "one core, n=2048, one epoch: serial ~50s vs vectorized ~0.8s "
+        "(~60x; `BENCH_vectorized.json` E4 rows).",
     ),
     "E5": (
         "§III motivation — two group graphs vs one (ablation)",
@@ -68,7 +74,14 @@ CLAIMS = {
         "Paper: compute-bounded minting over the 1.5-epoch window; the "
         "two-hash composition makes placement u.a.r. Expected shape: count "
         "within budget; KS accepts uniformity for two-hash, rejects for the "
-        "one-hash ablation (aimed IDs).",
+        "one-hash ablation (aimed IDs). Execution: the window Monte-Carlo "
+        "draws all solution counts as one `mint_count_windows` array op "
+        "(`--backend serial` = the per-window `mint_fast_count` loop; "
+        "unchanged RNG draw order, bit-identical table); both kernels share "
+        "the `uniformity_windows` KS-input generator (each window is one "
+        "array draw, differential-tested against the sequential oracle "
+        "pair). The cell is KS-dominated, so its `BENCH_vectorized.json` "
+        "rows record parity/trajectory rather than a speedup bar.",
     ),
     "E9": (
         "Lemma 12 / App. VIII — global random-string propagation",
@@ -94,7 +107,14 @@ CLAIMS = {
         "§I-B / [47] — cuckoo-rule comparison",
         "Paper quotes Sen-Freedman: n=8192, beta~0.002 needs |G|=64 for "
         "1e5 events. Expected shape: survival grows steeply with |G|; tiny "
-        "groups need none of it because PoW throttles rejoins.",
+        "groups need none of it because PoW throttles rejoins. Execution: "
+        "each churn case draws from its own stream spawned off the cell's "
+        "sweep stream (single entropy source, reproducible at any worker "
+        "count); the event loop is inherently sequential, but each event's "
+        "relocation cohort (occupancy query, eviction sample, counter "
+        "bookkeeping) runs as one batched array update by default — "
+        "`--backend serial` is the bucket-set reference loop, trajectory-"
+        "bit-identical (~1-3x; commensal cases gain most).",
     ),
     "E13": (
         "§I footnote 2 — quarantine damps spam",
@@ -147,25 +167,38 @@ genuinely cell-parallel), trial loops, and — via `run_all` — whole
 experiments across a spawn-safe pool, **bit-identical** to serial for a
 fixed `--seed`, so every table below is reproducible at any worker count.
 
-The static-case pipeline runs on vectorized trial kernels by default: group
-construction is a one-pass CSR kernel (flat `(leader, member)` edge array,
-single sort + segment dedup — no per-group `np.unique`), and E2-style
-secure searches evaluate every probe in one lockstep batch over the group
-graph (`SecureRouter.search_batch`, good-majority tests precomputed as
-boolean arrays).  An explicit `--backend serial` selects the original loop
-implementations, which are kept as the reference oracle and parity-tested:
-all backends render byte-identical tables.  Measured on one core at
-paper-scale n, the kernels are >= 5x (E3 construction grid, n=8192, ~8x)
-to ~70x (E2 probe batch, n=4096) faster than the loops —
-`benchmarks/output/BENCH_vectorized.json` (from
-`pytest benchmarks/bench_vectorized.py` or `tools/smoke_vectorized.py`,
-uploaded as a CI artifact) is the machine-readable perf-trajectory record.
+Both the static-case pipeline and the sequential-trajectory experiments
+run on vectorized kernels by default: group construction is a one-pass CSR
+kernel (flat `(leader, member)` edge array, single sort + segment dedup —
+no per-group `np.unique`), E2-style secure searches evaluate every probe
+in one lockstep batch over the group graph (`SecureRouter.search_batch`,
+good-majority tests precomputed as boolean arrays), and the dynamic case
+(E4 epochs, E8 PoW windows, E12 churn) keeps each epoch/window/event
+*step* sequential while batching the step's inner work — lockstep
+construction searches + flat-edge-pass group composition per epoch,
+whole solution-count windows as one array draw, one fused relocation
+update per churn event.  An explicit `--backend serial` selects the loop
+implementations, which are kept as the reference oracles and
+differential-tested: all backends render byte-identical tables, and for
+E4 the *entire trajectory* (every per-epoch report field) is pinned
+bit-identical, not just the table.  Measured on one core at paper-scale
+n, the kernels are >= 5x (E3 construction grid, n=8192, ~8x) to ~60x (E4
+one epoch, n=2048) and ~70x (E2 probe batch, n=4096) faster than the
+loops — `benchmarks/output/BENCH_vectorized.json` (from
+`pytest benchmarks/bench_vectorized.py` or `tools/smoke_vectorized.py`)
+is the machine-readable record, and CI's `smoke-vectorized` job doubles
+as the tracked perf ledger: it downloads the previous run's artifact,
+diffs kernel rows by `(experiment, n, backend)` via
+`tools/perf_ledger.py`, and fails on a >20% wall-clock regression
+(warn-only on the bootstrap run).
 
 `--cache` / `--no-cache` / `--force` drive the on-disk result cache
 (`benchmarks/output/cache/`, keyed by experiment/seed/fast/overrides/
 version): a warm run loads tables without executing a single cell;
-`repro cache ls` / `repro cache prune [--older-than N] [--max-bytes B]`
-inspect and bound the store.  `benchmarks/output/timings.txt` (from
+`repro cache ls` / `repro cache prune [--older-than N] [--max-bytes B]
+[--keep-latest-per-experiment]` inspect and bound the store (the last
+flag preserves each experiment's newest entry across version bumps — the
+post-release janitor).  `benchmarks/output/timings.txt` (from
 `pytest benchmarks/bench_parallel.py benchmarks/bench_sweep.py`) records
 serial vs cell-parallel vs cache-hit wall clock.
 

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Perf-ledger gate: diff BENCH_vectorized.json against a stored baseline.
+
+The ROADMAP's tracked perf ledger: CI's ``smoke-vectorized`` job downloads
+the previous run's ``BENCH_vectorized`` artifact, re-measures the kernel
+rows, and runs this tool to compare the two files row-by-row (keyed by
+``(experiment, n, backend)`` via :func:`repro.analysis.benchio.
+diff_bench_rows`).  A row whose wall clock regressed by more than
+``--max-regression`` (default 20%) fails the job; rows under the
+``--min-wall`` noise floor are reported but never gated (µs-scale cells
+measure scheduler jitter, not kernels).
+
+Missing or unreadable baseline (first run, expired artifact) is
+**warn-only**: the tool prints the situation and exits 0, so the ledger
+bootstraps itself.
+
+Usage::
+
+    PYTHONPATH=src python tools/perf_ledger.py \
+        --baseline previous/BENCH_vectorized.json \
+        --current benchmarks/output/BENCH_vectorized.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True,
+                    help="previous run's BENCH JSON (missing -> warn-only)")
+    ap.add_argument("--current", required=True,
+                    help="this run's BENCH JSON")
+    ap.add_argument("--max-regression", type=float, default=0.20,
+                    help="fail when wall_s grows by more than this fraction "
+                         "(default 0.20 = 20%%)")
+    ap.add_argument("--min-wall", type=float, default=0.05,
+                    help="noise floor in seconds: rows where both "
+                         "measurements are below it are never gated")
+    ap.add_argument("--warn-only", action="store_true",
+                    help="report regressions but always exit 0")
+    args = ap.parse_args(argv)
+
+    from repro.analysis.benchio import diff_bench_rows, read_bench_rows
+
+    current = read_bench_rows(args.current)
+    if not current:
+        print(f"perf-ledger: no rows in current file {args.current}",
+              file=sys.stderr)
+        return 1
+    baseline_path = pathlib.Path(args.baseline)
+    baseline = read_bench_rows(baseline_path)
+    if not baseline:
+        state = "missing" if not baseline_path.exists() else "empty/corrupt"
+        print(
+            f"perf-ledger: baseline {baseline_path} is {state}; "
+            "warn-only bootstrap run (current rows become the next baseline)"
+        )
+        return 0
+
+    deltas, regressions = diff_bench_rows(
+        baseline, current,
+        max_regression=args.max_regression, min_wall_s=args.min_wall,
+    )
+    if not deltas:
+        print("perf-ledger: no overlapping (experiment, n, backend) rows; "
+              "warn-only (baseline predates these measurement points)")
+        return 0
+    print(f"perf-ledger: {len(deltas)} comparable rows "
+          f"(gate: >{args.max_regression:.0%} slower, "
+          f"noise floor {args.min_wall}s)")
+    flagged = {
+        (d["experiment"], d["n"], d["backend"]): d for d in regressions
+    }
+    for d in deltas:
+        mark = "REGRESSION" if (d["experiment"], d["n"], d["backend"]) in flagged \
+            else "ok"
+        print(
+            f"  {d['experiment']:>4} n={d['n']:<6} {d['backend']:<10} "
+            f"{d['baseline_wall_s']:.3f}s -> {d['wall_s']:.3f}s "
+            f"({d['ratio']:.2f}x)  {mark}"
+        )
+    if regressions:
+        print(
+            f"perf-ledger: {len(regressions)} row(s) regressed beyond "
+            f"{args.max_regression:.0%}",
+            file=sys.stderr,
+        )
+        return 0 if args.warn_only else 1
+    print("perf-ledger: no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

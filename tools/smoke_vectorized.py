@@ -1,17 +1,23 @@
 #!/usr/bin/env python3
 """CI smoke: vectorized kernels vs serial reference on real experiment cells.
 
-Runs one E2 cell (n=4096, the batched secure-search kernel vs the
-per-probe scalar loop) and the E3 construction grid (n=8192, the one-pass
-CSR group-construction kernel vs the per-leader ``np.unique`` loop) under
-both the ``serial`` and ``vectorized`` execution paths, then
+Runs the canonical kernel measurement points — E2 (batched secure-search
+kernel vs the per-probe scalar loop), E3 (one-pass CSR construction kernel
+vs the per-leader ``np.unique`` loop), E4 (one paper-scale epoch of the
+dynamic trajectory: lockstep construction searches + flat-edge-pass group
+composition vs the per-probe / per-group reference loops), E8 (batched PoW
+window counts vs the per-window loop) and E12 (array relocation vs the
+bucket-set churn loop) — under both the ``serial`` and ``vectorized``
+execution paths, then
 
 1. asserts the rendered tables are **byte-identical** (kernels must never
    show up in a table), and
 2. records ``{experiment, n, backend, wall_s, cells, trials}`` rows into
    ``benchmarks/output/BENCH_vectorized.json`` — the machine-readable
-   perf-trajectory file the CI job uploads as an artifact — and checks
-   the measured serial/vectorized speedup against ``--min-speedup``.
+   perf-ledger file the CI job diffs against the previous run's artifact
+   and uploads — and checks each case's measured serial/vectorized speedup
+   against its own ``min_speedup`` bar (scaled by ``--speedup-margin``;
+   parity-only cases carry no bar).
 
 Exercised by the ``smoke-vectorized`` job in ``.github/workflows/ci.yml``;
 also handy locally::
@@ -45,22 +51,24 @@ def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--seed", type=int, default=0)
     ap.add_argument(
-        "--min-speedup", type=float, default=None,
-        help="fail if serial/vectorized wall-clock ratio is below this "
-             "(default: 5.0 at paper scale, 2.0 with --quick — small cells "
-             "are overhead-dominated)",
+        "--speedup-margin", type=float, default=1.0,
+        help="scale every case's min_speedup bar by this factor (CI uses "
+             "0.6 so shared-runner timing noise cannot fail the job; the "
+             "recorded JSON keeps the actual measured ratios)",
     )
     ap.add_argument(
         "--quick", action="store_true",
         help="fast-scale cells (local sanity; CI runs paper scale)",
     )
     ap.add_argument(
+        "--only", nargs="*", default=None, metavar="EXP",
+        help="restrict to these experiment IDs (default: all cases)",
+    )
+    ap.add_argument(
         "--out", default=None,
         help="bench JSON path (default: benchmarks/output/BENCH_vectorized.json)",
     )
     args = ap.parse_args(argv)
-    if args.min_speedup is None:
-        args.min_speedup = 2.0 if args.quick else 5.0
 
     import pathlib
 
@@ -83,6 +91,14 @@ def main(argv: list[str] | None = None) -> int:
     )
     serial_cfg = ExecutionConfig(backend="serial")
     cases = KERNEL_BENCH_CASES_QUICK if args.quick else KERNEL_BENCH_CASES
+    if args.only:
+        wanted = {name.upper() for name in args.only}
+        unknown = wanted - set(cases)
+        if unknown:
+            print(f"unknown case(s) {sorted(unknown)}; have {sorted(cases)}",
+                  file=sys.stderr)
+            return 2
+        cases = {k: v for k, v in cases.items() if k in wanted}
     rows, failures = [], []
     for name, case in cases.items():
         kwargs = dict(case["kwargs"], seed=args.seed)
@@ -102,13 +118,16 @@ def main(argv: list[str] | None = None) -> int:
             experiment=name, n=case["n"], backend="vectorized",
             wall_s=t_vec, cells=case["cells"], trials=case["trials"],
         ))
+        bar = case.get("min_speedup")
         print(
             f"{name} (n={case['n']}): serial {t_serial:.3f}s / "
             f"vectorized {t_vec:.3f}s = {speedup:.1f}x, tables identical"
+            + ("" if bar is not None else " (parity-only case)")
         )
-        if speedup < args.min_speedup:
+        if bar is not None and speedup < bar * args.speedup_margin:
             failures.append(
-                f"{name}: speedup {speedup:.1f}x < {args.min_speedup}x"
+                f"{name}: speedup {speedup:.1f}x < "
+                f"{bar}x * margin {args.speedup_margin}"
             )
     record_bench_rows(out_path, rows)
     print(f"wrote {len(rows)} rows to {out_path}")
