@@ -15,6 +15,18 @@ Commands
     (``benchmarks/output/cache/``; a warm run re-executes nothing),
     ``--force`` recomputes and refreshes cached entries, and
     ``--cache-dir`` relocates the store.
+``dispatch serve EXP [--spool D] [--lease-timeout S] [--cache] [--force]``
+``dispatch work --spool D [--max-units N] [--timeout S]``
+``dispatch collect --spool D [--wait] [--timeout S] [--cache]``
+    Sharded execution: ``serve`` serializes one experiment's sweep grid
+    into self-contained work units under a filesystem spool
+    (``benchmarks/output/dispatch/``; with ``--cache`` a warm table
+    short-circuits and zero units are enqueued), ``work`` is a pull
+    worker that leases, executes, and completes units (run any number,
+    in any processes; a worker killed mid-unit merely delays others by
+    the lease timeout), and ``collect`` verifies results (payload hash +
+    sweep fingerprint), requeues rejected units, and reassembles the
+    table — byte-identical to a local run at any worker count.
 ``cache ls [--cache-dir D]`` / ``cache prune [--older-than N] [--max-bytes B]
 [--keep-latest-per-experiment]``
     Inspect or evict stored result tables: ``ls`` lists entries with
@@ -34,6 +46,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 import numpy as np
@@ -155,6 +168,74 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _cmd_dispatch(args) -> int:
+    from .sim.dispatch import CliChaos, IncompleteSweepError, collect, serve, work
+
+    if args.action == "serve":
+        cache = args.cache or args.cache_dir is not None
+        overrides = {}
+        for item in args.overrides or ():
+            key, sep, raw = item.partition("=")
+            if not sep or not key:
+                raise SystemExit(
+                    f"--set expects KEY=VALUE, got {item!r}"
+                )
+            try:
+                overrides[key] = json.loads(raw)
+            except ValueError:
+                overrides[key] = raw  # bare strings need no quoting
+        report = serve(
+            args.experiment,
+            seed=args.seed,
+            fast=not args.full,
+            overrides=overrides,
+            spool=args.spool,
+            lease_timeout=args.lease_timeout,
+            cache=cache,
+            force=args.force,
+            cache_dir=args.cache_dir,
+        )
+        if report.cache_hit:
+            print(
+                f"serve {args.experiment.upper()}: cache hit — table staged "
+                f"in {report.spool}, 0 of {report.n_cells} units enqueued"
+            )
+        else:
+            print(
+                f"serve {args.experiment.upper()}: {report.enqueued} of "
+                f"{report.n_cells} units enqueued in {report.spool} "
+                f"(fingerprint {report.fingerprint})"
+            )
+            print(f"next: repro dispatch work --spool {report.spool}")
+        return 0
+    if args.action == "work":
+        chaos = CliChaos(args.chaos) if args.chaos else None
+        executed = work(
+            args.spool,
+            worker=args.worker,
+            max_units=args.max_units,
+            timeout=args.timeout,
+            chaos=chaos,
+        )
+        print(f"work: executed {executed} unit(s) from {args.spool}")
+        return 0
+    # collect
+    cache = args.cache or args.cache_dir is not None
+    try:
+        table = collect(
+            args.spool,
+            wait=args.wait,
+            timeout=args.timeout,
+            cache=cache,
+            cache_dir=args.cache_dir,
+        )
+    except IncompleteSweepError as exc:
+        print(f"collect: {exc}", file=sys.stderr)
+        return 1
+    print(table.render())
+    return 0
+
+
 def _cmd_info(args) -> int:
     from . import __version__
     from .core.params import DEFAULTS
@@ -239,6 +320,82 @@ def build_parser() -> argparse.ArgumentParser:
              "(alone: evict everything else — the post-version-bump janitor)",
     )
     pc.set_defaults(fn=_cmd_cache)
+
+    pd = sub.add_parser(
+        "dispatch", help="sharded sweep execution over a filesystem spool"
+    )
+    pdsub = pd.add_subparsers(dest="action", required=True)
+
+    pds = pdsub.add_parser("serve", help="serialize a sweep into spool units")
+    pds.add_argument("experiment", help="experiment ID (e.g. E1)")
+    pds.add_argument("--full", action="store_true", help="full (slow) scale")
+    pds.add_argument(
+        "--spool", default=None,
+        help="spool directory (default: benchmarks/output/dispatch/"
+             "<experiment>-<fingerprint>)",
+    )
+    pds.add_argument(
+        "--set", action="append", dest="overrides", metavar="KEY=VALUE",
+        help="experiment override (VALUE parsed as JSON, e.g. "
+             "--set probes=500 --set 'n_values=[256,512]'); repeatable, "
+             "participates in the sweep fingerprint and cache key",
+    )
+    pds.add_argument(
+        "--lease-timeout", type=float, default=300.0, metavar="S",
+        help="seconds a worker may hold a unit before it is requeued "
+             "(recorded in the spool manifest; default 300)",
+    )
+    pds.add_argument(
+        "--cache", action=argparse.BooleanOptionalAction, default=False,
+        help="consult the result cache first: a warm table is staged into "
+             "the spool and zero units are enqueued",
+    )
+    pds.add_argument(
+        "--force", action="store_true",
+        help="recompute: ignore cache hits and wipe completed shards from "
+             "an existing spool",
+    )
+    pds.add_argument("--cache-dir", default=None, help="cache root (implies --cache)")
+    pds.set_defaults(fn=_cmd_dispatch)
+
+    pdw = pdsub.add_parser("work", help="pull-execute-complete spool units")
+    pdw.add_argument("--spool", required=True, help="spool directory to work")
+    pdw.add_argument(
+        "--worker", default=None,
+        help="worker name for leases/logs (default: pid-<os pid>)",
+    )
+    pdw.add_argument(
+        "--max-units", type=_positive_int, default=None,
+        help="exit after executing N units (default: drain the spool)",
+    )
+    pdw.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help="max seconds to wait for claimable work before erroring",
+    )
+    pdw.add_argument(
+        "--chaos", default=None, metavar="SPEC",
+        help="fault injection for failure drills/tests: kill:K (hard-kill "
+             "mid-unit K), corrupt:K, stale:K — comma-separated",
+    )
+    pdw.set_defaults(fn=_cmd_dispatch)
+
+    pdc = pdsub.add_parser("collect", help="verify results, reassemble table")
+    pdc.add_argument("--spool", required=True, help="spool directory to collect")
+    pdc.add_argument(
+        "--wait", action="store_true",
+        help="poll (requeueing expired leases) until the sweep completes "
+             "instead of erroring on missing cells",
+    )
+    pdc.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help="with --wait: max seconds to wait for completion",
+    )
+    pdc.add_argument(
+        "--cache", action=argparse.BooleanOptionalAction, default=False,
+        help="store the reassembled table in the result cache",
+    )
+    pdc.add_argument("--cache-dir", default=None, help="cache root (implies --cache)")
+    pdc.set_defaults(fn=_cmd_dispatch)
 
     pv = sub.add_parser("validate", help="check P1-P4 on a topology")
     pv.add_argument("topology")

@@ -56,7 +56,13 @@ from . import (
     e15_size_drift,
 )
 
-__all__ = ["EXPERIMENTS", "SPEC_BUILDERS", "run_experiment", "run_all"]
+__all__ = [
+    "EXPERIMENTS",
+    "SPEC_BUILDERS",
+    "run_all",
+    "run_experiment",
+    "validate_overrides",
+]
 
 _MODULES = {
     "E1": e1_responsibility,
@@ -110,6 +116,30 @@ def _validate_overrides(name: str, builder: Callable[..., SweepSpec], overrides:
         )
 
 
+def validate_overrides(
+    name: str,
+    overrides: dict,
+    registry: Dict[str, Callable[..., SweepSpec]] | None = None,
+) -> Callable[..., SweepSpec]:
+    """Resolve an experiment's spec builder and vet overrides against it.
+
+    The shared front door for every dispatch surface — ``run_experiment``,
+    ``run_all``, and the sharded dispatcher's ``serve`` role — so a typo'd
+    override fails here, with the experiment named, rather than inside a
+    worker process three hops away.  Returns the builder.
+    """
+    registry = SPEC_BUILDERS if registry is None else registry
+    key = name.upper()
+    try:
+        builder = registry[key]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {name!r}; choose from {sorted(registry)}"
+        ) from None
+    _validate_overrides(key, builder, overrides)
+    return builder
+
+
 def run_experiment(
     name: str,
     seed: int = 0,
@@ -129,13 +159,7 @@ def run_experiment(
     ``force=True`` recomputes and refreshes the stored entry.
     """
     key = name.upper()
-    try:
-        builder = SPEC_BUILDERS[key]
-    except KeyError:
-        raise ValueError(
-            f"unknown experiment {name!r}; choose from {sorted(SPEC_BUILDERS)}"
-        ) from None
-    _validate_overrides(key, builder, overrides)
+    builder = validate_overrides(key, overrides)
     store = ResultCache(cache_dir) if (cache or force) else None
     if store is not None and not force:
         hit = store.load(key, seed, fast, overrides)

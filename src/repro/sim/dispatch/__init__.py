@@ -1,0 +1,84 @@
+"""Sharded work-unit dispatcher for sweep grids.
+
+``SweepSpec.cells()`` + coordinate-keyed seed sequences already make
+every sweep cell an addressable ``(experiment, seed, grid index)`` work
+unit; this package adds the machinery that hands those units out,
+survives misbehaving workers, and reassembles bit-identical tables:
+
+* :mod:`~repro.sim.dispatch.wire` — the JSON work-unit/result codec,
+  sweep fingerprints (= the result-cache key), and payload hashing;
+* :mod:`~repro.sim.dispatch.broker` — pull-based leasing with deadlines
+  and at-least-once retry (in-process transport);
+* :mod:`~repro.sim.dispatch.spool` — the same protocol as atomic
+  filesystem operations, so serve/work/collect run in separate OS
+  processes (``repro dispatch`` CLI verbs);
+* :mod:`~repro.sim.dispatch.reassemble` — idempotent first-write-wins
+  acceptance with stale/corrupt rejection and conflict detection;
+* :mod:`~repro.sim.dispatch.chaos` — the Byzantine-worker fault
+  injection harness the whole stack is property-tested under;
+* :mod:`~repro.sim.dispatch.service` — the operator-facing
+  serve/work/collect roles with result-cache integration.
+
+The load-bearing invariant, tested in
+``tests/property/test_dispatch_equivalence.py``: for any worker count,
+any transport, and any injected fault schedule, the reassembled table is
+**byte-identical** to a local ``run_sweep`` of the same spec.
+"""
+
+from .broker import Lease, MemoryBroker
+from .chaos import (
+    FAULT_KINDS,
+    CliChaos,
+    FaultyWorker,
+    VirtualClock,
+    WorkerFault,
+    run_chaos,
+)
+from .reassemble import ACCEPTED, CORRUPT, DUPLICATE, STALE, Reassembler
+from .service import ServeReport, collect, serve, spool_path_for, work
+from .spool import SpoolBroker, default_spool_root
+from .wire import (
+    DispatchError,
+    IncompleteSweepError,
+    PayloadConflictError,
+    WorkResult,
+    WorkUnit,
+    execute_unit,
+    payload_hash,
+    spec_for_request,
+    sweep_fingerprint,
+    units_for_request,
+)
+
+__all__ = [
+    "ACCEPTED",
+    "CORRUPT",
+    "DUPLICATE",
+    "FAULT_KINDS",
+    "STALE",
+    "CliChaos",
+    "DispatchError",
+    "FaultyWorker",
+    "IncompleteSweepError",
+    "Lease",
+    "MemoryBroker",
+    "PayloadConflictError",
+    "Reassembler",
+    "ServeReport",
+    "SpoolBroker",
+    "VirtualClock",
+    "WorkResult",
+    "WorkUnit",
+    "WorkerFault",
+    "collect",
+    "default_spool_root",
+    "execute_unit",
+    "payload_hash",
+    "run_chaos",
+    "serve",
+    "spec_for_request",
+    "spool_path_for",
+    "sweep_fingerprint",
+    "units_for_request",
+    "work",
+]

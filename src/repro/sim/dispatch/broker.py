@@ -1,0 +1,171 @@
+"""Lease-based work brokering: pull workers, deadlines, at-least-once retry.
+
+The broker owns the unit lifecycle::
+
+    pending --lease()--> leased --complete(verified)--> done
+       ^                    |                |
+       |<--deadline passed--+                |
+       |<--rejected (stale/corrupt payload)--+
+
+Workers *pull*: a worker asks for a lease, executes the unit, and
+completes it.  The broker never trusts a worker to finish — every lease
+carries a deadline, and a unit whose lease expires (worker killed
+mid-unit, stalled past the deadline, network gone) is requeued for any
+other worker to claim.  Completion is judged by the
+:class:`~repro.sim.dispatch.reassemble.Reassembler`: verified results
+retire the unit, rejected ones (stale fingerprint, corrupt payload)
+requeue it immediately.  Everything is therefore at-least-once — a unit
+may execute several times, on several workers — and correctness comes
+from the reassembler's first-write-wins idempotency, not from exactly-
+once delivery (which no transport here pretends to offer).
+
+:class:`MemoryBroker` is the in-process transport (deque + dicts, an
+injectable clock so lease expiry is testable without sleeping); the
+filesystem spool transport in :mod:`repro.sim.dispatch.spool` implements
+the same surface with atomic renames so the roles can live in separate
+OS processes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable
+
+from .reassemble import ACCEPTED, DUPLICATE, Reassembler
+from .wire import DispatchError, WorkResult, WorkUnit
+
+__all__ = ["Lease", "MemoryBroker"]
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One outstanding claim: who holds the unit and until when."""
+
+    unit: WorkUnit
+    worker: str
+    deadline: float
+    attempt: int
+
+
+class MemoryBroker:
+    """In-process transport: queues in memory, leases with deadlines.
+
+    ``clock`` defaults to ``time.monotonic``; tests (and the chaos
+    harness) inject a virtual clock to exercise expiry deterministically.
+    ``max_attempts`` bounds retries per unit — ``None`` retries forever
+    (an honest worker eventually wins); a bound turns a poisoned unit
+    into a loud :class:`DispatchError` instead of an infinite loop.
+    """
+
+    def __init__(
+        self,
+        spec,
+        units: list[WorkUnit],
+        lease_timeout: float = 60.0,
+        clock: Callable[[], float] | None = None,
+        max_attempts: int | None = None,
+    ):
+        if lease_timeout <= 0:
+            raise ValueError("lease_timeout must be positive")
+        fingerprints = {u.fingerprint for u in units}
+        if len(fingerprints) > 1:
+            raise DispatchError(
+                f"units from {len(fingerprints)} different sweeps handed to "
+                "one broker; a broker serves exactly one sweep generation"
+            )
+        self.lease_timeout = float(lease_timeout)
+        self.clock = time.monotonic if clock is None else clock
+        self.max_attempts = max_attempts
+        self.reassembler = Reassembler(
+            spec, units[0].fingerprint if units else ""
+        )
+        self._pending: deque[WorkUnit] = deque(units)
+        self._leases: dict[int, Lease] = {}
+        self._attempts: dict[int, int] = {u.index: 0 for u in units}
+        self._units: dict[int, WorkUnit] = {u.index: u for u in units}
+        self._worker_ids = itertools.count()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def requeue_expired(self, now: float | None = None) -> list[int]:
+        """Return expired leases to the pending queue (indexes requeued)."""
+        now = self.clock() if now is None else now
+        expired = [i for i, lease in self._leases.items() if now > lease.deadline]
+        for index in expired:
+            lease = self._leases.pop(index)
+            self._requeue(lease.unit)
+        return expired
+
+    def _requeue(self, unit: WorkUnit) -> None:
+        if self.reassembler.is_accepted(unit.index):
+            return  # verified while leased elsewhere: already done
+        attempts = self._attempts[unit.index]
+        if self.max_attempts is not None and attempts >= self.max_attempts:
+            raise DispatchError(
+                f"unit {unit.unit_id()} failed {attempts} attempts "
+                f"(max_attempts={self.max_attempts}); refusing to retry a "
+                "poisoned unit forever"
+            )
+        # retried units jump the queue: they have been waiting since their
+        # first claim, and finishing stragglers early shortens the sweep tail
+        self._pending.appendleft(unit)
+
+    def lease(self, worker: str | None = None) -> WorkUnit | None:
+        """Claim the next unit, or None when nothing is claimable now.
+
+        A ``None`` does not mean the sweep is done — outstanding leases
+        may still expire and requeue; poll :meth:`complete_` / check
+        :meth:`outstanding` to distinguish.
+        """
+        worker = f"worker-{next(self._worker_ids)}" if worker is None else worker
+        now = self.clock()
+        self.requeue_expired(now)
+        while self._pending:
+            unit = self._pending.popleft()
+            if self.reassembler.is_accepted(unit.index):
+                continue  # retired while queued (late verified duplicate)
+            self._attempts[unit.index] += 1
+            self._leases[unit.index] = Lease(
+                unit=unit,
+                worker=worker,
+                deadline=now + self.lease_timeout,
+                attempt=self._attempts[unit.index],
+            )
+            return unit
+        return None
+
+    def complete(self, result: WorkResult) -> str:
+        """Judge a completion; verified results retire the unit, rejected
+        ones requeue it immediately (no need to wait out the lease)."""
+        verdict = self.reassembler.accept(result)
+        lease = self._leases.pop(result.index, None)
+        if verdict in (ACCEPTED, DUPLICATE):
+            return verdict
+        # stale/corrupt: the unit still needs an honest execution
+        if lease is not None:
+            self._requeue(lease.unit)
+        elif (
+            result.index in self._units
+            and not self.reassembler.is_accepted(result.index)
+            and not any(u.index == result.index for u in self._pending)
+        ):
+            self._requeue(self._units[result.index])
+        return verdict
+
+    # -- observability -----------------------------------------------------
+
+    def outstanding(self) -> int:
+        """Units not yet verified (pending + leased)."""
+        return len(self._units) - self.reassembler.accepted_count()
+
+    def is_complete(self) -> bool:
+        return self.reassembler.complete()
+
+    def attempts(self, index: int) -> int:
+        return self._attempts.get(index, 0)
+
+    def table(self):
+        return self.reassembler.table()

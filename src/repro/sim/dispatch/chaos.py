@@ -1,0 +1,331 @@
+"""Byzantine-worker fault injection for the dispatcher's own test bench.
+
+The paper extracts reliable global answers from small unreliable
+participants; this module holds the dispatcher to the same bar.  A
+:class:`FaultyWorker` wraps the honest pull-execute-complete loop with
+one of the adversarial behaviours the broker/reassembler contract claims
+to survive:
+
+``kill``
+    dies mid-unit (claims, computes nothing, never completes) — the
+    lease expires and the unit is retried elsewhere;
+``stall``
+    holds its unit past the lease deadline, then completes *late* — by
+    then the unit was re-executed, so the late result must land as a
+    bit-identical duplicate, never a clobber;
+``duplicate``
+    completes every unit twice — the second must be idempotent;
+``corrupt``
+    tampers with the payload after hashing — the recomputed hash
+    mismatch rejects it and the unit is retried;
+``stale``
+    replays a result under a foreign sweep fingerprint — rejected as
+    belonging to a different generation.
+
+Faults carry a ``budget`` and turn honest once it is spent, so every
+schedule terminates (the Byzantine fraction is transient, mirroring the
+paper's bounded-adversary setting; a fault with an unlimited budget
+would need at least one honest worker to guarantee progress).
+
+:func:`run_chaos` drives N such workers against a broker under a
+**virtual clock** with an RNG-chosen interleaving: each step, a random
+worker acts and time advances a random amount, so lease expiry races,
+duplicate orderings, and requeue storms are all explored — seeded, hence
+reproducible.  The invariant under test: *whatever the schedule, the
+reassembled table is byte-identical to the serial oracle's.*
+
+:class:`CliChaos` is the OS-process variant used by the ``work`` verb's
+``--chaos`` flag (e.g. ``kill:1`` hard-kills the worker process mid-unit
+— the CI smoke job's injected fault).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from .broker import MemoryBroker
+from .spool import SpoolBroker
+from .wire import DispatchError, WorkResult, WorkUnit, execute_unit
+
+__all__ = [
+    "CliChaos",
+    "FAULT_KINDS",
+    "FaultyWorker",
+    "VirtualClock",
+    "WorkerFault",
+    "run_chaos",
+]
+
+FAULT_KINDS = ("honest", "kill", "stall", "duplicate", "corrupt", "stale")
+
+
+class VirtualClock:
+    """A clock the chaos driver advances by hand (starts at an arbitrary
+    positive epoch so spool mtimes stay plausible)."""
+
+    def __init__(self, start: float = 1_000_000.0):
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, dt: float) -> None:
+        if dt < 0:
+            raise ValueError("time only moves forward")
+        self._now += dt
+
+
+@dataclass(frozen=True)
+class WorkerFault:
+    """One worker's adversarial persona.
+
+    ``budget`` = how many units the fault applies to before the worker
+    turns honest (``kill`` ignores it: death is permanent).  ``stall_for``
+    = how far past claim time a stalling worker sits on its unit; choose
+    it larger than the lease timeout to force a requeue + late duplicate.
+    """
+
+    kind: str = "honest"
+    budget: int = 1
+    stall_for: float = 0.0
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; choose from {FAULT_KINDS}"
+            )
+
+
+def corrupt_result(result: WorkResult) -> WorkResult:
+    """Tamper with the payload *after* hashing (detectable corruption)."""
+    payload = dict(result.payload)
+    rows = [list(r) for r in payload.get("rows", [])]
+    rows.append(["corrupted-by-byzantine-worker"])
+    payload["rows"] = rows
+    return WorkResult(
+        fingerprint=result.fingerprint,
+        index=result.index,
+        payload=payload,
+        payload_sha256=result.payload_sha256,  # now a lie
+        worker=result.worker,
+    )
+
+
+def staleify_result(result: WorkResult) -> WorkResult:
+    """Replay the (otherwise valid) result under a foreign fingerprint."""
+    return WorkResult(
+        fingerprint="0" * 20,  # no real sweep generation hashes to this
+        index=result.index,
+        payload=result.payload,
+        payload_sha256=result.payload_sha256,
+        worker=result.worker,
+    )
+
+
+class FaultyWorker:
+    """A pull worker with an adversarial persona, stepped by the driver."""
+
+    def __init__(self, worker_id: str, broker, spec, fault: WorkerFault,
+                 clock: VirtualClock):
+        self.worker_id = worker_id
+        self.broker = broker
+        self.spec = spec
+        self.fault = fault
+        self.clock = clock
+        self.dead = False
+        self.budget_left = fault.budget
+        self._held: tuple[WorkUnit, WorkResult, float] | None = None  # stall
+
+    def _execute(self, unit: WorkUnit) -> WorkResult:
+        return execute_unit(unit, worker=self.worker_id, spec=self.spec)
+
+    def step(self) -> bool:
+        """Do one action; returns False when idle (nothing claimable) or
+        dead — the driver uses it to detect livelock."""
+        if self.dead:
+            return False
+        if self._held is not None:
+            unit, result, submit_at = self._held
+            if self.clock.now() < submit_at:
+                return True  # still stalling — holding the lease IS the act
+            self._held = None
+            self.broker.complete(result)  # late: duplicate or first, both fine
+            return True
+        unit = self.broker.lease(worker=self.worker_id)
+        if unit is None:
+            return False
+        faulting = self.fault.kind != "honest" and self.budget_left > 0
+        if faulting and self.fault.kind == "kill":
+            self.dead = True  # mid-unit death: lease dangles until expiry
+            return True
+        result = self._execute(unit)
+        if not faulting:
+            self.broker.complete(result)
+            return True
+        self.budget_left -= 1
+        if self.fault.kind == "stall":
+            self._held = (unit, result, self.clock.now() + self.fault.stall_for)
+            return True
+        if self.fault.kind == "duplicate":
+            self.broker.complete(result)
+            self.broker.complete(result)
+            return True
+        if self.fault.kind == "corrupt":
+            self.broker.complete(corrupt_result(result))
+            return True
+        if self.fault.kind == "stale":
+            self.broker.complete(staleify_result(result))
+            return True
+        raise AssertionError(f"unhandled fault {self.fault.kind}")  # pragma: no cover
+
+
+def run_chaos(
+    spec,
+    units: list[WorkUnit],
+    faults: list[WorkerFault],
+    seed: int = 0,
+    lease_timeout: float = 10.0,
+    transport: str = "memory",
+    spool_dir=None,
+    max_steps: int | None = None,
+):
+    """Drive faulty workers over a broker until the sweep completes.
+
+    Returns the reassembled :class:`TableResult`.  ``faults`` defines the
+    worker pool (at least one persona must be able to act honestly, or the
+    driver raises on livelock).  ``transport`` selects the in-process
+    :class:`MemoryBroker` or a :class:`SpoolBroker` rooted at
+    ``spool_dir`` — both under the virtual clock, so lease expiry is
+    schedule-driven, not wall-clock-driven.
+    """
+    clock = VirtualClock()
+    if transport == "memory":
+        broker = MemoryBroker(
+            spec, units, lease_timeout=lease_timeout, clock=clock.now
+        )
+    elif transport == "spool":
+        if spool_dir is None:
+            raise ValueError("spool transport needs spool_dir")
+        broker = _ChaosSpool(spec, units, spool_dir, lease_timeout, clock)
+    else:
+        raise ValueError(f"unknown transport {transport!r}")
+    rng = np.random.default_rng(seed)
+    workers = [
+        FaultyWorker(f"w{i}-{f.kind}", broker, spec, f, clock)
+        for i, f in enumerate(faults)
+    ]
+    # generous default: every unit may be retried by every worker several
+    # times before we call livelock
+    if max_steps is None:
+        max_steps = 200 + 40 * len(units) * max(1, len(workers))
+    idle_streak = 0
+    for _ in range(max_steps):
+        if broker.is_complete():
+            break
+        acted = workers[int(rng.integers(len(workers)))].step()
+        # uneven, RNG-chosen time steps: sometimes instant (races), often
+        # a fraction of the lease, occasionally far past it (expiry)
+        clock.advance(float(rng.random()) ** 2 * lease_timeout * 0.75)
+        if acted:
+            idle_streak = 0
+        else:
+            idle_streak += 1
+            if idle_streak > 4 * max(1, len(workers)):
+                # everyone idle/dead while work remains: force expiry
+                clock.advance(lease_timeout * 2)
+    if not broker.is_complete():
+        raise DispatchError(
+            f"chaos schedule did not complete within {max_steps} steps "
+            f"(outstanding={broker.outstanding()}); is every worker faulty "
+            "with an unlimited budget?"
+        )
+    return broker.table()
+
+
+class _ChaosSpool:
+    """Adapter: the MemoryBroker surface over a SpoolBroker + Reassembler,
+    so :func:`run_chaos` drives both transports identically."""
+
+    def __init__(self, spec, units, spool_dir, lease_timeout, clock: VirtualClock):
+        from .reassemble import Reassembler
+
+        self._spool = SpoolBroker(spool_dir, clock=clock.now)
+        fingerprint = units[0].fingerprint if units else ""
+        self._spool.initialize(
+            {
+                "experiment": spec.experiment,
+                "seed": spec.seed,
+                "fast": True,
+                "overrides": {},
+                "kernel": "vectorized",
+                "fingerprint": fingerprint,
+                "n_cells": len(units),
+                "lease_timeout": float(lease_timeout),
+            },
+            units,
+        )
+        self._n_cells = len(units)
+        self.reassembler = Reassembler(spec, fingerprint)
+
+    def lease(self, worker):
+        return self._spool.lease(worker=worker)
+
+    def complete(self, result):
+        return self._spool.complete(result)
+
+    def _ingest(self):
+        self._spool.requeue_expired()
+        self._spool.sweep_results(self.reassembler)
+
+    def is_complete(self) -> bool:
+        self._ingest()
+        return self.reassembler.complete()
+
+    def outstanding(self) -> int:
+        return self._n_cells - self.reassembler.accepted_count()
+
+    def table(self):
+        return self.reassembler.table()
+
+
+class CliChaos:
+    """Fault injection for OS-process workers (``dispatch work --chaos``).
+
+    Spec grammar (comma-separated): ``kill:K`` — hard-kill the worker
+    process (``os._exit``) while handling its K-th unit, *before*
+    completing it, leaving a dangling lease exactly as a crashed machine
+    would; ``corrupt:K`` — tamper the K-th completion's payload after
+    hashing; ``stale:K`` — submit the K-th completion under a foreign
+    fingerprint.  Used by tests and the CI smoke job; documented so a
+    human operator can stage a failure drill on a real spool.
+    """
+
+    def __init__(self, spec_text: str):
+        self.plan: dict[str, int] = {}
+        self.seen = 0
+        for part in filter(None, (p.strip() for p in spec_text.split(","))):
+            kind, _, arg = part.partition(":")
+            if kind not in ("kill", "corrupt", "stale"):
+                raise ValueError(
+                    f"unknown chaos fault {kind!r} (grammar: kill:K, "
+                    "corrupt:K, stale:K)"
+                )
+            self.plan[kind] = int(arg or 1)
+
+    def apply(self, unit: WorkUnit, result: WorkResult, broker):
+        """Called by ``work`` after executing each unit.  Returns the
+        (possibly tampered) result to submit, or None if the fault
+        consumed the completion."""
+        self.seen += 1
+        if self.plan.get("kill") == self.seen:
+            os._exit(17)  # mid-unit death: no completion, dangling lease
+        if self.plan.get("corrupt") == self.seen:
+            broker.complete(corrupt_result(result))
+            return None
+        if self.plan.get("stale") == self.seen:
+            broker.complete(staleify_result(result))
+            return None
+        return result

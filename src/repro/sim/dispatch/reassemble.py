@@ -1,0 +1,121 @@
+"""Idempotent result reassembly: from untrusted completions to one table.
+
+The reassembler is the trust boundary of the dispatcher.  Workers are
+assumed faulty in exactly the ways the transports can surface — they may
+die mid-unit (no result), complete the same unit twice (duplicate
+results), stall past their lease and complete late (late duplicates), or
+return stale/corrupted payloads — and every acceptance decision is made
+from evidence in the result itself:
+
+1. **fingerprint check** — a result whose sweep fingerprint differs from
+   the sweep being assembled is *stale* (an old generation, a different
+   seed, a previous package version) and is rejected;
+2. **hash check** — the payload hash is recomputed from the canonical
+   payload JSON; a mismatch means *corruption* (in transit or by
+   tampering after hashing) and the result is rejected so the unit can
+   be retried;
+3. **first-write-wins idempotency** — the first verified result for a
+   grid index is accepted; later verified results for the same index are
+   duplicates.  Because cells are deterministic in their coordinate-keyed
+   streams, honest duplicates are bit-identical; a *divergent* verified
+   duplicate is a correctly-hashed wrong answer and raises
+   :class:`PayloadConflictError` rather than being resolved silently.
+
+Once every index is filled, :meth:`Reassembler.table` hands the decoded
+cell results to the same ``assemble_table`` the local ``run_sweep`` uses
+— grid order, notes, finalize hook — so the reassembled table is
+byte-identical to the serial oracle by construction.
+"""
+
+from __future__ import annotations
+
+from ..sweep import SweepSpec, assemble_table
+from ...analysis.tables import TableResult
+from .wire import (
+    IncompleteSweepError,
+    PayloadConflictError,
+    WorkResult,
+    payload_hash,
+)
+
+__all__ = ["ACCEPTED", "CORRUPT", "DUPLICATE", "STALE", "Reassembler"]
+
+# acceptance verdicts (complete() routes requeues off the rejected ones)
+ACCEPTED = "accepted"
+DUPLICATE = "duplicate"
+STALE = "stale"
+CORRUPT = "corrupt"
+
+
+class Reassembler:
+    """Accepts :class:`WorkResult`s idempotently, emits the sweep table."""
+
+    def __init__(self, spec: SweepSpec, fingerprint: str):
+        self.spec = spec
+        self.fingerprint = fingerprint
+        self.cells = spec.cells()
+        self._accepted: dict[int, WorkResult] = {}
+        self.rejected: list[tuple[str, WorkResult]] = []
+
+    def accept(self, result: WorkResult) -> str:
+        """Judge one completion; returns the verdict constant.
+
+        Raises :class:`PayloadConflictError` only for a verified result
+        that disagrees with an already-accepted verified result — the one
+        fault retry cannot repair.
+        """
+        if result.fingerprint != self.fingerprint:
+            self.rejected.append((STALE, result))
+            return STALE
+        if not 0 <= result.index < len(self.cells):
+            # an index outside the grid cannot belong to this sweep
+            self.rejected.append((STALE, result))
+            return STALE
+        if payload_hash(result.payload) != result.payload_sha256:
+            self.rejected.append((CORRUPT, result))
+            return CORRUPT
+        held = self._accepted.get(result.index)
+        if held is not None:
+            if held.payload_sha256 != result.payload_sha256:
+                raise PayloadConflictError(
+                    f"index {result.index}: verified result from worker "
+                    f"{result.worker or '?'} (hash {result.payload_sha256[:12]}) "
+                    f"conflicts with accepted hash {held.payload_sha256[:12]} "
+                    f"from worker {held.worker or '?'} — deterministic cells "
+                    "cannot diverge; a worker computed a wrong answer"
+                )
+            return DUPLICATE
+        self._accepted[result.index] = result
+        return ACCEPTED
+
+    def accepted_count(self) -> int:
+        return len(self._accepted)
+
+    def is_accepted(self, index: int) -> bool:
+        """Whether a verified result already holds this grid index (the
+        transports' dedup/retirement query)."""
+        return index in self._accepted
+
+    def in_grid(self, index: int) -> bool:
+        return 0 <= index < len(self.cells)
+
+    def missing(self) -> list[int]:
+        """Grid indexes still without a verified result."""
+        return [c.index for c in self.cells if c.index not in self._accepted]
+
+    def complete(self) -> bool:
+        return not self.missing()
+
+    def table(self) -> TableResult:
+        """Assemble the finished sweep (grid order, shared assembly path)."""
+        missing = self.missing()
+        if missing:
+            raise IncompleteSweepError(
+                f"sweep {self.spec.experiment} incomplete: "
+                f"{len(missing)}/{len(self.cells)} cells missing "
+                f"(indexes {missing[:8]}{'...' if len(missing) > 8 else ''})"
+            )
+        results = [
+            self._accepted[c.index].cell_result(c.coords) for c in self.cells
+        ]
+        return assemble_table(self.spec, results)

@@ -1,0 +1,337 @@
+"""Filesystem spool transport: the broker protocol as directory state.
+
+The spool lets the three dispatcher roles — serve (enqueue), work
+(execute), collect (reassemble) — run in **separate OS processes or
+separate invocations** with no coordinator process: the broker state *is*
+the directory, and every transition is a single atomic filesystem
+operation on one filesystem::
+
+    <spool>/
+      manifest.json            sweep identity: experiment/seed/fast/
+                               overrides/kernel/fingerprint/n_cells/
+                               lease_timeout/version
+      units/unit-00042.json    immutable originals (requeue source)
+      pending/unit-00042.json  claimable units
+      leased/unit-00042.json   claimed units; lease start = file mtime
+      results/result-00042.json  completions (first write wins)
+      table.json               the assembled table (collect, or a serve-
+                               time cache hit)
+      events.log               append-only observability trail
+
+* **claim** is ``rename(pending/u, leased/u)`` — atomic, so two workers
+  racing for one unit cannot both win (the loser's rename raises and it
+  moves on);
+* **lease expiry** is ``now > mtime(leased/u) + lease_timeout`` and
+  requeue is the reverse rename — any role may perform it, so a worker
+  killed mid-unit needs no supervisor, just the next participant;
+* **completion** is write-to-temp + ``os.link`` to the final result name
+  — atomic first-write-wins, so duplicate completions (a stalled worker
+  finishing after its unit was re-executed) cannot clobber the accepted
+  result, and readers never observe a partial file;
+* **requeue after rejection** (stale/corrupt result found at collect)
+  re-materializes the unit from its immutable ``units/`` original.
+
+Default spool root: ``benchmarks/output/dispatch/``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+from typing import Callable, Mapping
+
+from .reassemble import ACCEPTED, CORRUPT, DUPLICATE, STALE, Reassembler
+from .wire import DispatchError, WorkResult, WorkUnit, payload_hash
+
+__all__ = ["SpoolBroker", "default_spool_root"]
+
+
+def default_spool_root() -> pathlib.Path:
+    """``$REPRO_SPOOL_DIR`` if set, else ``benchmarks/output/dispatch/``
+    (cache-dir heuristic: repo checkout first, cwd fallback)."""
+    env = os.environ.get("REPRO_SPOOL_DIR")
+    if env:
+        return pathlib.Path(env)
+    from ...experiments.cache import default_cache_dir
+
+    return default_cache_dir().parent / "dispatch"
+
+
+def _atomic_write(path: pathlib.Path, text: str) -> None:
+    """Write-to-temp + atomic rename: no reader ever sees a partial file."""
+    tmp = path.with_suffix(f"{path.suffix}.{os.getpid()}.tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+
+
+class SpoolBroker:
+    """The broker protocol over a spool directory (one sweep per spool)."""
+
+    def __init__(
+        self,
+        root: str | os.PathLike,
+        clock: Callable[[], float] | None = None,
+    ):
+        self.root = pathlib.Path(root)
+        self.clock = time.time if clock is None else clock
+
+    # -- directory helpers -------------------------------------------------
+
+    @property
+    def manifest_path(self) -> pathlib.Path:
+        return self.root / "manifest.json"
+
+    @property
+    def table_path(self) -> pathlib.Path:
+        return self.root / "table.json"
+
+    def _dir(self, name: str) -> pathlib.Path:
+        return self.root / name
+
+    def _unit_name(self, index: int) -> str:
+        return f"unit-{index:05d}.json"
+
+    def _result_path(self, index: int) -> pathlib.Path:
+        return self._dir("results") / f"result-{index:05d}.json"
+
+    def _log(self, event: str, detail: str = "") -> None:
+        try:
+            with (self.root / "events.log").open("a") as fh:
+                fh.write(f"{self.clock():.3f} {event} {detail}\n".rstrip() + "\n")
+        except OSError:
+            pass  # observability must never break the protocol
+
+    # -- serve side --------------------------------------------------------
+
+    def initialize(
+        self,
+        manifest: Mapping,
+        units: list[WorkUnit],
+        force: bool = False,
+    ) -> int:
+        """Materialize the spool; returns how many units were (re)enqueued.
+
+        Idempotent for the same sweep fingerprint: units that are already
+        pending, leased, or completed are not enqueued again, so a re-serve
+        over a half-finished spool only fills the gaps (completed shards
+        are, in effect, spool-level cache hits).  A *different* fingerprint
+        in an existing spool is an error unless ``force``, which wipes the
+        previous generation's state first.
+        """
+        existing = self.load_manifest(missing_ok=True)
+        if existing is not None:
+            same = existing.get("fingerprint") == manifest.get("fingerprint")
+            if not same and not force:
+                raise DispatchError(
+                    f"spool {self.root} already serves fingerprint "
+                    f"{existing.get('fingerprint')!r} (experiment "
+                    f"{existing.get('experiment')!r}); pass force=True to "
+                    "replace it"
+                )
+            if force:
+                self._wipe()  # force: recompute even completed shards
+        for name in ("units", "pending", "leased", "results"):
+            self._dir(name).mkdir(parents=True, exist_ok=True)
+        _atomic_write(self.manifest_path, json.dumps(dict(manifest), indent=1, sort_keys=True))
+        enqueued = 0
+        for unit in units:
+            name = self._unit_name(unit.index)
+            text = unit.to_json()
+            _atomic_write(self._dir("units") / name, text)
+            if (
+                (self._dir("pending") / name).exists()
+                or (self._dir("leased") / name).exists()
+                or self._result_path(unit.index).exists()
+            ):
+                continue
+            _atomic_write(self._dir("pending") / name, text)
+            enqueued += 1
+        self._log("serve", f"enqueued={enqueued} of={len(units)}")
+        return enqueued
+
+    def _wipe(self) -> None:
+        for name in ("units", "pending", "leased", "results"):
+            d = self._dir(name)
+            if d.is_dir():
+                for p in d.iterdir():
+                    try:
+                        p.unlink()
+                    except OSError:
+                        pass
+        for p in (self.table_path, self.manifest_path):
+            try:
+                p.unlink()
+            except OSError:
+                pass
+
+    def load_manifest(self, missing_ok: bool = False) -> dict | None:
+        try:
+            return json.loads(self.manifest_path.read_text())
+        except OSError:
+            if missing_ok:
+                return None
+            raise DispatchError(
+                f"{self.root} is not a dispatch spool (no manifest.json; "
+                "run `repro dispatch serve` first)"
+            ) from None
+        except ValueError as exc:
+            raise DispatchError(f"corrupt manifest at {self.manifest_path}: {exc}") from exc
+
+    # -- worker side -------------------------------------------------------
+
+    def requeue_expired(self, lease_timeout: float | None = None) -> list[int]:
+        """Return timed-out leases to pending (any role may call this)."""
+        if lease_timeout is None:
+            manifest = self.load_manifest()
+            lease_timeout = float(manifest.get("lease_timeout", 300.0))
+        now = self.clock()
+        requeued: list[int] = []
+        leased = self._dir("leased")
+        if not leased.is_dir():
+            return requeued
+        for path in sorted(leased.glob("unit-*.json")):
+            try:
+                expired = now > path.stat().st_mtime + lease_timeout
+            except OSError:
+                continue  # claimed/requeued concurrently
+            if not expired:
+                continue
+            target = self._dir("pending") / path.name
+            try:
+                os.rename(path, target)
+            except OSError:
+                continue  # another participant requeued it first
+            requeued.append(int(path.stem.split("-")[1]))
+            self._log("requeue", path.name)
+        return requeued
+
+    def lease(self, worker: str = "") -> WorkUnit | None:
+        """Claim the lowest-index pending unit via atomic rename."""
+        self.requeue_expired()
+        pending = self._dir("pending")
+        if not pending.is_dir():
+            return None
+        for path in sorted(pending.glob("unit-*.json")):
+            target = self._dir("leased") / path.name
+            try:
+                os.rename(path, target)
+            except OSError:
+                continue  # lost the race for this unit; try the next
+            now = self.clock()
+            try:
+                os.utime(target, (now, now))  # lease start under our clock
+            except OSError:
+                pass
+            try:
+                unit = WorkUnit.from_json(target.read_text())
+            except DispatchError:
+                # a torn unit file cannot be executed or retried; drop it
+                # loudly in the log and surface the error
+                self._log("corrupt-unit", path.name)
+                raise
+            self._log("lease", f"{path.name} worker={worker or '?'}")
+            return unit
+        return None
+
+    def complete(self, result: WorkResult) -> str:
+        """Record a completion: atomic first-write-wins on the result file.
+
+        Returns ``accepted`` or ``duplicate`` from the transport's point
+        of view; content verification (fingerprint/hash) happens at
+        collect, which requeues rejected units.
+        """
+        final = self._result_path(result.index)
+        final.parent.mkdir(parents=True, exist_ok=True)
+        tmp = final.with_suffix(f".json.{os.getpid()}.{result.worker or 'w'}.tmp")
+        tmp.write_text(result.to_json())
+        try:
+            os.link(tmp, final)  # atomic: fails iff a result already exists
+            verdict = ACCEPTED
+        except FileExistsError:
+            verdict = DUPLICATE
+        finally:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+        lease = self._dir("leased") / self._unit_name(result.index)
+        try:
+            lease.unlink()
+        except OSError:
+            pass  # lease already expired/requeued: the result still counts
+        self._log("complete", f"{final.name} worker={result.worker or '?'} {verdict}")
+        return verdict
+
+    # -- collect side ------------------------------------------------------
+
+    def sweep_results(self, reassembler: Reassembler) -> dict[str, int]:
+        """Feed every on-disk result through the reassembler.
+
+        Verified results are accepted (duplicates impossible here — one
+        file per index); stale or corrupt ones are deleted and their units
+        re-materialized into ``pending/`` from the immutable originals, so
+        the retry loop closes without a supervisor.  Torn JSON (a reader
+        racing a writer on a non-atomic transport) is treated as corrupt.
+        """
+        counts = {ACCEPTED: 0, DUPLICATE: 0, STALE: 0, CORRUPT: 0}
+        results_dir = self._dir("results")
+        if not results_dir.is_dir():
+            return counts
+        for path in sorted(results_dir.glob("result-*.json")):
+            index = int(path.stem.split("-")[1])
+            if reassembler.is_accepted(index):
+                continue  # already ingested on a previous poll
+            try:
+                result = WorkResult.from_json(path.read_text())
+            except DispatchError:
+                verdict = CORRUPT  # torn/truncated result file
+            else:
+                # PayloadConflictError propagates: a verified wrong answer
+                # must halt the collect, not be retried into oblivion
+                verdict = reassembler.accept(result)
+            counts[verdict] += 1
+            if verdict in (STALE, CORRUPT):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+                # an out-of-grid index has no unit to retry — a foreign
+                # result file is dropped, never turned into a crash
+                if reassembler.in_grid(index):
+                    self._requeue_from_original(index)
+                self._log("reject", f"{path.name} {verdict}")
+        return counts
+
+    def _requeue_from_original(self, index: int) -> None:
+        name = self._unit_name(index)
+        if (
+            (self._dir("pending") / name).exists()
+            or (self._dir("leased") / name).exists()
+        ):
+            return  # someone is already (re)working it
+        original = self._dir("units") / name
+        try:
+            _atomic_write(self._dir("pending") / name, original.read_text())
+        except OSError:
+            raise DispatchError(
+                f"cannot requeue unit {index}: original {original} unreadable"
+            ) from None
+
+    def store_table(self, table_json: str) -> None:
+        _atomic_write(self.table_path, table_json)
+
+    def load_table(self) -> str | None:
+        try:
+            return self.table_path.read_text()
+        except OSError:
+            return None
+
+    def counts(self) -> dict[str, int]:
+        """Directory census for status lines and tests."""
+        out = {}
+        for name in ("pending", "leased", "results"):
+            d = self._dir(name)
+            out[name] = len(list(d.glob("*.json"))) if d.is_dir() else 0
+        return out

@@ -51,7 +51,9 @@ __all__ = [
     "CellOut",
     "CellResult",
     "SweepSpec",
+    "assemble_table",
     "cells_executed",
+    "count_cells_executed",
     "reset_cells_executed",
     "run_sweep",
 ]
@@ -64,6 +66,13 @@ _CELLS_EXECUTED = 0
 def cells_executed() -> int:
     """Cells executed/dispatched by :func:`run_sweep` since the last reset."""
     return _CELLS_EXECUTED
+
+
+def count_cells_executed(n: int = 1) -> None:
+    """Record ``n`` cell executions (shared with the sharded dispatcher,
+    whose workers execute cells outside :func:`run_sweep`)."""
+    global _CELLS_EXECUTED
+    _CELLS_EXECUTED += n
 
 
 def reset_cells_executed() -> None:
@@ -219,6 +228,34 @@ def _exec_cell(payload) -> CellResult:
     return _normalize(index, coords, fn(rng, **coords, **context))
 
 
+def assemble_table(spec: SweepSpec, results: Sequence[CellResult]) -> TableResult:
+    """Assemble completed cells into the sweep's table, in grid order.
+
+    The single assembly path shared by :func:`run_sweep` and the sharded
+    dispatcher's reassembler: rows then notes in ascending grid index,
+    static spec notes, then the ``finalize`` hook — so a table reassembled
+    from remotely-executed cells is byte-identical to the local one by
+    construction, not by parallel maintenance of two code paths.
+    """
+    ordered = sorted(results, key=lambda r: r.index)
+    table = TableResult(
+        experiment=spec.experiment,
+        title=spec.title,
+        headers=list(spec.headers),
+    )
+    for res in ordered:
+        for row in res.rows:
+            table.rows.append(list(row))
+    for res in ordered:
+        for note in res.notes:
+            table.add_note(note)
+    for note in spec.notes:
+        table.add_note(note)
+    if spec.finalize is not None:
+        spec.finalize(table, ordered, dict(spec.context))
+    return table
+
+
 def run_sweep(
     spec: SweepSpec, exec_config: ExecutionConfig | None = None
 ) -> TableResult:
@@ -278,20 +315,4 @@ def run_sweep(
             _CELLS_EXECUTED += 1
             results.append(_normalize(c.index, c.coords, spec.cell(rng, **c.coords, **context)))
 
-    results = sorted(results, key=lambda r: r.index)
-    table = TableResult(
-        experiment=spec.experiment,
-        title=spec.title,
-        headers=list(spec.headers),
-    )
-    for res in results:
-        for row in res.rows:
-            table.rows.append(list(row))
-    for res in results:
-        for note in res.notes:
-            table.add_note(note)
-    for note in spec.notes:
-        table.add_note(note)
-    if spec.finalize is not None:
-        spec.finalize(table, results, dict(spec.context))
-    return table
+    return assemble_table(spec, results)

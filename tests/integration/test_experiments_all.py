@@ -51,7 +51,15 @@ def test_experiment_produces_table(name):
 KERNEL_EXPERIMENTS = ("E1", "E2", "E3", "E4", "E5", "E6", "E8", "E12")
 
 
-@pytest.mark.parametrize("name", KERNEL_EXPERIMENTS)
+@pytest.mark.parametrize(
+    "name",
+    [
+        # the E4 serial reference costs ~45s at this point alone — it is
+        # the canonical >10s case the `slow` marker exists for
+        pytest.param(n, marks=pytest.mark.slow) if n == "E4" else n
+        for n in KERNEL_EXPERIMENTS
+    ],
+)
 def test_serial_and_vectorized_backends_render_identical(name):
     """Acceptance bar of the kernel layer: the explicit serial backend (the
     reference loop implementations) and the default vectorized kernels must
@@ -301,6 +309,7 @@ def test_e12_per_case_streams_cross_backend_deterministic():
     assert serial.render() == default.render() == pooled.render()
 
 
+@pytest.mark.slow
 def test_e4_trajectory_table_independent_of_probe_kernel_scale():
     """Changing only the kernel must never change an E4 table even at a
     different (n, epochs) point than the parity matrix covers."""

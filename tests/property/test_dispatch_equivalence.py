@@ -1,0 +1,149 @@
+"""Differential property tests: dispatcher vs ``run_sweep``.
+
+The tentpole contract, checked on the real cell-parallel experiments
+(E1/E2/E3/E5/E6): for any worker count, any lease timeout, any injected
+fault schedule, and both transports, the reassembled table is
+**byte-identical** (``TableResult.to_json`` and ``render``) to a local
+``run_sweep`` of the same spec.
+
+Every case is seeded and reproducible: the case key (experiment,
+schedule, worker count, transport) is digested into an RNG that draws
+the lease timeout and the chaos interleaving seed, so a red case replays
+bit-for-bit from its pytest id.  Experiments run at tiny override scale
+(milliseconds per cell — override plumbing through the wire is itself
+part of what is under test); one paper-scale case is kept under the
+``slow`` marker.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import SPEC_BUILDERS
+from repro.sim.dispatch import WorkerFault, run_chaos, units_for_request
+from repro.sim.rng import tag_entropy
+from repro.sim.sweep import run_sweep
+
+# tiny-scale overrides: every experiment's full differential matrix must
+# stay in milliseconds-per-run territory (these ride the wire, so they
+# also exercise the tuple->list JSON round trip into build_spec)
+EXPERIMENT_OVERRIDES = {
+    "E1": dict(topologies=("chord",), n_values=(128, 256), probes=400),
+    "E2": dict(n=128, pf_values=(0.01, 0.05), probes=400),
+    "E3": dict(n=256, betas=(0.05,), d2_values=(4.0, 8.0)),
+    "E5": dict(n=128, pf0_values=(0.01, 0.02)),
+    "E6": dict(n_values=(256, 512), probes=300),
+}
+
+WORKER_COUNTS = (2, 3, 5)
+
+# the acceptance schedules: worker kill, duplicate completion, stale
+# payload — plus corruption and stalling riding along.  Built per worker
+# count: the Byzantine personas first, honest workers filling the pool.
+def _schedule(name: str, workers: int, lease_timeout: float) -> list[WorkerFault]:
+    byzantine = {
+        "kill": [WorkerFault("kill")],
+        "duplicate-stale": [
+            WorkerFault("duplicate", budget=3),
+            WorkerFault("stale", budget=2),
+        ],
+        "corrupt-stall": [
+            WorkerFault("corrupt", budget=2),
+            WorkerFault("stall", budget=1, stall_for=3.0 * lease_timeout),
+        ],
+    }[name]
+    byzantine = byzantine[: max(0, workers - 1)]  # keep >= 1 honest worker
+    return byzantine + [WorkerFault("honest")] * (workers - len(byzantine))
+
+
+SCHEDULES = ("kill", "duplicate-stale", "corrupt-stall")
+
+
+def _oracle(experiment: str):
+    return run_sweep(
+        SPEC_BUILDERS[experiment](seed=0, fast=True, **EXPERIMENT_OVERRIDES[experiment])
+    )
+
+
+_ORACLES: dict[str, object] = {}
+
+
+def oracle(experiment: str):
+    # one serial-oracle run per experiment per session, not per case
+    if experiment not in _ORACLES:
+        _ORACLES[experiment] = _oracle(experiment)
+    return _ORACLES[experiment]
+
+
+def _case_rng(*key) -> np.random.Generator:
+    return np.random.default_rng(tag_entropy(tuple(map(str, key))))
+
+
+def _run_case(experiment, schedule, workers, transport, tmp_path=None):
+    rng = _case_rng(experiment, schedule, workers, transport)
+    lease_timeout = float(rng.uniform(2.0, 20.0))
+    chaos_seed = int(rng.integers(2**31))
+    spec, units = units_for_request(
+        experiment, 0, True, EXPERIMENT_OVERRIDES[experiment]
+    )
+    table = run_chaos(
+        spec,
+        units,
+        _schedule(schedule, workers, lease_timeout),
+        seed=chaos_seed,
+        lease_timeout=lease_timeout,
+        transport=transport,
+        spool_dir=None if tmp_path is None else tmp_path / "spool",
+    )
+    expected = oracle(experiment)
+    assert table.to_json() == expected.to_json()
+    assert table.render() == expected.render()
+
+
+@pytest.mark.parametrize("experiment", sorted(EXPERIMENT_OVERRIDES))
+@pytest.mark.parametrize("schedule", SCHEDULES)
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_memory_transport_equivalence(experiment, schedule, workers):
+    _run_case(experiment, schedule, workers, "memory")
+
+
+@pytest.mark.parametrize("experiment", sorted(EXPERIMENT_OVERRIDES))
+@pytest.mark.parametrize("schedule", SCHEDULES)
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_spool_transport_equivalence(experiment, schedule, workers, tmp_path):
+    _run_case(experiment, schedule, workers, "spool", tmp_path=tmp_path)
+
+
+def test_fault_free_single_worker_equivalence(tmp_path):
+    # degenerate corner the matrix above skips: one worker, no faults
+    for experiment in sorted(EXPERIMENT_OVERRIDES):
+        for transport in ("memory", "spool"):
+            rng_dir = tmp_path / f"{experiment}-{transport}"
+            spec, units = units_for_request(
+                experiment, 0, True, EXPERIMENT_OVERRIDES[experiment]
+            )
+            table = run_chaos(
+                spec, units, [WorkerFault("honest")], seed=0,
+                lease_timeout=30.0, transport=transport,
+                spool_dir=None if transport == "memory" else rng_dir,
+            )
+            assert table.to_json() == oracle(experiment).to_json()
+
+
+@pytest.mark.slow
+def test_paper_scale_dispatch_equivalence(tmp_path):
+    """One fast-scale (default-override) sweep through the spool under a
+    kill + duplicate schedule — the paper-scale anchor for the tiny-scale
+    matrix above."""
+    spec, units = units_for_request("E2", 0, True, {})
+    expected = run_sweep(SPEC_BUILDERS["E2"](seed=0, fast=True))
+    faults = [
+        WorkerFault("kill"),
+        WorkerFault("duplicate", budget=2),
+        WorkerFault("honest"),
+        WorkerFault("honest"),
+    ]
+    table = run_chaos(
+        spec, units, faults, seed=11, lease_timeout=8.0,
+        transport="spool", spool_dir=tmp_path / "spool",
+    )
+    assert table.to_json() == expected.to_json()

@@ -22,6 +22,7 @@ fast path may only ever be *fast*, never different.
 """
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -82,6 +83,7 @@ def _assert_build_equal(a, b):
     seed=st.integers(min_value=0, max_value=2**31),
 )
 @settings(max_examples=6, deadline=None)
+@pytest.mark.slow
 def test_epoch_trajectories_bit_identical(n, beta, d2, churn_rate, topology, seed):
     """The whole epoch trajectory — every EpochReport field per epoch —
     must agree between the serial reference loops and the array kernels."""
@@ -111,6 +113,7 @@ def test_epoch_trajectories_bit_identical(n, beta, d2, churn_rate, topology, see
 
 @given(seed=st.integers(min_value=0, max_value=2**31))
 @settings(max_examples=5, deadline=None)
+@pytest.mark.slow
 def test_single_graph_ablation_trajectories_bit_identical(seed):
     """two_graphs=False (the E5 ablation) runs the same kernel split."""
     params = SystemParams(n=48, beta=0.08, seed=seed)

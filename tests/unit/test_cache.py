@@ -110,6 +110,77 @@ class TestResultCache:
         assert path.parts[-3:] == ("benchmarks", "output", "cache")
 
 
+class TestCrashSafety:
+    """A writer killed mid-``put`` must never leave a JSON entry that a
+    later run loads as a hit: the store writes to a per-writer temp file
+    and publishes with one atomic rename, so the entry either exists
+    complete or not at all."""
+
+    def test_writer_killed_mid_write_leaves_no_loadable_entry(
+        self, tmp_path, monkeypatch
+    ):
+        import pathlib
+
+        rc = ResultCache(tmp_path)
+        real_write = pathlib.Path.write_text
+
+        def torn_write(self, text, *args, **kwargs):
+            if self.name.endswith(".tmp"):
+                # half the bytes land, then the kill: no exception handling,
+                # no cleanup — exactly what SIGKILL leaves behind
+                real_write(self, text[: len(text) // 2])
+                raise KeyboardInterrupt("killed mid-put")
+            return real_write(self, text, *args, **kwargs)
+
+        monkeypatch.setattr(pathlib.Path, "write_text", torn_write)
+        with pytest.raises(KeyboardInterrupt):
+            rc.store("E1", 0, True, {}, _table())
+        monkeypatch.undo()
+        # the torn temp file is on disk, but it is not an entry: not a
+        # hit, not listed, and a fresh store publishes cleanly over it
+        assert list(tmp_path.glob("*.tmp")) != []
+        assert rc.load("E1", 0, True, {}) is None
+        assert rc.entries() == []
+        rc.store("E1", 0, True, {}, _table())
+        assert rc.load("E1", 0, True, {}) is not None
+
+    def test_writer_killed_before_rename_leaves_no_entry(
+        self, tmp_path, monkeypatch
+    ):
+        import pathlib
+
+        rc = ResultCache(tmp_path)
+
+        def killed_replace(self, target):
+            raise KeyboardInterrupt("killed between write and rename")
+
+        monkeypatch.setattr(pathlib.Path, "replace", killed_replace)
+        with pytest.raises(KeyboardInterrupt):
+            rc.store("E1", 0, True, {}, _table())
+        monkeypatch.undo()
+        # the payload was fully written — but only to the temp name, so
+        # the cache still has no entry for the key
+        assert rc.load("E1", 0, True, {}) is None
+        assert rc.entries() == []
+
+    def test_truncated_entry_on_disk_is_a_miss(self, tmp_path):
+        rc = ResultCache(tmp_path)
+        path = rc.store("E1", 0, True, {}, _table())
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])  # torn at the final name
+        assert rc.load("E1", 0, True, {}) is None
+
+    def test_concurrent_same_key_writers_never_publish_partial(self, tmp_path):
+        # two writers racing on one key use per-pid temp names; whichever
+        # rename lands last wins with a *complete* file either way
+        rc_a, rc_b = ResultCache(tmp_path), ResultCache(tmp_path)
+        pa = rc_a.store("E1", 0, True, {}, _table())
+        pb = rc_b.store("E1", 0, True, {}, _table())
+        assert pa == pb
+        assert rc_a.load("E1", 0, True, {}).render() == _table().render()
+        assert list(tmp_path.glob("*.tmp")) == []
+
+
 class TestEntriesAndPrune:
     """`repro cache ls` / `prune` machinery (the store must not only grow)."""
 

@@ -156,3 +156,115 @@ class TestCacheCommand:
             "--keep-latest-per-experiment",
         ]) == 0
         assert "pruned 0 entries" in capsys.readouterr().out
+
+
+class TestDispatchCommand:
+    """`repro dispatch serve/work/collect` — in-process round trips (the
+    separate-OS-process scenario lives in
+    tests/integration/test_dispatch_cli.py)."""
+
+    OVERRIDES = ["--set", "n_values=[128]", "--set", "probes=300",
+                 "--set", 'topologies=["chord"]']
+
+    def test_serve_work_collect_round_trip(self, tmp_path, capsys):
+        spool = str(tmp_path / "spool")
+        assert main(["--seed", "2", "dispatch", "serve", "E1",
+                     *self.OVERRIDES, "--spool", spool]) == 0
+        assert "1 of 1 units enqueued" in capsys.readouterr().out
+        assert main(["dispatch", "work", "--spool", spool]) == 0
+        assert "executed 1 unit" in capsys.readouterr().out
+        assert main(["dispatch", "collect", "--spool", spool]) == 0
+        out = capsys.readouterr().out
+        from repro.experiments.runner import run_experiment
+
+        oracle = run_experiment(
+            "E1", seed=2, fast=True, n_values=[128], probes=300,
+            topologies=["chord"],
+        )
+        assert out.strip() == oracle.render().strip()
+
+    def test_collect_incomplete_is_exit_1(self, tmp_path, capsys):
+        spool = str(tmp_path / "spool")
+        assert main(["dispatch", "serve", "E1", *self.OVERRIDES,
+                     "--spool", spool]) == 0
+        capsys.readouterr()
+        assert main(["dispatch", "collect", "--spool", spool]) == 1
+        captured = capsys.readouterr()
+        assert "incomplete" in captured.err
+        assert captured.out.strip() == ""  # no partial table on stdout
+
+    def test_bad_set_syntax_is_a_usage_error(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["dispatch", "serve", "E1", "--set", "probes",
+                  "--spool", str(tmp_path / "s")])
+
+    def test_set_values_parse_as_json_with_string_fallback(self, tmp_path, capsys):
+        spool = str(tmp_path / "spool")
+        # topologies as a bare string would TypeError inside build_spec's
+        # tuple(); as JSON it is a list — and an unknown key must fail
+        # loudly at serve time with the experiment named
+        with pytest.raises(TypeError, match="E1"):
+            main(["dispatch", "serve", "E1", "--set", "probez=5",
+                  "--spool", spool])
+
+    def test_serve_cache_hit_enqueues_nothing(self, tmp_path, capsys):
+        spool = str(tmp_path / "spool")
+        cache_dir = str(tmp_path / "cache")
+        assert main(["dispatch", "serve", "E1", *self.OVERRIDES,
+                     "--spool", spool, "--cache-dir", cache_dir]) == 0
+        assert main(["dispatch", "work", "--spool", spool]) == 0
+        assert main(["dispatch", "collect", "--spool", spool,
+                     "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        spool2 = str(tmp_path / "spool2")
+        assert main(["dispatch", "serve", "E1", *self.OVERRIDES,
+                     "--spool", spool2, "--cache-dir", cache_dir]) == 0
+        assert "cache hit" in capsys.readouterr().out
+        assert main(["dispatch", "collect", "--spool", spool2]) == 0
+
+    def test_work_self_heals_a_corrupt_completion(self, tmp_path, capsys):
+        # regression: a Byzantine completion must not let the worker pool
+        # exit "done" on an unverifiable spool — the same worker sweeps
+        # the invalid result, requeues the unit, and re-executes honestly
+        spool = str(tmp_path / "spool")
+        assert main(["dispatch", "serve", "E1", *self.OVERRIDES,
+                     "--spool", spool]) == 0
+        assert main(["dispatch", "work", "--spool", spool,
+                     "--chaos", "corrupt:1"]) == 0
+        capsys.readouterr()
+        # no further work needed: collect verifies and assembles directly
+        assert main(["dispatch", "collect", "--spool", spool]) == 0
+        assert "[E1]" in capsys.readouterr().out
+
+    def test_recollect_publishes_staged_table_to_cache(self, tmp_path, capsys):
+        # regression: collect --cache on a spool whose table was already
+        # staged by a cache-less collect must still store the entry
+        spool = str(tmp_path / "spool")
+        cache_dir = tmp_path / "cache"
+        assert main(["dispatch", "serve", "E1", *self.OVERRIDES,
+                     "--spool", spool]) == 0
+        assert main(["dispatch", "work", "--spool", spool]) == 0
+        assert main(["dispatch", "collect", "--spool", spool]) == 0  # stages
+        assert main(["dispatch", "collect", "--spool", spool,
+                     "--cache-dir", str(cache_dir)]) == 0
+        from repro.experiments.cache import ResultCache
+
+        assert [e.experiment for e in ResultCache(cache_dir).entries()] == ["E1"]
+
+    def test_work_on_cache_hit_spool_exits_immediately(self, tmp_path, capsys):
+        # regression: a spool completed by a serve-time cache hit holds
+        # zero units; a worker pointed at it must exit 0, not poll forever
+        spool = str(tmp_path / "spool")
+        cache_dir = str(tmp_path / "cache")
+        assert main(["dispatch", "serve", "E1", *self.OVERRIDES,
+                     "--spool", spool, "--cache-dir", cache_dir]) == 0
+        assert main(["dispatch", "work", "--spool", spool]) == 0
+        assert main(["dispatch", "collect", "--spool", spool,
+                     "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        spool2 = str(tmp_path / "spool2")
+        assert main(["dispatch", "serve", "E1", *self.OVERRIDES,
+                     "--spool", spool2, "--cache-dir", cache_dir]) == 0
+        assert "cache hit" in capsys.readouterr().out
+        assert main(["dispatch", "work", "--spool", spool2]) == 0
+        assert "executed 0 unit" in capsys.readouterr().out

@@ -1,0 +1,467 @@
+"""Unit tests: the sharded work-unit dispatcher (repro.sim.dispatch).
+
+Covers the wire codec (self-contained units, payload hashing), the
+lease/retry broker semantics on both transports, and the reassembler's
+acceptance contract: first-write-wins idempotency, stale/corrupt
+rejection, and loud conflict detection.  A cheap module-level toy spec
+keeps these tests millisecond-scale; the real-experiment differential
+sweep lives in tests/property/test_dispatch_equivalence.py.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.sim.dispatch import (
+    ACCEPTED,
+    CORRUPT,
+    DUPLICATE,
+    STALE,
+    DispatchError,
+    IncompleteSweepError,
+    MemoryBroker,
+    PayloadConflictError,
+    Reassembler,
+    SpoolBroker,
+    VirtualClock,
+    WorkResult,
+    WorkUnit,
+    execute_unit,
+    payload_hash,
+    sweep_fingerprint,
+    units_for_request,
+)
+from repro.sim.sweep import SweepSpec, run_sweep
+
+
+def toy_cell(rng, *, x, scale):
+    # one draw per cell: deterministic in the coordinate-keyed stream
+    return [[x, scale, f"{rng.random():.12f}"]]
+
+
+def build_toy_spec(seed=0, fast=True, xs=(1, 2, 3), scale=2):
+    return SweepSpec(
+        experiment="TOY",
+        title="toy sweep",
+        headers=["x", "scale", "u"],
+        cell=toy_cell,
+        axes=(("x", tuple(xs)),),
+        context=dict(scale=scale),
+        seed=seed,
+    )
+
+
+TOY = {"TOY": build_toy_spec}
+
+
+def toy_units(seed=0, overrides=None):
+    return units_for_request("TOY", seed, True, overrides or {}, registry=TOY)
+
+
+def executed(units, spec):
+    return [execute_unit(u, spec=spec, worker="t") for u in units]
+
+
+class TestWire:
+    def test_unit_json_round_trip(self):
+        spec, units = toy_units(overrides={"xs": (4, 5)})
+        clone = WorkUnit.from_json(units[1].to_json())
+        assert clone == WorkUnit(
+            experiment="TOY", seed=0, fast=True, overrides={"xs": [4, 5]},
+            index=1, n_cells=2, kernel="vectorized",
+            fingerprint=units[0].fingerprint,
+        )
+
+    def test_result_json_round_trip(self):
+        spec, units = toy_units()
+        result = execute_unit(units[0], spec=spec, worker="w9")
+        clone = WorkResult.from_json(result.to_json())
+        assert clone == result
+
+    def test_malformed_unit_raises(self):
+        with pytest.raises(DispatchError, match="malformed"):
+            WorkUnit.from_json('{"experiment": "TOY"}')
+        with pytest.raises(DispatchError, match="malformed"):
+            WorkResult.from_json("{not json")
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(DispatchError, match="unknown experiment"):
+            units_for_request("NOPE", 0, True, {}, registry=TOY)
+
+    def test_index_outside_grid_raises(self):
+        spec, units = toy_units()
+        bad = WorkUnit(
+            experiment="TOY", seed=0, fast=True, overrides={}, index=99,
+            n_cells=3, fingerprint=units[0].fingerprint,
+        )
+        with pytest.raises(DispatchError, match="outside"):
+            execute_unit(bad, spec=spec)
+
+    def test_execution_is_deterministic(self):
+        spec, units = toy_units()
+        a = execute_unit(units[2], spec=spec)
+        b = execute_unit(units[2], spec=spec)
+        assert a.payload == b.payload
+        assert a.payload_sha256 == b.payload_sha256
+
+    def test_registry_rebuild_matches_spec_shortcut(self):
+        # the worker-side rebuild from (experiment, seed, fast, overrides)
+        # must reproduce exactly what the serve-side spec computes
+        spec, units = toy_units(seed=7, overrides={"xs": [10, 11], "scale": 3})
+        direct = execute_unit(units[0], spec=spec)
+        rebuilt = execute_unit(units[0], registry=TOY)
+        assert direct.payload == rebuilt.payload
+
+    def test_payload_hash_detects_any_change(self):
+        payload = {"rows": [[1, 2, "a"]], "notes": [], "aux": None}
+        h = payload_hash(payload)
+        assert payload_hash({**payload, "aux": 0}) != h
+        assert payload_hash({"rows": [[1, 2, "b"]], "notes": [], "aux": None}) != h
+        # key order is canonicalized away
+        assert payload_hash(dict(reversed(list(payload.items())))) == h
+
+    def test_fingerprint_tracks_request_not_kernel(self):
+        base = sweep_fingerprint("TOY", 0, True, {})
+        assert sweep_fingerprint("TOY", 1, True, {}) != base
+        assert sweep_fingerprint("TOY", 0, False, {}) != base
+        assert sweep_fingerprint("TOY", 0, True, {"xs": [1]}) != base
+        # kernel choice never changes a table, so it is not identity
+        _, units_v = toy_units()
+        spec, units_s = units_for_request("TOY", 0, True, {}, kernel="serial", registry=TOY)
+        assert units_v[0].fingerprint == units_s[0].fingerprint
+
+    def test_non_jsonable_payload_raises_clearly(self):
+        def opaque_cell(rng, *, x, scale):
+            return [[object()]]
+
+        spec = SweepSpec(
+            experiment="TOY", title="t", headers=["h"], cell=opaque_cell,
+            axes=(("x", (1,)),), context=dict(scale=1),
+        )
+        unit = WorkUnit(
+            experiment="TOY", seed=0, fast=True, overrides={}, index=0,
+            n_cells=1, fingerprint="",  # no identity claim to verify
+        )
+        with pytest.raises(TypeError, match="JSON-serializable"):
+            execute_unit(unit, spec=spec)
+
+    def test_worker_refuses_foreign_fingerprint(self):
+        # a unit whose fingerprint does not re-derive locally means the
+        # worker runs different repro code than the serve side — it must
+        # refuse, not stamp wrong-version rows with a passing identity
+        spec, units = toy_units()
+        from dataclasses import replace
+
+        drifted = replace(units[0], fingerprint="0" * 20)
+        with pytest.raises(DispatchError, match="differs"):
+            execute_unit(drifted, spec=spec)
+
+
+class TestReassembler:
+    def _fresh(self, **kw):
+        spec, units = toy_units(**kw)
+        return spec, units, Reassembler(spec, units[0].fingerprint)
+
+    def test_accept_assemble_matches_run_sweep(self):
+        spec, units, reasm = self._fresh()
+        for r in executed(units, spec):
+            assert reasm.accept(r) == ACCEPTED
+        assert reasm.complete() and reasm.missing() == []
+        assert reasm.table().to_json() == run_sweep(spec).to_json()
+
+    def test_duplicate_is_idempotent(self):
+        spec, units, reasm = self._fresh()
+        result = execute_unit(units[0], spec=spec)
+        assert reasm.accept(result) == ACCEPTED
+        assert reasm.accept(result) == DUPLICATE
+        assert reasm.accepted_count() == 1
+
+    def test_stale_fingerprint_rejected(self):
+        spec, units, reasm = self._fresh()
+        result = execute_unit(units[0], spec=spec)
+        stale = WorkResult(
+            fingerprint="0" * 20, index=result.index,
+            payload=result.payload, payload_sha256=result.payload_sha256,
+        )
+        assert reasm.accept(stale) == STALE
+        assert reasm.accepted_count() == 0
+        assert reasm.rejected[0][0] == STALE
+
+    def test_out_of_grid_index_rejected_as_stale(self):
+        spec, units, reasm = self._fresh()
+        result = execute_unit(units[0], spec=spec)
+        rogue = WorkResult(
+            fingerprint=units[0].fingerprint, index=42,
+            payload=result.payload, payload_sha256=result.payload_sha256,
+        )
+        assert reasm.accept(rogue) == STALE
+
+    def test_corrupt_payload_rejected(self):
+        spec, units, reasm = self._fresh()
+        result = execute_unit(units[0], spec=spec)
+        tampered = WorkResult(
+            fingerprint=result.fingerprint, index=result.index,
+            payload={**result.payload, "rows": [["tampered"]]},
+            payload_sha256=result.payload_sha256,  # stale claim
+        )
+        assert reasm.accept(tampered) == CORRUPT
+        # the honest result still lands afterwards
+        assert reasm.accept(result) == ACCEPTED
+
+    def test_verified_divergent_duplicate_is_a_conflict(self):
+        spec, units, reasm = self._fresh()
+        result = execute_unit(units[0], spec=spec)
+        assert reasm.accept(result) == ACCEPTED
+        wrong_payload = {**result.payload, "rows": [["wrong", 0, "answer"]]}
+        liar = WorkResult(
+            fingerprint=result.fingerprint, index=result.index,
+            payload=wrong_payload,
+            payload_sha256=payload_hash(wrong_payload),  # self-consistent
+            worker="byzantine",
+        )
+        with pytest.raises(PayloadConflictError, match="byzantine"):
+            reasm.accept(liar)
+
+    def test_incomplete_table_raises_with_missing_indexes(self):
+        spec, units, reasm = self._fresh()
+        reasm.accept(execute_unit(units[1], spec=spec))
+        with pytest.raises(IncompleteSweepError, match=r"\[0, 2\]"):
+            reasm.table()
+
+
+class TestMemoryBroker:
+    def _broker(self, clock=None, **kw):
+        spec, units = toy_units()
+        return spec, units, MemoryBroker(
+            spec, units, lease_timeout=10.0,
+            clock=clock.now if clock else None, **kw,
+        )
+
+    def test_lease_until_exhausted(self):
+        spec, units, broker = self._broker()
+        seen = {broker.lease("w").index for _ in units}
+        assert seen == {0, 1, 2}
+        assert broker.lease("w") is None  # all leased, none expired
+        assert broker.outstanding() == 3
+
+    def test_expired_lease_requeues_and_counts_attempts(self):
+        clock = VirtualClock()
+        spec, units, broker = self._broker(clock=clock)
+        first = broker.lease("doomed")
+        assert broker.attempts(first.index) == 1
+        clock.advance(11.0)  # past the 10s lease
+        again = broker.lease("saviour")
+        assert again.index == first.index  # FIFO: the expired unit first
+        assert broker.attempts(first.index) == 2
+
+    def test_rejected_completion_requeues_immediately(self):
+        spec, units, broker = self._broker()
+        unit = broker.lease("w")
+        result = execute_unit(unit, spec=spec)
+        bad = WorkResult(
+            fingerprint=result.fingerprint, index=result.index,
+            payload={**result.payload, "rows": [["x"]]},
+            payload_sha256=result.payload_sha256,
+        )
+        assert broker.complete(bad) == CORRUPT
+        # no clock movement needed: the unit is claimable right now
+        assert broker.lease("w2").index == unit.index
+
+    def test_late_duplicate_after_retry_is_idempotent(self):
+        clock = VirtualClock()
+        spec, units, broker = self._broker(clock=clock)
+        unit = broker.lease("stalled")
+        clock.advance(11.0)
+        retry = broker.lease("fresh")
+        assert retry.index == unit.index
+        result = execute_unit(retry, spec=spec)
+        assert broker.complete(result) == ACCEPTED
+        # the stalled worker finally reports the same deterministic payload
+        assert broker.complete(execute_unit(unit, spec=spec)) == DUPLICATE
+
+    def test_completes_to_oracle_table(self):
+        spec, units, broker = self._broker()
+        while not broker.is_complete():
+            unit = broker.lease("w")
+            broker.complete(execute_unit(unit, spec=spec))
+        assert broker.table().to_json() == run_sweep(spec).to_json()
+
+    def test_max_attempts_bounds_poisoned_units(self):
+        clock = VirtualClock()
+        spec, units = toy_units()
+        broker = MemoryBroker(
+            spec, units, lease_timeout=1.0, clock=clock.now, max_attempts=2
+        )
+        for _ in range(2):
+            assert broker.lease("crashloop") is not None
+            clock.advance(2.0)
+        with pytest.raises(DispatchError, match="max_attempts"):
+            broker.lease("crashloop")
+
+    def test_mixed_fingerprints_refused(self):
+        spec, units = toy_units()
+        alien = WorkUnit(
+            experiment="TOY", seed=9, fast=True, overrides={}, index=0,
+            n_cells=1, fingerprint="another-sweep",
+        )
+        with pytest.raises(DispatchError, match="one sweep"):
+            MemoryBroker(spec, units + [alien])
+
+    def test_bad_lease_timeout_rejected(self):
+        spec, units = toy_units()
+        with pytest.raises(ValueError):
+            MemoryBroker(spec, units, lease_timeout=0.0)
+
+
+class TestSpoolBroker:
+    def _spool(self, tmp_path, clock=None, lease_timeout=10.0):
+        spec, units = toy_units()
+        broker = SpoolBroker(tmp_path / "spool", clock=clock.now if clock else None)
+        broker.initialize(
+            {
+                "experiment": "TOY", "seed": 0, "fast": True, "overrides": {},
+                "kernel": "vectorized", "fingerprint": units[0].fingerprint,
+                "n_cells": len(units), "lease_timeout": lease_timeout,
+            },
+            units,
+        )
+        return spec, units, broker
+
+    def test_initialize_and_claim(self, tmp_path):
+        spec, units, broker = self._spool(tmp_path)
+        assert broker.counts() == {"pending": 3, "leased": 0, "results": 0}
+        unit = broker.lease("w")
+        assert unit.index == 0  # lowest index first
+        assert broker.counts() == {"pending": 2, "leased": 1, "results": 0}
+
+    def test_two_brokers_cannot_claim_the_same_unit(self, tmp_path):
+        spec, units, broker_a = self._spool(tmp_path)
+        broker_b = SpoolBroker(broker_a.root, clock=broker_a.clock)
+        claimed = [broker_a.lease("a"), broker_b.lease("b"), broker_a.lease("a"),
+                   broker_b.lease("b")]
+        indexes = [u.index for u in claimed if u is not None]
+        assert sorted(indexes) == [0, 1, 2]  # every unit claimed exactly once
+        assert broker_a.lease("a") is None
+
+    def test_expired_lease_requeued_by_any_participant(self, tmp_path):
+        clock = VirtualClock()
+        spec, units, broker = self._spool(tmp_path, clock=clock)
+        broker.lease("doomed")
+        clock.advance(11.0)
+        other = SpoolBroker(broker.root, clock=clock.now)
+        assert other.requeue_expired() == [0]
+        assert other.counts()["pending"] == 3
+
+    def test_complete_first_write_wins(self, tmp_path):
+        spec, units, broker = self._spool(tmp_path)
+        unit = broker.lease("w")
+        result = execute_unit(unit, spec=spec, worker="w")
+        assert broker.complete(result) == ACCEPTED
+        impostor = WorkResult(
+            fingerprint=result.fingerprint, index=result.index,
+            payload={"rows": [["late"]], "notes": [], "aux": None},
+            payload_sha256="feed", worker="late",
+        )
+        assert broker.complete(impostor) == DUPLICATE
+        kept = WorkResult.from_json(broker._result_path(unit.index).read_text())
+        assert kept.payload == result.payload  # the first write survived
+
+    def test_collect_rejects_and_requeues_corrupt_result(self, tmp_path):
+        spec, units, broker = self._spool(tmp_path)
+        unit = broker.lease("w")
+        result = execute_unit(unit, spec=spec)
+        broker.complete(result)
+        # torn write: truncate the result file mid-JSON
+        path = broker._result_path(unit.index)
+        path.write_text(result.to_json()[: len(result.to_json()) // 2])
+        reasm = Reassembler(spec, units[0].fingerprint)
+        counts = broker.sweep_results(reasm)
+        assert counts[CORRUPT] == 1
+        assert not path.exists()
+        # the unit is claimable again, from its immutable original
+        assert broker.counts()["pending"] == 3
+
+    def test_collect_rejects_stale_result(self, tmp_path):
+        spec, units, broker = self._spool(tmp_path)
+        unit = broker.lease("w")
+        result = execute_unit(unit, spec=spec)
+        stale = WorkResult(
+            fingerprint="0" * 20, index=result.index,
+            payload=result.payload, payload_sha256=result.payload_sha256,
+        )
+        broker.complete(stale)
+        reasm = Reassembler(spec, units[0].fingerprint)
+        counts = broker.sweep_results(reasm)
+        assert counts[STALE] == 1
+        assert broker.counts()["pending"] == 3
+
+    def test_reserve_is_idempotent_for_completed_shards(self, tmp_path):
+        spec, units, broker = self._spool(tmp_path)
+        unit = broker.lease("w")
+        broker.complete(execute_unit(unit, spec=spec))
+        manifest = broker.load_manifest()
+        enqueued = broker.initialize(manifest, units)
+        assert enqueued == 0  # 2 still pending, 1 completed: nothing re-added
+        assert broker.counts() == {"pending": 2, "leased": 0, "results": 1}
+
+    def test_different_fingerprint_needs_force(self, tmp_path):
+        spec, units, broker = self._spool(tmp_path)
+        manifest = broker.load_manifest()
+        alien = dict(manifest, fingerprint="different-generation")
+        with pytest.raises(DispatchError, match="force"):
+            broker.initialize(alien, units)
+        enqueued = broker.initialize(alien, units, force=True)
+        assert enqueued == 3  # wiped and re-enqueued under the new identity
+
+    def test_force_wipes_completed_shards(self, tmp_path):
+        spec, units, broker = self._spool(tmp_path)
+        broker.complete(execute_unit(broker.lease("w"), spec=spec))
+        manifest = broker.load_manifest()
+        enqueued = broker.initialize(manifest, units, force=True)
+        assert enqueued == 3
+        assert broker.counts() == {"pending": 3, "leased": 0, "results": 0}
+
+    def test_missing_manifest_is_a_clear_error(self, tmp_path):
+        with pytest.raises(DispatchError, match="manifest"):
+            SpoolBroker(tmp_path / "nowhere").load_manifest()
+
+    def test_json_table_round_trip(self, tmp_path):
+        spec, units, broker = self._spool(tmp_path)
+        table = run_sweep(spec)
+        broker.store_table(table.to_json())
+        assert broker.load_table() == table.to_json()
+        assert json.loads(broker.load_table())["experiment"] == "TOY"
+
+
+class TestForeignSpoolInput:
+    def test_out_of_grid_result_file_is_dropped_not_fatal(self, tmp_path):
+        # a result file for an index the grid does not have (copied from
+        # another spool, or a leftover) is Byzantine input: it must be
+        # rejected and deleted, never crash the sweep with a requeue of a
+        # unit that does not exist
+        spec, units = units_for_request("TOY", 0, True, {}, registry=TOY)
+        broker = SpoolBroker(tmp_path / "spool")
+        broker.initialize(
+            {
+                "experiment": "TOY", "seed": 0, "fast": True, "overrides": {},
+                "kernel": "vectorized", "fingerprint": units[0].fingerprint,
+                "n_cells": len(units), "lease_timeout": 10.0,
+            },
+            units,
+        )
+        real = execute_unit(units[0], spec=spec)
+        foreign_payload = dict(real.payload)
+        foreign = WorkResult(
+            fingerprint=units[0].fingerprint, index=7,
+            payload=foreign_payload,
+            payload_sha256=payload_hash(foreign_payload),
+        )
+        path = broker._result_path(7)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(foreign.to_json())
+        reasm = Reassembler(spec, units[0].fingerprint)
+        counts = broker.sweep_results(reasm)  # must not raise
+        assert counts[STALE] == 1
+        assert not path.exists()
+        assert broker.counts()["pending"] == len(units)  # nothing phantom-requeued

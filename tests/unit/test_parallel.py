@@ -7,6 +7,9 @@ Trial functions live at module level so they pickle under the ``spawn``
 start method.
 """
 
+import multiprocessing
+import os
+
 import numpy as np
 import pytest
 
@@ -36,6 +39,27 @@ def multi_draw_trial(rng: np.random.Generator) -> float:
 
 def uniform_batch(rng: np.random.Generator, k: int) -> np.ndarray:
     return rng.random(k)
+
+
+def _in_pool_worker() -> bool:
+    # the serial fallback runs trials in the parent (MainProcess); only a
+    # spawned pool child should die, or the fault would kill the test run
+    return multiprocessing.current_process().name != "MainProcess"
+
+
+def suicidal_trial(rng: np.random.Generator) -> float:
+    """Dies mid-chunk when run inside a pool worker (SIGKILL semantics:
+    no exception, no cleanup — exactly a crashed worker box)."""
+    if _in_pool_worker():
+        os._exit(137)
+    return float(rng.random())
+
+
+def crashing_trial(rng: np.random.Generator) -> float:
+    """Raises mid-chunk inside a pool worker (a bug, not a kill)."""
+    if _in_pool_worker():
+        raise RuntimeError("worker exploded mid-chunk")
+    return float(rng.random())
 
 
 class TestExecutionConfig:
@@ -142,3 +166,29 @@ class TestVectorizedBackend:
         res = run_trials(bernoulli_trial, 32, make_rng(1), config=cfg,
                          batch=uniform_batch)
         assert res.trials == 32
+
+
+class TestFaultInjection:
+    """A pool worker dying mid-chunk must never produce a silent partial
+    result: either the serial fallback reproduces the full serial table,
+    or the failure surfaces as a clear error."""
+
+    def test_worker_killed_mid_chunk_reproduces_serial_result(self):
+        serial = run_trials(suicidal_trial, 12, make_rng(3))
+        with pytest.warns(RuntimeWarning, match="process pool broke"):
+            par = run_trials_parallel(suicidal_trial, 12, make_rng(3), workers=2)
+        # the broken pool degraded to the serial path and recomputed
+        # every trial: bit-identical, nothing partial
+        assert par.trials == 12
+        assert np.array_equal(serial.values, par.values)
+        assert (serial.mean, serial.lo, serial.hi) == (par.mean, par.lo, par.hi)
+
+    def test_worker_killed_in_spawn_map_falls_back_whole(self):
+        with pytest.warns(RuntimeWarning, match="process pool broke"):
+            out = spawn_map(suicidal_trial, [make_rng(i) for i in range(4)],
+                            workers=2)
+        assert len(out) == 4  # every item recomputed in the parent
+
+    def test_worker_exception_is_a_clear_error_not_a_partial_table(self):
+        with pytest.raises(RuntimeError, match="exploded mid-chunk"):
+            run_trials_parallel(crashing_trial, 12, make_rng(3), workers=2)

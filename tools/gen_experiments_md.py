@@ -202,6 +202,24 @@ post-release janitor).  `benchmarks/output/timings.txt` (from
 `pytest benchmarks/bench_parallel.py benchmarks/bench_sweep.py`) records
 serial vs cell-parallel vs cache-hit wall clock.
 
+Sharded execution (`repro dispatch serve / work / collect`,
+`repro.sim.dispatch`): any sweep can also run as self-contained JSON work
+units over a filesystem spool (`benchmarks/output/dispatch/`), with
+pull-based workers in separate OS processes — or separate invocations —
+leasing units under deadlines with at-least-once retry.  The collector
+verifies every result (payload SHA-256 + sweep fingerprint = the result
+cache's key), requeues rejected or abandoned units, and reassembles rows
+in grid order through the same assembly path as `run_sweep`, so the
+dispatched table is **byte-identical** to the local one at any worker
+count — property-tested under injected Byzantine faults (worker kills,
+duplicate completions, stale/corrupt payloads, lease-deadline stalls;
+`repro.sim.dispatch.chaos`, `tools/smoke_dispatch.py` in CI).  The
+multi-cell grids (E1/E2/E3/E5/E6) shard across workers; the
+sequential-trajectory experiments travel as a single unit.  `--set
+key=value` overrides participate in the fingerprint, and serve/collect
+integrate the result cache: a warm serve stages the cached table and
+enqueues zero units, `--force` invalidates completed shards.
+
 """
 
 

@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""CI smoke: the sharded dispatcher end-to-end, faults included.
+
+For E1 and E2 (fast scale), runs the full dispatcher workflow with the
+roles in **separate OS processes** over a filesystem spool:
+
+1. ``repro dispatch serve`` serializes the sweep into work units;
+2. two ``repro dispatch work`` worker processes run concurrently — one
+   is hard-killed mid-unit via ``--chaos kill:1`` (the injected fault),
+   leaving a dangling lease the survivor must requeue after the lease
+   timeout;
+3. ``repro dispatch collect`` verifies and reassembles the table, which
+   must be **byte-identical** to an in-process ``run_experiment`` of the
+   same request;
+4. a warm re-serve against the result cache must report a cache hit and
+   enqueue **zero** units, and its collect must render identically.
+
+Exercised by the ``smoke-dispatch`` job in ``.github/workflows/ci.yml``;
+also handy locally::
+
+    PYTHONPATH=src python tools/smoke_dispatch.py [--experiments E1 E2]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pathlib
+import subprocess
+import sys
+import tempfile
+import time
+
+SRC = str(pathlib.Path(__file__).resolve().parent.parent / "src")
+LEASE_TIMEOUT = 2.0
+
+
+def repro(*args: str, check: bool = True) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True, text=True, env=env, timeout=600,
+    )
+    if check and proc.returncode != 0:
+        raise SystemExit(
+            f"repro {' '.join(args)} failed ({proc.returncode}):\n"
+            f"{proc.stdout}\n{proc.stderr}"
+        )
+    return proc
+
+
+def smoke_one(experiment: str, seed: int, workdir: pathlib.Path) -> None:
+    spool = workdir / f"spool-{experiment.lower()}"
+    cache_dir = workdir / "cache"
+
+    served = repro(
+        "--seed", str(seed), "dispatch", "serve", experiment,
+        "--spool", str(spool), "--lease-timeout", str(LEASE_TIMEOUT),
+        "--cache-dir", str(cache_dir),
+    )
+    print(served.stdout.strip())
+
+    # two pull workers in separate OS processes; worker A is hard-killed
+    # mid-unit (os._exit, no cleanup) — the injected Byzantine fault
+    env = dict(os.environ, PYTHONPATH=SRC)
+    killed = subprocess.Popen(
+        [sys.executable, "-m", "repro", "dispatch", "work",
+         "--spool", str(spool), "--worker", "wA-doomed", "--chaos", "kill:1"],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+    )
+    survivor = subprocess.Popen(
+        [sys.executable, "-m", "repro", "dispatch", "work",
+         "--spool", str(spool), "--worker", "wB-survivor",
+         "--timeout", "120"],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+    )
+    killed.wait(timeout=300)
+    assert killed.returncode == 17, (
+        f"chaos worker should die with 17, got {killed.returncode}: "
+        f"{killed.communicate()}"
+    )
+    out, err = survivor.communicate(timeout=300)
+    assert survivor.returncode == 0, f"survivor failed: {out}\n{err}"
+    print(f"  worker A killed mid-unit (rc 17); survivor: {out.strip()}")
+
+    collected = repro(
+        "dispatch", "collect", "--spool", str(spool),
+        "--cache-dir", str(cache_dir),
+    )
+
+    from repro.experiments.runner import run_experiment
+
+    oracle = run_experiment(experiment, seed=seed, fast=True)
+    assert collected.stdout.strip() == oracle.render().strip(), (
+        f"{experiment}: reassembled table differs from the serial oracle\n"
+        f"--- dispatched ---\n{collected.stdout}\n--- oracle ---\n{oracle.render()}"
+    )
+    print(f"  {experiment}: reassembled table byte-identical to run_experiment")
+
+    # warm re-run: table-level cache hit, zero units enqueued/executed
+    spool2 = workdir / f"spool-{experiment.lower()}-warm"
+    warm = repro(
+        "--seed", str(seed), "dispatch", "serve", experiment,
+        "--spool", str(spool2), "--cache-dir", str(cache_dir),
+    )
+    assert "cache hit" in warm.stdout and "0 of" in warm.stdout, warm.stdout
+    assert not list((spool2 / "pending").glob("*.json")), "warm serve enqueued units"
+    warm_collect = repro("dispatch", "collect", "--spool", str(spool2))
+    assert warm_collect.stdout.strip() == oracle.render().strip()
+    print(f"  {experiment}: warm re-serve is a cache hit (0 units)")
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--experiments", nargs="*", default=["E1", "E2"])
+    ap.add_argument("--seed", type=int, default=0)
+    args = ap.parse_args(argv)
+
+    sys.path.insert(0, SRC)
+    t0 = time.perf_counter()
+    with tempfile.TemporaryDirectory(prefix="repro-dispatch-smoke-") as td:
+        for experiment in args.experiments:
+            smoke_one(experiment.upper(), args.seed, pathlib.Path(td))
+    print(
+        f"dispatch smoke ok: {', '.join(args.experiments)} sharded across "
+        f"OS-process workers with one injected kill, tables byte-identical, "
+        f"warm runs cached ({time.perf_counter() - t0:.1f}s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
