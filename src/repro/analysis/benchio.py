@@ -13,11 +13,25 @@ are keyed by ``(experiment, n, backend)``: re-recording a key replaces
 the old row, so repeated benchmark runs converge to one row per
 measurement point instead of appending duplicates.
 
-The file doubles as the repo's tracked **perf ledger**:
-:func:`diff_bench_rows` compares a run against a stored baseline by the
-same key and flags wall-clock regressions; CI's ``smoke-vectorized`` job
-downloads the previous run's artifact and gates on a >20% regression via
-``tools/perf_ledger.py`` (warn-only when no baseline exists yet).
+The file doubles as the repo's tracked **perf ledger**.  CI runners are
+heterogeneous — the same commit's wall clock swings 2-3x between runner
+generations — so the *gating* comparison is machine-invariant: the
+serial/vectorized **speedup ratio** per ``(experiment, n)``
+(:func:`speedup_rows`, compared across runs by
+:func:`diff_bench_ratios`).  Both kernels run on the same host in the
+same process, so host speed divides out of their ratio; a ratio drop
+means the vectorized kernel itself regressed.  Absolute wall-clock
+drift (:func:`diff_bench_rows`) is still reported — it catches
+everything-got-slower problems a ratio cannot — but only as a warning,
+because across heterogeneous runners it cannot distinguish a slow
+kernel from a slow machine.  Each run also records a
+:func:`measure_calibration` row (``experiment="CALIBRATION"``,
+``backend="host"``): a fixed NumPy workload timing that quantifies the
+host's speed, so a reader of the ledger can attribute absolute drift to
+the machine or to the code.  ``tools/perf_ledger.py`` is the CI gate;
+the row shape itself is the ``bench.row`` telemetry record
+(:mod:`repro.telemetry.records` — re-exported here because the file
+format predates the telemetry layer).
 """
 
 from __future__ import annotations
@@ -25,18 +39,29 @@ from __future__ import annotations
 import json
 import os
 import pathlib
+import time
+
+from ..telemetry.records import bench_row
 
 __all__ = [
     "BENCH_FILENAME",
+    "CALIBRATION_EXPERIMENT",
     "KERNEL_BENCH_CASES",
     "KERNEL_BENCH_CASES_QUICK",
     "bench_row",
+    "calibration_row",
+    "diff_bench_ratios",
     "diff_bench_rows",
+    "measure_calibration",
     "read_bench_rows",
     "record_bench_rows",
+    "speedup_rows",
 ]
 
 BENCH_FILENAME = "BENCH_vectorized.json"
+
+# the per-run host-speed measurement's ledger key (n=0, backend="host")
+CALIBRATION_EXPERIMENT = "CALIBRATION"
 
 _ROW_KEY = ("experiment", "n", "backend")
 
@@ -64,8 +89,12 @@ KERNEL_BENCH_CASES = {
     "E3": dict(n=8192, cells=12, trials=12 * 8192, min_speedup=5.0,
                kwargs=dict(fast=False)),
     # one epoch of the full dynamic trajectory at paper-scale n: ~270k
-    # construction searches + the q_f/robustness probes (measured ~60x)
+    # construction searches + the q_f/robustness probes (measured ~60x).
+    # serial_smoke=False: the serial reference costs ~47s per epoch, so the
+    # smoke bench times only the vectorized row and proves parity at quick
+    # scale; the full job (--full-serial) still measures the ratio here.
     "E4": dict(n=2048, cells=1, trials=4000, min_speedup=5.0,
+               serial_smoke=False,
                kwargs=dict(fast=False, epochs=1, probes=4000)),
     "E8": dict(n=4096, cells=1, trials=100, min_speedup=None,
                kwargs=dict(fast=False)),
@@ -93,23 +122,37 @@ KERNEL_BENCH_CASES_QUICK = {
 }
 
 
-def bench_row(
-    experiment: str,
-    n: int,
-    backend: str,
-    wall_s: float,
-    cells: int,
-    trials: int,
-) -> dict:
-    """One benchmark measurement in the canonical row shape."""
-    return {
-        "experiment": str(experiment).upper(),
-        "n": int(n),
-        "backend": str(backend),
-        "wall_s": round(float(wall_s), 6),
-        "cells": int(cells),
-        "trials": int(trials),
-    }
+def measure_calibration(repeats: int = 3) -> float:
+    """Time a fixed NumPy workload on this host (best of ``repeats``).
+
+    The workload — sorting 1e6 floats plus a 256x256 matmul — pins down
+    roughly what the kernels stress (memory-bandwidth-bound array sweeps
+    plus BLAS throughput) with no dependence on the experiment code, so
+    the measurement is comparable across commits.  Best-of: the minimum
+    is the least contaminated by scheduler noise.
+    """
+    import numpy as np
+
+    rng = np.random.Generator(np.random.PCG64(0))
+    data = rng.random(1_000_000)
+    mat = rng.random((256, 256))
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        np.sort(data)
+        mat @ mat
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def calibration_row(wall_s: float | None = None) -> dict:
+    """This host's calibration measurement as a ledger/telemetry row."""
+    if wall_s is None:
+        wall_s = measure_calibration()
+    return bench_row(
+        experiment=CALIBRATION_EXPERIMENT, n=0, backend="host",
+        wall_s=wall_s, cells=0, trials=0,
+    )
 
 
 def read_bench_rows(path: str | os.PathLike) -> list[dict]:
@@ -160,6 +203,80 @@ def diff_bench_rows(
             float(row["wall_s"]) < min_wall_s and float(ref["wall_s"]) < min_wall_s
         )
         if ratio > 1.0 + max_regression and not noise_floor:
+            regressions.append(delta)
+    return deltas, regressions
+
+
+def speedup_rows(rows: list[dict]) -> list[dict]:
+    """Serial/vectorized speedup per ``(experiment, n)`` measurement point.
+
+    Pairs each point's ``serial`` and ``vectorized`` rows (both must be
+    present with a positive wall clock; calibration rows and single-backend
+    points are skipped) into ``{experiment, n, wall_serial_s,
+    wall_vectorized_s, speedup}``.  Because both kernels ran on the same
+    host, the host's speed divides out of ``speedup`` — this is the
+    machine-invariant quantity the perf ledger gates on.
+    """
+    by_point: dict[tuple, dict[str, float]] = {}
+    for row in rows:
+        exp, n, backend = (row.get(k) for k in _ROW_KEY)
+        wall = row.get("wall_s")
+        if exp == CALIBRATION_EXPERIMENT or backend not in ("serial", "vectorized"):
+            continue
+        if not isinstance(wall, (int, float)) or wall <= 0:
+            continue
+        by_point.setdefault((exp, n), {})[backend] = float(wall)
+    out = []
+    for (exp, n), walls in sorted(by_point.items(), key=lambda kv: (str(kv[0][0]), kv[0][1])):
+        if "serial" not in walls or "vectorized" not in walls:
+            continue
+        out.append({
+            "experiment": exp,
+            "n": n,
+            "wall_serial_s": walls["serial"],
+            "wall_vectorized_s": walls["vectorized"],
+            "speedup": round(walls["serial"] / walls["vectorized"], 4),
+        })
+    return out
+
+
+def diff_bench_ratios(
+    baseline: list[dict],
+    current: list[dict],
+    max_regression: float = 0.20,
+    min_wall_s: float = 0.05,
+) -> tuple[list[dict], list[dict]]:
+    """Diff serial/vectorized speedups by ``(experiment, n)`` — the
+    machine-invariant perf gate.
+
+    Returns ``(deltas, regressions)``: one delta per measurement point
+    with a speedup in both sets (``ratio`` = current speedup over
+    baseline), and the subset whose speedup fell below ``(1 -
+    max_regression) *`` baseline.  Points where both runs' *vectorized*
+    wall clock sits under ``min_wall_s`` are reported but never flagged —
+    at that scale the ratio is scheduler jitter, not kernel behaviour.
+    """
+    base = {(r["experiment"], r["n"]): r for r in speedup_rows(baseline)}
+    deltas: list[dict] = []
+    regressions: list[dict] = []
+    for row in speedup_rows(current):
+        ref = base.get((row["experiment"], row["n"]))
+        if ref is None:
+            continue
+        ratio = row["speedup"] / ref["speedup"]
+        delta = {
+            "experiment": row["experiment"],
+            "n": row["n"],
+            "baseline_speedup": ref["speedup"],
+            "speedup": row["speedup"],
+            "ratio": round(ratio, 4),
+        }
+        deltas.append(delta)
+        noise_floor = (
+            row["wall_vectorized_s"] < min_wall_s
+            and ref["wall_vectorized_s"] < min_wall_s
+        )
+        if ratio < 1.0 - max_regression and not noise_floor:
             regressions.append(delta)
     return deltas, regressions
 

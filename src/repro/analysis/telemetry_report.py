@@ -1,0 +1,294 @@
+"""Summarise a telemetry event stream (``repro telemetry report``).
+
+One jsonl file from :mod:`repro.telemetry` can hold events from every
+layer at once — a dispatch spool's unit lifecycle, the sweep substrate's
+per-cell kernel timings, Monte-Carlo trial loops, and the benchmark
+ledger's rows.  This module turns such a stream into the operator-facing
+views:
+
+* :func:`summarize_events` — the structured summary (event counts, the
+  dispatch funnel with lease-latency/execute percentiles, per-sweep cell
+  timing trends, trial-loop totals, bench rows + host calibration);
+* :func:`render_report` — the same as text tables;
+* :func:`bench_rows_from_events` — reconstruct the perf ledger's
+  canonical rows from ``bench.row`` events alone (last emission wins per
+  ``(experiment, n, backend)`` key, exactly like
+  :func:`repro.analysis.benchio.record_bench_rows` merging); and
+* :func:`check_bench` — verify that reconstruction against a
+  ``BENCH_vectorized.json`` file: every row derivable from the events
+  must appear byte-equal in the file.  CI runs this against the smoke
+  job's artifacts, so the event stream and the ledger can never silently
+  disagree.
+
+Readers are permissive by the telemetry contract: unknown event types
+count toward the totals and are otherwise ignored, never an error.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from ..telemetry.records import bench_row
+from .benchio import read_bench_rows, speedup_rows
+
+__all__ = [
+    "bench_rows_from_events",
+    "check_bench",
+    "render_report",
+    "summarize_events",
+]
+
+_ROW_KEY = ("experiment", "n", "backend")
+
+
+def _stats(values: list[float]) -> dict | None:
+    """count/p50/p95/max for a latency-like sample (None when empty)."""
+    if not values:
+        return None
+    ordered = sorted(values)
+
+    def pctl(q: float) -> float:
+        # nearest-rank on the sorted sample: robust for the small counts
+        # a smoke run produces, no interpolation surprises
+        rank = max(0, min(len(ordered) - 1, round(q * (len(ordered) - 1))))
+        return ordered[rank]
+
+    return {
+        "count": len(ordered),
+        "p50": round(pctl(0.50), 6),
+        "p95": round(pctl(0.95), 6),
+        "max": round(ordered[-1], 6),
+        "total": round(sum(ordered), 6),
+    }
+
+
+def _walls(events: list[dict], field: str = "wall_s") -> list[float]:
+    return [
+        float(e[field]) for e in events
+        if isinstance(e.get(field), (int, float))
+    ]
+
+
+def bench_rows_from_events(events: list[dict]) -> list[dict]:
+    """The perf ledger's rows, reconstructed from ``bench.row`` events.
+
+    Last emission wins per ``(experiment, n, backend)`` key and the result
+    is sorted by that key — the same merge discipline
+    :func:`~repro.analysis.benchio.record_bench_rows` applies to the JSON
+    file, so a stream and the file it fed converge on identical rows.
+    """
+    merged: dict[tuple, dict] = {}
+    for event in events:
+        if event.get("type") != "bench.row":
+            continue
+        try:
+            row = bench_row(**{
+                k: event[k]
+                for k in ("experiment", "n", "backend", "wall_s", "cells", "trials")
+            })
+        except (KeyError, TypeError, ValueError):
+            continue  # malformed/foreign row event: skip, never crash
+        merged[tuple(row[k] for k in _ROW_KEY)] = row
+    return sorted(
+        merged.values(),
+        key=lambda r: (str(r["experiment"]), int(r["n"]), str(r["backend"])),
+    )
+
+
+def summarize_events(events: list[dict]) -> dict:
+    """The structured summary every view renders from."""
+    by_type: dict[str, list[dict]] = {}
+    for event in events:
+        by_type.setdefault(str(event.get("type")), []).append(event)
+
+    summary: dict = {
+        "events": len(events),
+        "types": {t: len(es) for t, es in sorted(by_type.items())},
+    }
+
+    # -- dispatch funnel ---------------------------------------------------
+    serves = by_type.get("dispatch.serve", [])
+    completes = by_type.get("dispatch.complete", [])
+    if any(t.startswith("dispatch.") for t in by_type):
+        requeues = Counter(
+            str(e.get("reason", "?")) for e in by_type.get("dispatch.requeue", [])
+        )
+        summary["dispatch"] = {
+            "served_units": sum(int(e.get("units", 0)) for e in serves) or None,
+            "leases": len(by_type.get("dispatch.lease", [])),
+            "executes": len(by_type.get("dispatch.execute", [])),
+            "verdicts": dict(Counter(
+                str(e.get("verdict", "?")) for e in completes
+            )),
+            "requeues": dict(requeues),
+            "corrupt_units": len(by_type.get("dispatch.corrupt_unit", [])),
+            "lease_latency_s": _stats(_walls(completes, "lease_latency_s")),
+            "execute_wall_s": _stats(
+                _walls(by_type.get("dispatch.execute", []))
+            ),
+        }
+
+    # -- sweep cell trends -------------------------------------------------
+    cells: dict[tuple, list[dict]] = {}
+    for e in by_type.get("sweep.cell", []):
+        key = (str(e.get("experiment")), str(e.get("kernel")), str(e.get("backend")))
+        cells.setdefault(key, []).append(e)
+    runs: dict[tuple, list[dict]] = {}
+    for e in by_type.get("sweep.run", []):
+        key = (str(e.get("experiment")), str(e.get("kernel")), str(e.get("backend")))
+        runs.setdefault(key, []).append(e)
+    if cells or runs:
+        sweeps = []
+        for key in sorted(set(cells) | set(runs)):
+            experiment, kernel, backend = key
+            entry = {
+                "experiment": experiment,
+                "kernel": kernel,
+                "backend": backend,
+                "runs": len(runs.get(key, [])),
+                "run_wall_s": round(sum(_walls(runs.get(key, []))), 6),
+                "cell_wall_s": _stats(_walls(cells.get(key, []))),
+            }
+            sweeps.append(entry)
+        summary["sweeps"] = sweeps
+
+    # -- trial loops -------------------------------------------------------
+    trial_events = by_type.get("trials.run", [])
+    if trial_events:
+        backends: dict[str, dict] = {}
+        for e in trial_events:
+            entry = backends.setdefault(
+                str(e.get("backend", "?")),
+                {"runs": 0, "trials": 0, "wall_s": 0.0},
+            )
+            entry["runs"] += 1
+            entry["trials"] += int(e.get("trials", 0))
+            entry["wall_s"] = round(
+                entry["wall_s"] + float(e.get("wall_s", 0.0)), 6
+            )
+        summary["trials"] = {b: backends[b] for b in sorted(backends)}
+
+    # -- bench ledger ------------------------------------------------------
+    rows = bench_rows_from_events(events)
+    timings = by_type.get("bench.timing", [])
+    calibrations = _walls(by_type.get("bench.calibration", []))
+    if rows or timings or calibrations:
+        summary["bench"] = {
+            "rows": rows,
+            "speedups": speedup_rows(rows),
+            "timings": len(timings),
+            "calibration_wall_s": (
+                round(min(calibrations), 6) if calibrations else None
+            ),
+        }
+    return summary
+
+
+def render_report(summary: dict) -> str:
+    """The summary as operator-facing text."""
+    lines = [f"telemetry report: {summary['events']} event(s)"]
+    for etype, count in summary["types"].items():
+        lines.append(f"  {count:>6}  {etype}")
+
+    dispatch = summary.get("dispatch")
+    if dispatch:
+        lines.append("")
+        lines.append("dispatch funnel:")
+        if dispatch["served_units"]:
+            lines.append(f"  units served      {dispatch['served_units']}")
+        lines.append(f"  leases            {dispatch['leases']}")
+        if dispatch["executes"]:
+            lines.append(f"  executions        {dispatch['executes']}")
+        for verdict, count in sorted(dispatch["verdicts"].items()):
+            lines.append(f"  complete:{verdict:<9} {count}")
+        for reason, count in sorted(dispatch["requeues"].items()):
+            lines.append(f"  requeue:{reason:<10} {count}")
+        if dispatch["corrupt_units"]:
+            lines.append(f"  corrupt units     {dispatch['corrupt_units']}")
+        for label, stats in (
+            ("lease latency", dispatch["lease_latency_s"]),
+            ("execute wall", dispatch["execute_wall_s"]),
+        ):
+            if stats:
+                lines.append(
+                    f"  {label:<14} p50 {stats['p50']:.3f}s  "
+                    f"p95 {stats['p95']:.3f}s  max {stats['max']:.3f}s  "
+                    f"(n={stats['count']})"
+                )
+
+    sweeps = summary.get("sweeps")
+    if sweeps:
+        lines.append("")
+        lines.append("sweep cells (experiment/kernel/backend):")
+        for s in sweeps:
+            cell = s["cell_wall_s"]
+            detail = (
+                f"cells={cell['count']} p50={cell['p50']:.4f}s "
+                f"p95={cell['p95']:.4f}s"
+                if cell else "no per-cell events"
+            )
+            lines.append(
+                f"  {s['experiment']:>4} {s['kernel']:<10} {s['backend']:<10} "
+                f"runs={s['runs']} wall={s['run_wall_s']:.3f}s  {detail}"
+            )
+
+    trials = summary.get("trials")
+    if trials:
+        lines.append("")
+        lines.append("trial loops:")
+        for backend, entry in trials.items():
+            lines.append(
+                f"  {backend:<10} runs={entry['runs']} "
+                f"trials={entry['trials']} wall={entry['wall_s']:.3f}s"
+            )
+
+    bench = summary.get("bench")
+    if bench:
+        lines.append("")
+        lines.append("bench ledger (from bench.row events):")
+        for row in bench["rows"]:
+            lines.append(
+                f"  {row['experiment']:>11} n={row['n']:<6} "
+                f"{row['backend']:<10} {row['wall_s']:.4f}s "
+                f"cells={row['cells']} trials={row['trials']}"
+            )
+        for s in bench["speedups"]:
+            lines.append(
+                f"  speedup {s['experiment']:>4} n={s['n']:<6} "
+                f"{s['speedup']:.2f}x "
+                f"({s['wall_serial_s']:.3f}s / {s['wall_vectorized_s']:.3f}s)"
+            )
+        if bench["calibration_wall_s"] is not None:
+            lines.append(
+                f"  host calibration {bench['calibration_wall_s']:.4f}s"
+            )
+    return "\n".join(lines)
+
+
+def check_bench(events: list[dict], bench_path) -> list[str]:
+    """Problems reconciling the event stream against a BENCH JSON file.
+
+    Every row reconstructible from the events must appear **byte-equal**
+    in the file (the file may hold more — it merges rows across runs and
+    writers).  An empty list means the stream reproduces its slice of the
+    ledger exactly.
+    """
+    stored = {
+        tuple(r.get(k) for k in _ROW_KEY): r for r in read_bench_rows(bench_path)
+    }
+    problems = []
+    rows = bench_rows_from_events(events)
+    if not rows:
+        return [f"no bench.row events to check against {bench_path}"]
+    for row in rows:
+        key = tuple(row[k] for k in _ROW_KEY)
+        ref = stored.get(key)
+        if ref is None:
+            problems.append(
+                f"row {key} is in the event stream but not in {bench_path}"
+            )
+        elif ref != row:
+            problems.append(
+                f"row {key} differs: events={row} file={ref}"
+            )
+    return problems

@@ -35,6 +35,14 @@ Commands
     ``--keep-latest-per-experiment`` exempts each experiment's newest
     entry from eviction (alone, it evicts everything else) — the janitor
     policy for stores that accumulated entries across version bumps.
+``telemetry report --events F [--json] [--check-bench BENCH] [--write-bench BENCH]``
+    Summarise a :mod:`repro.telemetry` jsonl stream (dispatch funnel with
+    lease-latency percentiles, per-sweep cell timing trends, trial-loop
+    totals, bench ledger rows + host calibration).  ``--check-bench``
+    verifies the stream's ``bench.row`` events against a
+    ``BENCH_vectorized.json`` file (every derivable row must match
+    byte-for-byte — the CI sanity gate); ``--write-bench`` merges the
+    reconstructed rows into such a file.
 ``validate TOPOLOGY [-n N]``
     Build an input graph and check properties P1-P4.
 ``simulate [-n N] [--beta B] [--epochs E] [--churn R]``
@@ -236,6 +244,45 @@ def _cmd_dispatch(args) -> int:
     return 0
 
 
+def _cmd_telemetry(args) -> int:
+    from .analysis.telemetry_report import (
+        bench_rows_from_events,
+        check_bench,
+        render_report,
+        summarize_events,
+    )
+    from .telemetry import read_events
+
+    try:
+        events = read_events(args.events)
+    except OSError as exc:
+        print(f"telemetry report: cannot read {args.events}: {exc}",
+              file=sys.stderr)
+        return 1
+    if not events:
+        print(f"telemetry report: no events in {args.events}", file=sys.stderr)
+        return 1
+    summary = summarize_events(events)
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(render_report(summary))
+    if args.write_bench:
+        from .analysis.benchio import record_bench_rows
+
+        rows = bench_rows_from_events(events)
+        record_bench_rows(args.write_bench, rows)
+        print(f"merged {len(rows)} reconstructed row(s) into {args.write_bench}")
+    if args.check_bench:
+        problems = check_bench(events, args.check_bench)
+        if problems:
+            for problem in problems:
+                print(f"check-bench: {problem}", file=sys.stderr)
+            return 1
+        print(f"check-bench: event stream matches {args.check_bench}")
+    return 0
+
+
 def _cmd_info(args) -> int:
     from . import __version__
     from .core.params import DEFAULTS
@@ -396,6 +443,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pdc.add_argument("--cache-dir", default=None, help="cache root (implies --cache)")
     pdc.set_defaults(fn=_cmd_dispatch)
+
+    pt = sub.add_parser(
+        "telemetry", help="inspect structured telemetry event streams"
+    )
+    ptsub = pt.add_subparsers(dest="action", required=True)
+    ptr = ptsub.add_parser("report", help="summarise a telemetry jsonl file")
+    ptr.add_argument(
+        "--events", required=True,
+        help="telemetry jsonl file (a spool's events.log, a bench run's "
+             "telemetry.jsonl, or any concatenation of them)",
+    )
+    ptr.add_argument(
+        "--json", action="store_true",
+        help="emit the structured summary as JSON instead of text",
+    )
+    ptr.add_argument(
+        "--check-bench", default=None, metavar="BENCH",
+        help="verify the stream's bench.row events against this "
+             "BENCH_vectorized.json (exit 1 on any mismatch)",
+    )
+    ptr.add_argument(
+        "--write-bench", default=None, metavar="BENCH",
+        help="merge the rows reconstructed from bench.row events into this "
+             "BENCH JSON file",
+    )
+    ptr.set_defaults(fn=_cmd_telemetry)
 
     pv = sub.add_parser("validate", help="check P1-P4 on a topology")
     pv.add_argument("topology")

@@ -58,6 +58,10 @@ class MemoryBroker:
     ``max_attempts`` bounds retries per unit — ``None`` retries forever
     (an honest worker eventually wins); a bound turns a poisoned unit
     into a loud :class:`DispatchError` instead of an infinite loop.
+    ``telemetry`` is any emitter with the
+    :class:`~repro.telemetry.TelemetryBuffer` surface; when given, every
+    lease/complete/requeue transition lands there as the same typed
+    records the spool transport writes to its ``events.log``.
     """
 
     def __init__(
@@ -67,6 +71,7 @@ class MemoryBroker:
         lease_timeout: float = 60.0,
         clock: Callable[[], float] | None = None,
         max_attempts: int | None = None,
+        telemetry=None,
     ):
         if lease_timeout <= 0:
             raise ValueError("lease_timeout must be positive")
@@ -79,6 +84,7 @@ class MemoryBroker:
         self.lease_timeout = float(lease_timeout)
         self.clock = time.monotonic if clock is None else clock
         self.max_attempts = max_attempts
+        self.telemetry = telemetry
         self.reassembler = Reassembler(
             spec, units[0].fingerprint if units else ""
         )
@@ -87,6 +93,11 @@ class MemoryBroker:
         self._attempts: dict[int, int] = {u.index: 0 for u in units}
         self._units: dict[int, WorkUnit] = {u.index: u for u in units}
         self._worker_ids = itertools.count()
+
+    def emit(self, type: str, **fields) -> None:
+        """Record a transition in the attached telemetry sink, if any."""
+        if self.telemetry is not None:
+            self.telemetry.emit(type, **fields)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -97,6 +108,7 @@ class MemoryBroker:
         for index in expired:
             lease = self._leases.pop(index)
             self._requeue(lease.unit)
+            self.emit("dispatch.requeue", index=index, reason="lease_expired")
         return expired
 
     def _requeue(self, unit: WorkUnit) -> None:
@@ -134,6 +146,13 @@ class MemoryBroker:
                 deadline=now + self.lease_timeout,
                 attempt=self._attempts[unit.index],
             )
+            self.emit(
+                "dispatch.lease",
+                index=unit.index,
+                worker=worker,
+                attempt=self._attempts[unit.index],
+                fingerprint=unit.fingerprint,
+            )
             return unit
         return None
 
@@ -142,17 +161,33 @@ class MemoryBroker:
         ones requeue it immediately (no need to wait out the lease)."""
         verdict = self.reassembler.accept(result)
         lease = self._leases.pop(result.index, None)
+        fields: dict = {}
+        if lease is not None:
+            # lease start = deadline - timeout: claim-to-completion latency
+            fields["lease_latency_s"] = round(
+                max(0.0, self.clock() - (lease.deadline - self.lease_timeout)), 6
+            )
+        self.emit(
+            "dispatch.complete",
+            index=result.index,
+            worker=result.worker or "?",
+            verdict=verdict,
+            **fields,
+        )
         if verdict in (ACCEPTED, DUPLICATE):
             return verdict
         # stale/corrupt: the unit still needs an honest execution
+        self.emit("dispatch.reject", index=result.index, verdict=verdict)
         if lease is not None:
             self._requeue(lease.unit)
+            self.emit("dispatch.requeue", index=result.index, reason=verdict)
         elif (
             result.index in self._units
             and not self.reassembler.is_accepted(result.index)
             and not any(u.index == result.index for u in self._pending)
         ):
             self._requeue(self._units[result.index])
+            self.emit("dispatch.requeue", index=result.index, reason=verdict)
         return verdict
 
     # -- observability -----------------------------------------------------

@@ -179,7 +179,14 @@ def work(
                 )
             time.sleep(poll)
             continue
+        t0 = time.perf_counter()
         result = execute_unit(unit, worker=worker, spec=spec)
+        broker.emit(
+            "dispatch.execute",
+            index=unit.index,
+            worker=worker,
+            wall_s=round(time.perf_counter() - t0, 6),
+        )
         if chaos is not None:
             result = chaos.apply(unit, result, broker)
             if result is None:  # the fault consumed the completion
@@ -252,5 +259,6 @@ def collect(
         time.sleep(poll)
     table = reassembler.table()
     broker.store_table(table.to_json())
+    broker.emit("dispatch.collect", cells=reassembler.accepted_count())
     _store(table)
     return table

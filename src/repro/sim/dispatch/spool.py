@@ -16,7 +16,7 @@ operation on one filesystem::
       results/result-00042.json  completions (first write wins)
       table.json               the assembled table (collect, or a serve-
                                time cache hit)
-      events.log               append-only observability trail
+      events.log               append-only telemetry trail (jsonl)
 
 * **claim** is ``rename(pending/u, leased/u)`` — atomic, so two workers
   racing for one unit cannot both win (the loser's rename raises and it
@@ -31,6 +31,15 @@ operation on one filesystem::
 * **requeue after rejection** (stale/corrupt result found at collect)
   re-materializes the unit from its immutable ``units/`` original.
 
+Observability: every lifecycle transition lands in ``events.log`` as one
+typed :mod:`repro.telemetry` record (``dispatch.serve`` / ``.lease`` /
+``.complete`` with the measured lease latency / ``.requeue`` /
+``.reject`` / ``.corrupt_unit``), appended under the writer's
+single-``write`` ``O_APPEND`` discipline so concurrent workers can never
+interleave partial lines.  Spools written by pre-telemetry builds used a
+free-text line format; ``repro.telemetry.read_events`` converts those on
+the fly, so old spools stay inspectable.
+
 Default spool root: ``benchmarks/output/dispatch/``.
 """
 
@@ -42,6 +51,7 @@ import pathlib
 import time
 from typing import Callable, Mapping
 
+from ...telemetry import TelemetryWriter
 from .reassemble import ACCEPTED, CORRUPT, DUPLICATE, STALE, Reassembler
 from .wire import DispatchError, WorkResult, WorkUnit, payload_hash
 
@@ -76,6 +86,9 @@ class SpoolBroker:
     ):
         self.root = pathlib.Path(root)
         self.clock = time.time if clock is None else clock
+        # the spool's typed observability trail; shares the broker's clock
+        # so virtual-clock tests and lease latencies line up with mtimes
+        self.telemetry = TelemetryWriter(self.root / "events.log", clock=self.clock)
 
     # -- directory helpers -------------------------------------------------
 
@@ -96,12 +109,9 @@ class SpoolBroker:
     def _result_path(self, index: int) -> pathlib.Path:
         return self._dir("results") / f"result-{index:05d}.json"
 
-    def _log(self, event: str, detail: str = "") -> None:
-        try:
-            with (self.root / "events.log").open("a") as fh:
-                fh.write(f"{self.clock():.3f} {event} {detail}\n".rstrip() + "\n")
-        except OSError:
-            pass  # observability must never break the protocol
+    def emit(self, type: str, **fields) -> None:
+        """Record one typed lifecycle event in the spool's trail."""
+        self.telemetry.emit(type, **fields)
 
     # -- serve side --------------------------------------------------------
 
@@ -148,7 +158,12 @@ class SpoolBroker:
                 continue
             _atomic_write(self._dir("pending") / name, text)
             enqueued += 1
-        self._log("serve", f"enqueued={enqueued} of={len(units)}")
+        self.emit(
+            "dispatch.serve",
+            enqueued=enqueued,
+            units=len(units),
+            fingerprint=str(manifest.get("fingerprint", "")),
+        )
         return enqueued
 
     def _wipe(self) -> None:
@@ -203,8 +218,9 @@ class SpoolBroker:
                 os.rename(path, target)
             except OSError:
                 continue  # another participant requeued it first
-            requeued.append(int(path.stem.split("-")[1]))
-            self._log("requeue", path.name)
+            index = int(path.stem.split("-")[1])
+            requeued.append(index)
+            self.emit("dispatch.requeue", index=index, reason="lease_expired")
         return requeued
 
     def lease(self, worker: str = "") -> WorkUnit | None:
@@ -224,14 +240,20 @@ class SpoolBroker:
                 os.utime(target, (now, now))  # lease start under our clock
             except OSError:
                 pass
+            index = int(path.stem.split("-")[1])
             try:
                 unit = WorkUnit.from_json(target.read_text())
             except DispatchError:
                 # a torn unit file cannot be executed or retried; drop it
-                # loudly in the log and surface the error
-                self._log("corrupt-unit", path.name)
+                # loudly in the trail and surface the error
+                self.emit("dispatch.corrupt_unit", index=index)
                 raise
-            self._log("lease", f"{path.name} worker={worker or '?'}")
+            self.emit(
+                "dispatch.lease",
+                index=index,
+                worker=worker or "?",
+                fingerprint=unit.fingerprint,
+            )
             return unit
         return None
 
@@ -257,11 +279,23 @@ class SpoolBroker:
             except OSError:
                 pass
         lease = self._dir("leased") / self._unit_name(result.index)
+        fields: dict = {}
         try:
+            # lease start = mtime; measured before the unlink so the trail
+            # carries the claim-to-completion latency of every unit
+            fields["lease_latency_s"] = round(
+                max(0.0, self.clock() - lease.stat().st_mtime), 6
+            )
             lease.unlink()
         except OSError:
             pass  # lease already expired/requeued: the result still counts
-        self._log("complete", f"{final.name} worker={result.worker or '?'} {verdict}")
+        self.emit(
+            "dispatch.complete",
+            index=result.index,
+            worker=result.worker or "?",
+            verdict=verdict,
+            **fields,
+        )
         return verdict
 
     # -- collect side ------------------------------------------------------
@@ -299,18 +333,18 @@ class SpoolBroker:
                     pass
                 # an out-of-grid index has no unit to retry — a foreign
                 # result file is dropped, never turned into a crash
-                if reassembler.in_grid(index):
-                    self._requeue_from_original(index)
-                self._log("reject", f"{path.name} {verdict}")
+                if reassembler.in_grid(index) and self._requeue_from_original(index):
+                    self.emit("dispatch.requeue", index=index, reason=verdict)
+                self.emit("dispatch.reject", index=index, verdict=verdict)
         return counts
 
-    def _requeue_from_original(self, index: int) -> None:
+    def _requeue_from_original(self, index: int) -> bool:
         name = self._unit_name(index)
         if (
             (self._dir("pending") / name).exists()
             or (self._dir("leased") / name).exists()
         ):
-            return  # someone is already (re)working it
+            return False  # someone is already (re)working it
         original = self._dir("units") / name
         try:
             _atomic_write(self._dir("pending") / name, original.read_text())
@@ -318,6 +352,7 @@ class SpoolBroker:
             raise DispatchError(
                 f"cannot requeue unit {index}: original {original} unreadable"
             ) from None
+        return True
 
     def store_table(self, table_json: str) -> None:
         _atomic_write(self.table_path, table_json)

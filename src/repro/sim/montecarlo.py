@@ -47,11 +47,14 @@ from __future__ import annotations
 import math
 import os
 import pickle
+import time
 import warnings
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
 import numpy as np
+
+from ..telemetry import emit_default
 
 __all__ = [
     "BACKENDS",
@@ -355,21 +358,34 @@ def run_trials(
     callable is supplied — the ``vectorized`` chunk path
     (:func:`run_trials_batched`).
     """
+    t0 = time.perf_counter()
     if config is not None and config.backend == "process":
-        return run_trials_parallel(
+        result = run_trials_parallel(
             trial, trials, rng,
             workers=config.workers, chunk_size=config.chunk_size,
         )
-    if config is not None and config.backend == "vectorized":
-        if batch is None:
+        backend = "process"
+    elif config is not None and config.backend == "vectorized" and batch is not None:
+        result = run_trials_batched(
+            batch, trials, rng, chunk_size=config.chunk_size
+        )
+        backend = "vectorized"
+    else:
+        if config is not None and config.backend == "vectorized":
             warnings.warn(
                 "vectorized backend requested but no batch trial supplied; "
                 "running serial",
                 RuntimeWarning,
                 stacklevel=2,
             )
-        else:
-            return run_trials_batched(
-                batch, trials, rng, chunk_size=config.chunk_size
-            )
-    return _aggregate(_run_serial(trial, _spawn_children(rng, trials)), trials)
+        result = _aggregate(
+            _run_serial(trial, _spawn_children(rng, trials)), trials
+        )
+        backend = "serial"
+    emit_default(
+        "trials.run",
+        backend=backend,
+        trials=int(trials),
+        wall_s=round(time.perf_counter() - t0, 6),
+    )
+    return result

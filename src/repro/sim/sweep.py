@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import itertools
 import pickle
+import time
 import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
@@ -43,6 +44,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..analysis.tables import TableResult
+from ..telemetry import emit_default
 from .montecarlo import ExecutionConfig, resolve_kernel, spawn_map
 from .rng import tag_entropy
 
@@ -298,6 +300,9 @@ def run_sweep(
     if spec.pass_kernel:
         context["kernel"] = resolve_kernel(exec_config)
 
+    kernel = resolve_kernel(exec_config)
+    backend = "serial" if exec_config is None else exec_config.backend
+    sweep_t0 = time.perf_counter()
     results: list[CellResult]
     if use_pool:
         payloads = [
@@ -313,6 +318,23 @@ def run_sweep(
         for c, ss in zip(cells, seed_seqs):
             rng = np.random.Generator(np.random.PCG64(ss))
             _CELLS_EXECUTED += 1
+            t0 = time.perf_counter()
             results.append(_normalize(c.index, c.coords, spec.cell(rng, **c.coords, **context)))
+            emit_default(
+                "sweep.cell",
+                experiment=spec.experiment,
+                index=c.index,
+                kernel=kernel,
+                backend=backend,
+                wall_s=round(time.perf_counter() - t0, 6),
+            )
+    emit_default(
+        "sweep.run",
+        experiment=spec.experiment,
+        cells=len(cells),
+        kernel=kernel,
+        backend=backend,
+        wall_s=round(time.perf_counter() - sweep_t0, 6),
+    )
 
     return assemble_table(spec, results)

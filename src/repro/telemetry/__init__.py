@@ -1,0 +1,66 @@
+"""repro.telemetry — one structured event stream for every layer.
+
+The reproduction's auditable-evidence substrate (ROADMAP item 5): the
+dispatch spool's unit lifecycle, the sweep substrate's per-cell kernel
+timings, the Monte-Carlo trial loops, and the benchmark/perf-ledger rows
+all emit the same versioned jsonl record shape instead of three
+incompatible logging idioms (free-text ``events.log``, the bespoke
+``timing_sink`` lines, ad-hoc bench JSON).
+
+* :mod:`~repro.telemetry.records` — the schema: envelope
+  ``{v, ts, type}`` + an open per-type field registry,
+  :func:`make_event` / :func:`check_event` / the canonical
+  :func:`bench_row` payload;
+* :mod:`~repro.telemetry.writer` — :class:`TelemetryWriter`: each event
+  is one ``write(2)`` on an ``O_APPEND`` descriptor, so any number of OS
+  processes share a file without interleaving partial lines; monotonic,
+  injectable clock; :class:`TelemetryBuffer` for in-process sinks;
+* :mod:`~repro.telemetry.reader` — :func:`read_events`: permissive jsonl
+  reading (unknown types/fields/versions tolerated, torn tail lines
+  skipped) plus the one-shot converter for pre-telemetry free-text
+  ``events.log`` files;
+* :mod:`~repro.telemetry.config` — the process-default sink
+  (``$REPRO_TELEMETRY`` or :func:`set_default_writer`) the deep layers
+  emit through.
+
+``repro telemetry report`` (:mod:`repro.analysis.telemetry_report`)
+renders trend tables, lease/retry/latency summaries, and the perf
+ledger's bench rows from any events file.
+"""
+
+from .config import (
+    default_writer,
+    emit_default,
+    reset_default_writer,
+    set_default_writer,
+    telemetry_to,
+)
+from .reader import convert_legacy_line, iter_events, read_events
+from .records import (
+    EVENT_TYPES,
+    SCHEMA_VERSION,
+    TelemetryError,
+    bench_row,
+    check_event,
+    make_event,
+)
+from .writer import TelemetryBuffer, TelemetryWriter
+
+__all__ = [
+    "EVENT_TYPES",
+    "SCHEMA_VERSION",
+    "TelemetryBuffer",
+    "TelemetryError",
+    "TelemetryWriter",
+    "bench_row",
+    "check_event",
+    "convert_legacy_line",
+    "default_writer",
+    "emit_default",
+    "iter_events",
+    "make_event",
+    "read_events",
+    "reset_default_writer",
+    "set_default_writer",
+    "telemetry_to",
+]

@@ -1,0 +1,77 @@
+"""Process-wide default telemetry sink.
+
+The sweep substrate and trial runners sit too deep to thread a writer
+through every call signature, so they emit through the process default:
+``$REPRO_TELEMETRY=<path>`` turns the stream on (resolved once, lazily),
+:func:`set_default_writer` overrides it programmatically (tools, tests),
+and :func:`emit_default` is a no-op costing one global read when no sink
+is configured — the hot paths pay nothing unless observability was asked
+for.
+
+Spawn-pool children inherit the environment, so their emissions land in
+the same file as the parent's; the writer's single-``write`` O_APPEND
+discipline is what makes that safe.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+from .writer import TelemetryWriter
+
+__all__ = [
+    "default_writer",
+    "emit_default",
+    "reset_default_writer",
+    "set_default_writer",
+    "telemetry_to",
+]
+
+# False = not yet resolved from the environment; None = resolved, off
+_default: "TelemetryWriter | None | bool" = False
+
+
+def default_writer() -> TelemetryWriter | None:
+    """The process's default sink, resolving ``$REPRO_TELEMETRY`` once."""
+    global _default
+    if _default is False:
+        path = os.environ.get("REPRO_TELEMETRY")
+        _default = TelemetryWriter(path) if path else None
+    return _default
+
+
+def set_default_writer(writer) -> "TelemetryWriter | None":
+    """Install ``writer`` (or ``None`` to disable); returns the previous
+    sink so callers can restore it.  Pass nothing back through
+    :func:`reset_default_writer` to re-resolve from the environment."""
+    global _default
+    previous = None if _default is False else _default
+    _default = writer
+    return previous
+
+
+def reset_default_writer() -> None:
+    """Forget the resolved sink; the next emit re-reads the environment."""
+    global _default
+    _default = False
+
+
+def emit_default(type: str, **fields) -> dict | None:
+    """Emit through the default sink, or do nothing when there is none."""
+    writer = default_writer()
+    if writer is None:
+        return None
+    return writer.emit(type, **fields)
+
+
+@contextmanager
+def telemetry_to(path):
+    """Scope the default sink to a file (tools and tests)."""
+    writer = TelemetryWriter(path)
+    previous = set_default_writer(writer)
+    try:
+        yield writer
+    finally:
+        set_default_writer(previous)
+        writer.close()

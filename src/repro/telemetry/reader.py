@@ -1,0 +1,123 @@
+"""Reading event streams back, including pre-telemetry spool logs.
+
+:func:`read_events` is deliberately more permissive than the writer:
+
+* unknown record types and extra fields pass through untouched (the
+  registry is open — a reader must survive a newer writer);
+* any schema version is accepted (``v`` is data, not a gate);
+* a torn final line — a reader racing a writer mid-append on a
+  non-atomic filesystem, or a killed process's partial buffer — is
+  skipped, not a crash (``strict=True`` turns every skip into a
+  :class:`TelemetryError` for tests that assert trail integrity);
+* **legacy free-text lines are converted on the fly**: the pre-telemetry
+  spool wrote ``"<ts> <event> <detail>"`` lines into ``events.log``, and
+  :func:`convert_legacy_line` lifts each into a typed record (``v: 0``,
+  ``legacy: true``) with the unit index / worker / verdict recovered from
+  the detail text — so a spool created by an older build stays readable
+  without a migration step.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import re
+from typing import Iterator
+
+from .records import TelemetryError
+
+__all__ = ["convert_legacy_line", "iter_events", "read_events"]
+
+# "<seconds> <event> [detail...]" — the old spool._log line shape
+_LEGACY_RE = re.compile(r"^(\d+(?:\.\d+)?)\s+(\S+)(?:\s+(.*))?$")
+
+# old event token -> typed record name
+_LEGACY_TYPES = {
+    "serve": "dispatch.serve",
+    "lease": "dispatch.lease",
+    "complete": "dispatch.complete",
+    "requeue": "dispatch.requeue",
+    "reject": "dispatch.reject",
+    "corrupt-unit": "dispatch.corrupt_unit",
+}
+
+_LEGACY_VERDICTS = {"accepted", "duplicate", "stale", "corrupt"}
+
+
+def _coerce(text: str):
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text
+
+
+def convert_legacy_line(line: str) -> dict | None:
+    """Lift one pre-telemetry ``events.log`` line into a typed record.
+
+    Returns ``None`` when the line is not legacy-shaped.  Best-effort
+    field recovery: ``unit-00042.json``/``result-00042.json`` tokens
+    become ``index``, ``key=value`` tokens become fields, and a bare
+    verdict token (``accepted``/``stale``/...) becomes ``verdict``.
+    """
+    m = _LEGACY_RE.match(line.strip())
+    if m is None:
+        return None
+    ts, token, detail = float(m.group(1)), m.group(2), m.group(3) or ""
+    event: dict = {
+        "v": 0,
+        "ts": ts,
+        "type": _LEGACY_TYPES.get(token, f"legacy.{token}"),
+        "legacy": True,
+    }
+    for part in detail.split():
+        stem, dot, _ = part.partition(".")
+        if dot and stem.rsplit("-", 1)[-1].isdigit() and (
+            stem.startswith("unit-") or stem.startswith("result-")
+        ):
+            event["index"] = int(stem.rsplit("-", 1)[-1])
+        elif "=" in part:
+            key, _, raw = part.partition("=")
+            event[key] = _coerce(raw)
+        elif part in _LEGACY_VERDICTS:
+            event["verdict"] = part
+    return event
+
+
+def iter_events(path: str | os.PathLike, strict: bool = False) -> Iterator[dict]:
+    """Yield events from a jsonl (or legacy free-text) stream file."""
+    try:
+        text = pathlib.Path(path).read_text()
+    except OSError:
+        if strict:
+            raise TelemetryError(f"cannot read event stream at {path}") from None
+        return
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            event = json.loads(line)
+        except ValueError:
+            legacy = convert_legacy_line(line)
+            if legacy is not None:
+                yield legacy
+                continue
+            if strict:
+                raise TelemetryError(
+                    f"{path}:{lineno}: unparseable event line {line[:80]!r}"
+                )
+            continue  # torn tail line from a killed writer: skip
+        if not isinstance(event, dict):
+            if strict:
+                raise TelemetryError(
+                    f"{path}:{lineno}: event is {type(event).__name__}, not an object"
+                )
+            continue
+        yield event
+
+
+def read_events(path: str | os.PathLike, strict: bool = False) -> list[dict]:
+    """All events at ``path`` (missing file -> empty list unless strict)."""
+    return list(iter_events(path, strict=strict))

@@ -419,3 +419,116 @@ class TestBenchDiff:
         current = [{"experiment": "E2", "n": 4096, "backend": "serial"}]
         deltas, regressions = diff_bench_rows(baseline, current)
         assert deltas == [] and regressions == []
+
+
+class TestSpeedupRows:
+    """Machine-invariant speedup pairing (repro.analysis.benchio)."""
+
+    def _rows(self, serial=2.0, vectorized=0.2):
+        from repro.analysis.benchio import bench_row
+
+        return [
+            bench_row("E2", 4096, "serial", serial, 1, 100),
+            bench_row("E2", 4096, "vectorized", vectorized, 1, 100),
+        ]
+
+    def test_pairs_serial_and_vectorized(self):
+        from repro.analysis.benchio import speedup_rows
+
+        (row,) = speedup_rows(self._rows())
+        assert row["experiment"] == "E2" and row["n"] == 4096
+        assert row["speedup"] == 10.0
+
+    def test_single_backend_points_skipped(self):
+        from repro.analysis.benchio import bench_row, speedup_rows
+
+        rows = self._rows() + [bench_row("E3", 8192, "vectorized", 0.1, 12, 10)]
+        assert len(speedup_rows(rows)) == 1  # E3 has no serial partner
+
+    def test_calibration_and_foreign_backends_excluded(self):
+        from repro.analysis.benchio import calibration_row, speedup_rows
+
+        rows = self._rows() + [
+            calibration_row(0.01),
+            {"experiment": "E2", "n": 4096, "backend": "process", "wall_s": 1.0},
+        ]
+        (row,) = speedup_rows(rows)
+        assert row["experiment"] == "E2"
+
+    def test_zero_or_missing_wall_skipped(self):
+        from repro.analysis.benchio import speedup_rows
+
+        rows = self._rows(vectorized=0.0)
+        assert speedup_rows(rows) == []
+
+
+class TestDiffBenchRatios:
+    """The heterogeneous-runner perf gate: speedup ratios, not wall clock."""
+
+    def _rows(self, serial, vectorized):
+        from repro.analysis.benchio import bench_row
+
+        return [
+            bench_row("E2", 4096, "serial", serial, 1, 100),
+            bench_row("E2", 4096, "vectorized", vectorized, 1, 100),
+        ]
+
+    def test_uniform_machine_slowdown_is_not_a_regression(self):
+        from repro.analysis.benchio import diff_bench_ratios
+
+        # a 3x slower runner scales both backends; the ratio is unchanged
+        baseline = self._rows(2.0, 0.2)
+        current = self._rows(6.0, 0.6)
+        deltas, regressions = diff_bench_ratios(baseline, current)
+        assert len(deltas) == 1 and deltas[0]["ratio"] == 1.0
+        assert regressions == []
+
+    def test_vectorized_regression_flagged(self):
+        from repro.analysis.benchio import diff_bench_ratios
+
+        baseline = self._rows(2.0, 0.2)   # 10x
+        current = self._rows(2.0, 0.4)    # 5x -> ratio 0.5
+        deltas, regressions = diff_bench_ratios(baseline, current)
+        assert len(regressions) == 1
+        assert regressions[0]["speedup"] == 5.0
+        assert regressions[0]["baseline_speedup"] == 10.0
+
+    def test_noise_floor_reports_but_never_flags(self):
+        from repro.analysis.benchio import diff_bench_ratios
+
+        # microsecond-scale vectorized cells: ratio is scheduler jitter
+        baseline = self._rows(0.004, 0.001)
+        current = self._rows(0.004, 0.003)
+        deltas, regressions = diff_bench_ratios(baseline, current)
+        assert len(deltas) == 1 and regressions == []
+
+    def test_new_measurement_points_skipped(self):
+        from repro.analysis.benchio import diff_bench_ratios
+
+        deltas, regressions = diff_bench_ratios([], self._rows(2.0, 0.2))
+        assert deltas == [] and regressions == []
+
+
+class TestCalibration:
+    def test_measure_calibration_positive_and_fast(self):
+        from repro.analysis.benchio import measure_calibration
+
+        wall = measure_calibration(repeats=1)
+        assert 0.0 < wall < 10.0
+
+    def test_calibration_row_shape(self):
+        from repro.analysis.benchio import CALIBRATION_EXPERIMENT, calibration_row
+
+        row = calibration_row(0.0123456789)
+        assert row["experiment"] == CALIBRATION_EXPERIMENT
+        assert row["n"] == 0 and row["backend"] == "host"
+        assert row["wall_s"] == 0.012346
+
+    def test_e4_flagged_out_of_smoke_serial(self):
+        from repro.analysis.benchio import KERNEL_BENCH_CASES
+
+        # the ~47s/epoch serial reference runs only under --full-serial
+        assert KERNEL_BENCH_CASES["E4"].get("serial_smoke") is False
+        for name, case in KERNEL_BENCH_CASES.items():
+            if name != "E4":
+                assert case.get("serial_smoke", True) is True

@@ -465,3 +465,82 @@ class TestForeignSpoolInput:
         assert counts[STALE] == 1
         assert not path.exists()
         assert broker.counts()["pending"] == len(units)  # nothing phantom-requeued
+
+
+class TestBrokerTelemetry:
+    """Both transports emit the same typed lifecycle records."""
+
+    def test_memory_broker_lifecycle_events(self):
+        from repro.telemetry import TelemetryBuffer
+
+        clock = VirtualClock()
+        spec, units = toy_units()
+        telemetry = TelemetryBuffer(clock=clock.now)
+        broker = MemoryBroker(
+            spec, units, lease_timeout=10.0, clock=clock.now,
+            telemetry=telemetry,
+        )
+        unit = broker.lease("wA")
+        clock.advance(2.5)
+        broker.complete(execute_unit(unit, spec=spec, worker="wA"))
+        (lease,) = telemetry.of_type("dispatch.lease")
+        assert lease["index"] == unit.index and lease["worker"] == "wA"
+        assert lease["attempt"] == 1
+        assert lease["fingerprint"] == unit.fingerprint
+        (complete,) = telemetry.of_type("dispatch.complete")
+        assert complete["verdict"] == "accepted"
+        assert complete["lease_latency_s"] == pytest.approx(2.5)
+
+    def test_memory_broker_expiry_and_rejection_events(self):
+        from repro.sim.dispatch.chaos import corrupt_result
+        from repro.telemetry import TelemetryBuffer
+
+        clock = VirtualClock()
+        spec, units = toy_units()
+        telemetry = TelemetryBuffer(clock=clock.now)
+        broker = MemoryBroker(
+            spec, units, lease_timeout=10.0, clock=clock.now,
+            telemetry=telemetry,
+        )
+        doomed = broker.lease("doomed")
+        clock.advance(11.0)
+        broker.requeue_expired()
+        (requeue,) = telemetry.of_type("dispatch.requeue")
+        assert requeue["index"] == doomed.index
+        assert requeue["reason"] == "lease_expired"
+        unit = broker.lease("liar")
+        broker.complete(corrupt_result(execute_unit(unit, spec=spec, worker="liar")))
+        (reject,) = telemetry.of_type("dispatch.reject")
+        assert reject["verdict"] == "corrupt"
+        assert telemetry.of_type("dispatch.requeue")[-1]["reason"] == "corrupt"
+
+    def test_memory_broker_without_telemetry_still_works(self):
+        spec, units = toy_units()
+        broker = MemoryBroker(spec, units, lease_timeout=10.0)
+        unit = broker.lease("w")
+        assert broker.complete(execute_unit(unit, spec=spec, worker="w")) == "accepted"
+
+    def test_spool_events_log_is_strict_jsonl(self, tmp_path):
+        from repro.telemetry import read_events
+
+        spec, units = toy_units()
+        broker = SpoolBroker(tmp_path / "spool")
+        broker.initialize(
+            {
+                "experiment": "TOY", "seed": 0, "fast": True, "overrides": {},
+                "kernel": "vectorized", "fingerprint": units[0].fingerprint,
+                "n_cells": len(units), "lease_timeout": 10.0,
+            },
+            units,
+        )
+        for _ in units:
+            unit = broker.lease("w")
+            broker.complete(execute_unit(unit, spec=spec, worker="w"))
+        events = read_events(tmp_path / "spool" / "events.log", strict=True)
+        types = [e["type"] for e in events]
+        assert types.count("dispatch.serve") == 1
+        assert types.count("dispatch.lease") == len(units)
+        assert types.count("dispatch.complete") == len(units)
+        completes = [e for e in events if e["type"] == "dispatch.complete"]
+        assert all(e["verdict"] == "accepted" for e in completes)
+        assert all("lease_latency_s" in e for e in completes)

@@ -179,3 +179,64 @@ class TestCliChaos:
         assert sink.submitted[1].fingerprint != result.fingerprint
         # budget spent: the third unit flows through untouched
         assert chaos.apply(units[2], result, sink) is result
+
+
+class TestChaosTelemetryTrail:
+    """Regression: a chaos run over the spool transport must leave a
+    complete, strictly-parseable jsonl event trail — whatever the fault
+    schedule did to workers, the observability record survives it."""
+
+    def test_chaos_run_leaves_complete_event_trail(self, tmp_path):
+        from repro.telemetry import read_events
+
+        spec, units, oracle = _sweep()
+        table = run_chaos(
+            spec, units,
+            [
+                WorkerFault("kill"),
+                WorkerFault("corrupt", budget=2),
+                WorkerFault("stale", budget=2),
+                WorkerFault("honest"),
+            ],
+            seed=3, lease_timeout=10.0,
+            transport="spool", spool_dir=tmp_path / "spool",
+        )
+        assert table.to_json() == oracle.to_json()
+        # strict=True: every line parses; no torn or free-text writes
+        events = read_events(tmp_path / "spool" / "events.log", strict=True)
+        accepted = {
+            e["index"] for e in events
+            if e["type"] == "dispatch.complete" and e["verdict"] == "accepted"
+        }
+        assert accepted == {u.index for u in units}
+        # the Byzantine completions are in the trail too, typed
+        rejected = [e for e in events if e["type"] == "dispatch.reject"]
+        for event in rejected:
+            assert event["verdict"] in ("corrupt", "stale")
+        # monotonic per writer: one spool broker wrote this trail
+        stamps = [e["ts"] for e in events]
+        assert stamps == sorted(stamps)
+
+    def test_chaos_trail_replays_through_report(self, tmp_path):
+        from repro.analysis.telemetry_report import summarize_events
+        from repro.telemetry import read_events
+
+        spec, units, oracle = _sweep(xs=(1, 2))
+        run_chaos(
+            spec, units, [WorkerFault("corrupt", budget=1), WorkerFault("honest")],
+            seed=1, lease_timeout=10.0,
+            transport="spool", spool_dir=tmp_path / "spool",
+        )
+        events = read_events(tmp_path / "spool" / "events.log", strict=True)
+        summary = summarize_events(events)
+        dispatch = summary["dispatch"]
+        assert dispatch["served_units"] == len(units)
+        # at-least-once delivery: a unit may be verified-complete more than
+        # once (idempotent first-write-wins), never fewer times than once
+        assert dispatch["verdicts"].get("accepted", 0) >= len(units)
+        accepted = {
+            e["index"] for e in events
+            if e["type"] == "dispatch.complete" and e["verdict"] == "accepted"
+        }
+        assert accepted == {u.index for u in units}
+        assert dispatch["lease_latency_s"]["count"] >= len(units)

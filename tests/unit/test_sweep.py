@@ -231,3 +231,71 @@ class TestExecutionCounter:
         assert cells_executed() == 7
         reset_cells_executed()
         assert cells_executed() == 0
+
+
+class TestSweepTelemetry:
+    """run_sweep emits per-cell timings and a run summary through the
+    process-default telemetry sink; no sink, no overhead, no events."""
+
+    def test_serial_sweep_emits_cell_and_run_events(self):
+        from repro.telemetry import TelemetryBuffer, set_default_writer
+
+        buf = TelemetryBuffer()
+        previous = set_default_writer(buf)
+        try:
+            run_sweep(_spec())
+        finally:
+            set_default_writer(previous)
+        cells = buf.of_type("sweep.cell")
+        assert len(cells) == 6  # 2 x 3 grid
+        assert {e["index"] for e in cells} == set(range(6))
+        assert all(e["experiment"] == "TOY" for e in cells)
+        assert all(e["kernel"] == "vectorized" for e in cells)
+        (run,) = buf.of_type("sweep.run")
+        assert run["cells"] == 6 and run["backend"] == "serial"
+        assert run["wall_s"] >= max(e["wall_s"] for e in cells)
+
+    def test_serial_backend_labels_kernel(self):
+        from repro.telemetry import TelemetryBuffer, set_default_writer
+
+        buf = TelemetryBuffer()
+        previous = set_default_writer(buf)
+        try:
+            run_sweep(_spec(), ExecutionConfig(backend="serial"))
+        finally:
+            set_default_writer(previous)
+        (run,) = buf.of_type("sweep.run")
+        assert run["kernel"] == "serial" and run["backend"] == "serial"
+
+    def test_no_sink_no_events(self):
+        from repro.telemetry import reset_default_writer, set_default_writer
+
+        previous = set_default_writer(None)
+        try:
+            table = run_sweep(_spec())  # must not raise, must not emit
+            assert len(table.rows) == 6
+        finally:
+            set_default_writer(previous)
+            reset_default_writer()
+
+
+class TestTrialsTelemetry:
+    def test_run_trials_emits_backend_and_walls(self):
+        from repro.sim.montecarlo import run_trials
+        from repro.telemetry import TelemetryBuffer, set_default_writer
+
+        buf = TelemetryBuffer()
+        previous = set_default_writer(buf)
+        try:
+            rng = np.random.default_rng(0)
+            run_trials(lambda r: float(r.random()), 16, rng)
+            run_trials(
+                lambda r: float(r.random()), 16, np.random.default_rng(0),
+                config=ExecutionConfig(backend="vectorized"),
+                batch=lambda r, k: r.random(k),
+            )
+        finally:
+            set_default_writer(previous)
+        events = buf.of_type("trials.run")
+        assert [e["backend"] for e in events] == ["serial", "vectorized"]
+        assert all(e["trials"] == 16 and e["wall_s"] >= 0 for e in events)

@@ -187,10 +187,28 @@ one epoch, n=2048) and ~70x (E2 probe batch, n=4096) faster than the
 loops — `benchmarks/output/BENCH_vectorized.json` (from
 `pytest benchmarks/bench_vectorized.py` or `tools/smoke_vectorized.py`)
 is the machine-readable record, and CI's `smoke-vectorized` job doubles
-as the tracked perf ledger: it downloads the previous run's artifact,
-diffs kernel rows by `(experiment, n, backend)` via
-`tools/perf_ledger.py`, and fails on a >20% wall-clock regression
-(warn-only on the bootstrap run).
+as the tracked perf ledger: it downloads the previous run's artifact and
+gates via `tools/perf_ledger.py` on the machine-invariant
+serial/vectorized **speedup ratio** per `(experiment, n)` — a >20% ratio
+drop fails, absolute wall-clock drift is warn-only with a per-run
+`CALIBRATION` row as host context, so heterogeneous runner generations
+can't flap the gate (warn-only on the bootstrap run).  E4's ~47s/epoch
+serial reference is trimmed from the smoke bench (quick-scale parity
+stays always-on); the `full-tests` job measures its paper-scale ratio
+via `--full-serial`.
+
+Telemetry (TELEMETRY.md, `repro.telemetry`): every sink above — the
+dispatch spool's `events.log`, sweep/trial loops (opt-in via
+`REPRO_TELEMETRY=/path.jsonl`), and the benchmark suite
+(`benchmarks/output/telemetry.jsonl`) — emits versioned schema-checked
+jsonl events through one writer (atomic O_APPEND lines, safe under
+concurrent OS-process workers; pre-telemetry free-text spool logs stay
+readable via an on-the-fly converter).  `python -m repro telemetry
+report --events run.jsonl` renders the dispatch funnel (lease/verdict/
+requeue counts, latency percentiles), sweep cell-timing stats, trial
+totals, and the bench ledger with derived speedups; `--check-bench`
+proves `BENCH_vectorized.json` is byte-reproducible from `bench.row`
+events alone (CI runs both against the smoke artifacts).
 
 `--cache` / `--no-cache` / `--force` drive the on-disk result cache
 (`benchmarks/output/cache/`, keyed by experiment/seed/fast/overrides/

@@ -1,18 +1,29 @@
 #!/usr/bin/env python3
 """Perf-ledger gate: diff BENCH_vectorized.json against a stored baseline.
 
-The ROADMAP's tracked perf ledger: CI's ``smoke-vectorized`` job downloads
-the previous run's ``BENCH_vectorized`` artifact, re-measures the kernel
-rows, and runs this tool to compare the two files row-by-row (keyed by
-``(experiment, n, backend)`` via :func:`repro.analysis.benchio.
-diff_bench_rows`).  A row whose wall clock regressed by more than
-``--max-regression`` (default 20%) fails the job; rows under the
-``--min-wall`` noise floor are reported but never gated (µs-scale cells
-measure scheduler jitter, not kernels).
+The ROADMAP's tracked perf ledger, normalized for heterogeneous runners.
+CI's ``smoke-vectorized`` job downloads the previous run's
+``BENCH_vectorized`` artifact, re-measures the kernel rows, and runs this
+tool to compare the two files:
 
-Missing or unreadable baseline (first run, expired artifact) is
-**warn-only**: the tool prints the situation and exits 0, so the ledger
-bootstraps itself.
+* **Gating** (exit 1): the machine-invariant serial/vectorized *speedup
+  ratio* per ``(experiment, n)`` (:func:`repro.analysis.benchio.
+  diff_bench_ratios`).  Both kernels run on the same host in the same
+  process, so host speed divides out of their ratio — a drop of more than
+  ``--max-regression`` (default 20%) means the vectorized kernel itself
+  regressed, whatever machine CI landed on.
+* **Warn-only**: absolute wall-clock drift per ``(experiment, n,
+  backend)`` (:func:`~repro.analysis.benchio.diff_bench_rows`).  It
+  catches everything-got-slower problems a ratio cannot, but across
+  runner generations it cannot distinguish a slow kernel from a slow
+  machine, so it never fails the job.  The per-run ``CALIBRATION`` row
+  (a fixed NumPy workload timing both runs record) is printed alongside
+  so a reader can attribute the drift.
+
+Rows under the ``--min-wall`` noise floor are reported but never gated
+(µs-scale cells measure scheduler jitter, not kernels).  Missing or
+unreadable baseline (first run, expired artifact) is **warn-only**: the
+tool prints the situation and exits 0, so the ledger bootstraps itself.
 
 Usage::
 
@@ -28,6 +39,17 @@ import pathlib
 import sys
 
 
+def _calibration_wall(rows: list[dict]) -> float | None:
+    from repro.analysis.benchio import CALIBRATION_EXPERIMENT
+
+    for row in rows:
+        if row.get("experiment") == CALIBRATION_EXPERIMENT:
+            wall = row.get("wall_s")
+            if isinstance(wall, (int, float)) and wall > 0:
+                return float(wall)
+    return None
+
+
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--baseline", required=True,
@@ -35,16 +57,20 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--current", required=True,
                     help="this run's BENCH JSON")
     ap.add_argument("--max-regression", type=float, default=0.20,
-                    help="fail when wall_s grows by more than this fraction "
-                         "(default 0.20 = 20%%)")
+                    help="fail when the serial/vectorized speedup drops by "
+                         "more than this fraction (default 0.20 = 20%%)")
     ap.add_argument("--min-wall", type=float, default=0.05,
-                    help="noise floor in seconds: rows where both "
-                         "measurements are below it are never gated")
+                    help="noise floor in seconds: points whose vectorized "
+                         "wall clock sits below it are never gated")
     ap.add_argument("--warn-only", action="store_true",
                     help="report regressions but always exit 0")
     args = ap.parse_args(argv)
 
-    from repro.analysis.benchio import diff_bench_rows, read_bench_rows
+    from repro.analysis.benchio import (
+        diff_bench_ratios,
+        diff_bench_rows,
+        read_bench_rows,
+    )
 
     current = read_bench_rows(args.current)
     if not current:
@@ -61,36 +87,70 @@ def main(argv: list[str] | None = None) -> int:
         )
         return 0
 
-    deltas, regressions = diff_bench_rows(
+    # host context first: was this run on a comparable machine?
+    cal_base, cal_cur = _calibration_wall(baseline), _calibration_wall(current)
+    if cal_base is not None and cal_cur is not None:
+        print(
+            f"perf-ledger: host calibration {cal_base:.4f}s -> "
+            f"{cal_cur:.4f}s ({cal_cur / cal_base:.2f}x; absolute "
+            "wall-clock drift in that direction is the machine, not the code)"
+        )
+    elif cal_cur is not None:
+        print(f"perf-ledger: host calibration {cal_cur:.4f}s "
+              "(baseline has no calibration row)")
+
+    # warn-only: absolute wall clock per (experiment, n, backend)
+    wall_deltas, wall_regressions = diff_bench_rows(
+        baseline, current,
+        max_regression=args.max_regression, min_wall_s=args.min_wall,
+    )
+    wall_flagged = {
+        (d["experiment"], d["n"], d["backend"]) for d in wall_regressions
+    }
+    for d in wall_deltas:
+        mark = ("slower (warn-only)"
+                if (d["experiment"], d["n"], d["backend"]) in wall_flagged
+                else "ok")
+        print(
+            f"  wall  {d['experiment']:>4} n={d['n']:<6} {d['backend']:<10} "
+            f"{d['baseline_wall_s']:.3f}s -> {d['wall_s']:.3f}s "
+            f"({d['ratio']:.2f}x)  {mark}"
+        )
+    if wall_regressions:
+        print(
+            f"perf-ledger: {len(wall_regressions)} row(s) drifted beyond "
+            f"{args.max_regression:.0%} absolute wall clock — warn-only "
+            "(heterogeneous runners; the speedup ratio below is the gate)"
+        )
+
+    # the gate: machine-invariant serial/vectorized speedup per point
+    deltas, regressions = diff_bench_ratios(
         baseline, current,
         max_regression=args.max_regression, min_wall_s=args.min_wall,
     )
     if not deltas:
-        print("perf-ledger: no overlapping (experiment, n, backend) rows; "
-              "warn-only (baseline predates these measurement points)")
+        print("perf-ledger: no (experiment, n) point has a serial/vectorized "
+              "pair in both files; warn-only (nothing ratio-comparable)")
         return 0
-    print(f"perf-ledger: {len(deltas)} comparable rows "
-          f"(gate: >{args.max_regression:.0%} slower, "
+    print(f"perf-ledger: {len(deltas)} comparable speedup point(s) "
+          f"(gate: ratio drop >{args.max_regression:.0%}, "
           f"noise floor {args.min_wall}s)")
-    flagged = {
-        (d["experiment"], d["n"], d["backend"]): d for d in regressions
-    }
+    flagged = {(d["experiment"], d["n"]) for d in regressions}
     for d in deltas:
-        mark = "REGRESSION" if (d["experiment"], d["n"], d["backend"]) in flagged \
-            else "ok"
+        mark = "REGRESSION" if (d["experiment"], d["n"]) in flagged else "ok"
         print(
-            f"  {d['experiment']:>4} n={d['n']:<6} {d['backend']:<10} "
-            f"{d['baseline_wall_s']:.3f}s -> {d['wall_s']:.3f}s "
-            f"({d['ratio']:.2f}x)  {mark}"
+            f"  ratio {d['experiment']:>4} n={d['n']:<6} "
+            f"{d['baseline_speedup']:.2f}x -> {d['speedup']:.2f}x "
+            f"({d['ratio']:.2f} of baseline)  {mark}"
         )
     if regressions:
         print(
-            f"perf-ledger: {len(regressions)} row(s) regressed beyond "
-            f"{args.max_regression:.0%}",
+            f"perf-ledger: {len(regressions)} speedup point(s) regressed "
+            f"beyond {args.max_regression:.0%}",
             file=sys.stderr,
         )
         return 0 if args.warn_only else 1
-    print("perf-ledger: no regressions")
+    print("perf-ledger: no speedup regressions")
     return 0
 
 

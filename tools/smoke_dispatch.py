@@ -52,7 +52,12 @@ def repro(*args: str, check: bool = True) -> subprocess.CompletedProcess:
     return proc
 
 
-def smoke_one(experiment: str, seed: int, workdir: pathlib.Path) -> None:
+def smoke_one(
+    experiment: str,
+    seed: int,
+    workdir: pathlib.Path,
+    telemetry_out: pathlib.Path | None = None,
+) -> None:
     spool = workdir / f"spool-{experiment.lower()}"
     cache_dir = workdir / "cache"
 
@@ -112,18 +117,58 @@ def smoke_one(experiment: str, seed: int, workdir: pathlib.Path) -> None:
     assert warm_collect.stdout.strip() == oracle.render().strip()
     print(f"  {experiment}: warm re-serve is a cache hit (0 units)")
 
+    # the chaos run must leave a complete, strictly-parseable event trail:
+    # every unit was served, leased and verified-complete despite the kill
+    from repro.telemetry import read_events
+
+    events = read_events(spool / "events.log", strict=True)
+    served_units = next(
+        e for e in events if e["type"] == "dispatch.serve"
+    )["units"]
+    completed = {
+        e["index"] for e in events
+        if e["type"] == "dispatch.complete" and e["verdict"] == "accepted"
+    }
+    assert len(completed) == served_units, (
+        f"{experiment}: event trail covers {len(completed)} of "
+        f"{served_units} units"
+    )
+    print(f"  {experiment}: telemetry trail complete "
+          f"({len(events)} events, {served_units} units verified)")
+    if telemetry_out is not None:
+        # spools are ephemeral (tempdir); aggregate their jsonl trails into
+        # the artifact CI uploads.  Plain concatenation: both files are
+        # whole-line jsonl by the writer's O_APPEND discipline.
+        with telemetry_out.open("ab") as out:
+            for src in (spool / "events.log", spool2 / "events.log"):
+                if src.exists():
+                    out.write(src.read_bytes())
+
 
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--experiments", nargs="*", default=["E1", "E2"])
     ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument(
+        "--telemetry-out", default=None,
+        help="aggregate the spools' events.log jsonl trails into this file "
+             "(the spools themselves are ephemeral tempdirs)",
+    )
     args = ap.parse_args(argv)
 
     sys.path.insert(0, SRC)
+    telemetry_out = None
+    if args.telemetry_out is not None:
+        telemetry_out = pathlib.Path(args.telemetry_out)
+        telemetry_out.parent.mkdir(parents=True, exist_ok=True)
+        telemetry_out.write_bytes(b"")  # fresh aggregate per run
     t0 = time.perf_counter()
     with tempfile.TemporaryDirectory(prefix="repro-dispatch-smoke-") as td:
         for experiment in args.experiments:
-            smoke_one(experiment.upper(), args.seed, pathlib.Path(td))
+            smoke_one(
+                experiment.upper(), args.seed, pathlib.Path(td),
+                telemetry_out=telemetry_out,
+            )
     print(
         f"dispatch smoke ok: {', '.join(args.experiments)} sharded across "
         f"OS-process workers with one injected kill, tables byte-identical, "

@@ -19,6 +19,19 @@ execution paths, then
    against its own ``min_speedup`` bar (scaled by ``--speedup-margin``;
    parity-only cases carry no bar).
 
+Cases flagged ``serial_smoke=False`` (E4: the serial reference costs ~47s
+per paper-scale epoch) keep their parity assertion always-on but run it at
+quick scale; the paper-scale serial row — and with it the case's speedup
+bar — is measured only under ``--full-serial`` (CI's full job).  The
+smoke default still times and records the paper-scale *vectorized* row,
+so the ledger's trajectory for the fast path never gaps.
+
+Every measurement is also emitted as telemetry (``bench.row`` /
+``bench.calibration`` events, default ``<out dir>/telemetry.jsonl``),
+along with a per-run host-calibration row — a fixed NumPy workload timing
+that tells a ledger reader whether absolute drift was the machine or the
+code (the ratio gate in ``tools/perf_ledger.py`` needs neither).
+
 Exercised by the ``smoke-vectorized`` job in ``.github/workflows/ci.yml``;
 also handy locally::
 
@@ -61,12 +74,22 @@ def main(argv: list[str] | None = None) -> int:
         help="fast-scale cells (local sanity; CI runs paper scale)",
     )
     ap.add_argument(
+        "--full-serial", action="store_true",
+        help="measure the paper-scale serial reference even for cases "
+             "flagged serial_smoke=False (E4's ~47s/epoch loop); the "
+             "smoke default replaces it with a quick-scale parity check",
+    )
+    ap.add_argument(
         "--only", nargs="*", default=None, metavar="EXP",
         help="restrict to these experiment IDs (default: all cases)",
     )
     ap.add_argument(
         "--out", default=None,
         help="bench JSON path (default: benchmarks/output/BENCH_vectorized.json)",
+    )
+    ap.add_argument(
+        "--telemetry-out", default=None,
+        help="telemetry jsonl path (default: telemetry.jsonl next to --out)",
     )
     args = ap.parse_args(argv)
 
@@ -78,16 +101,25 @@ def main(argv: list[str] | None = None) -> int:
         BENCH_FILENAME,
         KERNEL_BENCH_CASES,
         KERNEL_BENCH_CASES_QUICK,
+        bench_row,
+        calibration_row,
+        measure_calibration,
         record_bench_rows,
     )
     from repro.experiments import run_experiment
     from repro.sim import ExecutionConfig
+    from repro.telemetry import TelemetryWriter
 
     out_path = pathlib.Path(
         args.out
         if args.out is not None
         else pathlib.Path(__file__).resolve().parent.parent
         / "benchmarks" / "output" / BENCH_FILENAME
+    )
+    telemetry_path = pathlib.Path(
+        args.telemetry_out
+        if args.telemetry_out is not None
+        else out_path.parent / "telemetry.jsonl"
     )
     serial_cfg = ExecutionConfig(backend="serial")
     cases = KERNEL_BENCH_CASES_QUICK if args.quick else KERNEL_BENCH_CASES
@@ -99,9 +131,40 @@ def main(argv: list[str] | None = None) -> int:
                   file=sys.stderr)
             return 2
         cases = {k: v for k, v in cases.items() if k in wanted}
-    rows, failures = [], []
+
+    telemetry = TelemetryWriter(telemetry_path)
+    cal_wall = measure_calibration()
+    telemetry.emit("bench.calibration", wall_s=round(cal_wall, 6))
+    print(f"host calibration: {cal_wall:.4f}s (fixed NumPy workload)")
+
+    rows, failures = [calibration_row(cal_wall)], []
     for name, case in cases.items():
         kwargs = dict(case["kwargs"], seed=args.seed)
+        skip_serial = not case.get("serial_smoke", True) and not args.full_serial
+        if skip_serial:
+            # parity stays always-on, but at quick scale: the paper-scale
+            # serial reference is a --full-serial (CI full job) measurement
+            quick = KERNEL_BENCH_CASES_QUICK[name]
+            qkwargs = dict(quick["kwargs"], seed=args.seed)
+            q_serial = run_experiment(name, exec_config=serial_cfg, **qkwargs)
+            q_vec = run_experiment(name, **qkwargs)
+            if q_serial.render() != q_vec.render():
+                failures.append(
+                    f"{name}: serial and vectorized tables differ "
+                    f"(quick-scale parity check)"
+                )
+                continue
+            vec_table, t_vec = _timed(lambda: run_experiment(name, **kwargs))
+            rows.append(dict(
+                experiment=name, n=case["n"], backend="vectorized",
+                wall_s=t_vec, cells=case["cells"], trials=case["trials"],
+            ))
+            print(
+                f"{name} (n={case['n']}): vectorized {t_vec:.3f}s, "
+                f"quick-scale parity ok (serial reference deferred to "
+                f"--full-serial)"
+            )
+            continue
         serial_table, t_serial = _timed(
             lambda: run_experiment(name, exec_config=serial_cfg, **kwargs)
         )
@@ -129,8 +192,14 @@ def main(argv: list[str] | None = None) -> int:
                 f"{name}: speedup {speedup:.1f}x < "
                 f"{bar}x * margin {args.speedup_margin}"
             )
+    for row in rows:
+        # normalize exactly as record_bench_rows will: the event stream and
+        # the ledger file must hold byte-equal rows
+        telemetry.emit("bench.row", **bench_row(**row))
+    telemetry.close()
     record_bench_rows(out_path, rows)
-    print(f"wrote {len(rows)} rows to {out_path}")
+    print(f"wrote {len(rows)} rows to {out_path} "
+          f"(telemetry: {telemetry_path})")
     if failures:
         for f in failures:
             print(f"FAIL: {f}", file=sys.stderr)
