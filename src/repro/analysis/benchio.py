@@ -48,6 +48,8 @@ __all__ = [
     "CALIBRATION_EXPERIMENT",
     "KERNEL_BENCH_CASES",
     "KERNEL_BENCH_CASES_QUICK",
+    "PROCESS_BENCH_CASES",
+    "PROCESS_BENCH_CASES_QUICK",
     "bench_row",
     "calibration_row",
     "diff_bench_ratios",
@@ -104,6 +106,39 @@ KERNEL_BENCH_CASES = {
     "E12": dict(n=4096, cells=1, trials=20_000, min_speedup=None,
                 kwargs=dict(fast=True)),
 }
+# The cell-scheduling measurement points for the process backend: the
+# same experiment run in-process with the default kernels
+# (``cells-serial`` — one core, stacked passes where declared) versus
+# dispatched across the warm worker pool with shm result transport
+# (``cells-process``).  Both sides run the identical kernels, so the
+# ratio isolates scheduling: warm-pool spawn amortization + stacked
+# spans + shared-memory transport against single-core execution.
+#
+# ``min_ratio`` is the process-beats-serial acceptance bar (1.0 =
+# strictly faster, the ROADMAP item-3 acceptance).  A pool cannot beat
+# one core on a <4-core host, so the bar is enforced only when the host
+# has >= 4 usable cores (the parity assertion is unconditional) — the
+# same convention as ``benchmarks/bench_sweep.py``.
+PROCESS_BENCH_CASES = {
+    "E1": dict(n=4096, cells=10, trials=10 * 100_000, workers=4,
+               min_ratio=1.0, kwargs=dict(fast=False)),
+    "E2": dict(n=4096, cells=7, trials=7 * 100_000, workers=4,
+               min_ratio=1.0, kwargs=dict(fast=False)),
+    "E5": dict(n=2048, cells=4, trials=8, workers=4,
+               min_ratio=1.0, kwargs=dict(fast=False)),
+}
+# fast-scale equivalents (distinct n so quick runs never replace the
+# paper-scale ledger rows): overhead-dominated, so parity + trajectory
+# only — no bar
+PROCESS_BENCH_CASES_QUICK = {
+    "E1": dict(n=1024, cells=6, trials=6 * 20_000, workers=2,
+               min_ratio=None, kwargs=dict(fast=True)),
+    "E2": dict(n=1024, cells=7, trials=7 * 20_000, workers=2,
+               min_ratio=None, kwargs=dict(fast=True)),
+    "E5": dict(n=512, cells=4, trials=8, workers=2,
+               min_ratio=None, kwargs=dict(fast=True)),
+}
+
 # fast-scale equivalents for a laptop sanity pass (overhead-dominated:
 # expect smaller ratios than the paper-scale acceptance bar)
 KERNEL_BENCH_CASES_QUICK = {
@@ -207,35 +242,43 @@ def diff_bench_rows(
     return deltas, regressions
 
 
-def speedup_rows(rows: list[dict]) -> list[dict]:
-    """Serial/vectorized speedup per ``(experiment, n)`` measurement point.
+def speedup_rows(
+    rows: list[dict], backends: tuple[str, str] = ("serial", "vectorized")
+) -> list[dict]:
+    """Base/fast speedup per ``(experiment, n)`` measurement point.
 
-    Pairs each point's ``serial`` and ``vectorized`` rows (both must be
-    present with a positive wall clock; calibration rows and single-backend
-    points are skipped) into ``{experiment, n, wall_serial_s,
-    wall_vectorized_s, speedup}``.  Because both kernels ran on the same
-    host, the host's speed divides out of ``speedup`` — this is the
-    machine-invariant quantity the perf ledger gates on.
+    Pairs each point's ``backends[0]`` (base) and ``backends[1]`` (fast)
+    rows (both must be present with a positive wall clock; calibration
+    rows and single-backend points are skipped) into ``{experiment, n,
+    wall_serial_s, wall_vectorized_s, speedup}`` — the field names keep
+    the original serial/vectorized pair's spelling whatever the pair, so
+    every consumer reads one shape (``wall_serial_s`` = base wall,
+    ``wall_vectorized_s`` = fast wall).  The default pair gates the
+    kernel speedup; ``("cells-serial", "cells-process")`` gates the
+    process backend's cell-scheduling win.  Because both sides ran on
+    the same host, the host's speed divides out of ``speedup`` — this is
+    the machine-invariant quantity the perf ledger gates on.
     """
+    base_backend, fast_backend = backends
     by_point: dict[tuple, dict[str, float]] = {}
     for row in rows:
         exp, n, backend = (row.get(k) for k in _ROW_KEY)
         wall = row.get("wall_s")
-        if exp == CALIBRATION_EXPERIMENT or backend not in ("serial", "vectorized"):
+        if exp == CALIBRATION_EXPERIMENT or backend not in backends:
             continue
         if not isinstance(wall, (int, float)) or wall <= 0:
             continue
         by_point.setdefault((exp, n), {})[backend] = float(wall)
     out = []
     for (exp, n), walls in sorted(by_point.items(), key=lambda kv: (str(kv[0][0]), kv[0][1])):
-        if "serial" not in walls or "vectorized" not in walls:
+        if base_backend not in walls or fast_backend not in walls:
             continue
         out.append({
             "experiment": exp,
             "n": n,
-            "wall_serial_s": walls["serial"],
-            "wall_vectorized_s": walls["vectorized"],
-            "speedup": round(walls["serial"] / walls["vectorized"], 4),
+            "wall_serial_s": walls[base_backend],
+            "wall_vectorized_s": walls[fast_backend],
+            "speedup": round(walls[base_backend] / walls[fast_backend], 4),
         })
     return out
 
@@ -245,21 +288,27 @@ def diff_bench_ratios(
     current: list[dict],
     max_regression: float = 0.20,
     min_wall_s: float = 0.05,
+    backends: tuple[str, str] = ("serial", "vectorized"),
 ) -> tuple[list[dict], list[dict]]:
-    """Diff serial/vectorized speedups by ``(experiment, n)`` — the
+    """Diff base/fast speedups by ``(experiment, n)`` — the
     machine-invariant perf gate.
 
     Returns ``(deltas, regressions)``: one delta per measurement point
     with a speedup in both sets (``ratio`` = current speedup over
     baseline), and the subset whose speedup fell below ``(1 -
-    max_regression) *`` baseline.  Points where both runs' *vectorized*
+    max_regression) *`` baseline.  Points where both runs' *fast-side*
     wall clock sits under ``min_wall_s`` are reported but never flagged —
     at that scale the ratio is scheduler jitter, not kernel behaviour.
+    ``backends`` picks the pair (see :func:`speedup_rows`): the default
+    gates the kernel speedup, ``("cells-serial", "cells-process")`` the
+    process backend's scheduling win.
     """
-    base = {(r["experiment"], r["n"]): r for r in speedup_rows(baseline)}
+    base = {
+        (r["experiment"], r["n"]): r for r in speedup_rows(baseline, backends)
+    }
     deltas: list[dict] = []
     regressions: list[dict] = []
-    for row in speedup_rows(current):
+    for row in speedup_rows(current, backends):
         ref = base.get((row["experiment"], row["n"]))
         if ref is None:
             continue

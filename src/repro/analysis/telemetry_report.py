@@ -152,6 +152,41 @@ def summarize_events(events: list[dict]) -> dict:
             sweeps.append(entry)
         summary["sweeps"] = sweeps
 
+    # -- warm pool + shm transport -----------------------------------------
+    spawns = by_type.get("pool.spawn", [])
+    reuses = by_type.get("pool.reuse", [])
+    broken = by_type.get("pool.broken", [])
+    shm_events = by_type.get("shm.bytes", [])
+    degrades = by_type.get("sweep.degrade", [])
+    if spawns or reuses or broken or shm_events or degrades:
+        pool: dict = {
+            "spawns": len(spawns),
+            "reuses": len(reuses),
+            "broken": len(broken),
+            "swept_segments": sum(
+                int(e.get("swept_segments", 0)) for e in broken
+            ),
+        }
+        if shm_events:
+            shm_bytes = sum(int(e.get("shm_bytes", 0)) for e in shm_events)
+            pickle_bytes = sum(int(e.get("pickle_bytes", 0)) for e in shm_events)
+            pool["shm"] = {
+                "transfers": len(shm_events),
+                "segments": sum(int(e.get("segments", 0)) for e in shm_events),
+                "shm_bytes": shm_bytes,
+                "pickle_bytes": pickle_bytes,
+                # how much of the cross-process payload the pipe never saw
+                "shm_fraction": round(
+                    shm_bytes / max(1, shm_bytes + pickle_bytes), 4
+                ),
+            }
+        if degrades:
+            pool["degrades"] = dict(Counter(
+                f"{e.get('experiment', '?')}:{e.get('reason', '?')}"
+                for e in degrades
+            ))
+        summary["pool"] = pool
+
     # -- trial loops -------------------------------------------------------
     trial_events = by_type.get("trials.run", [])
     if trial_events:
@@ -231,6 +266,29 @@ def render_report(summary: dict) -> str:
                 f"  {s['experiment']:>4} {s['kernel']:<10} {s['backend']:<10} "
                 f"runs={s['runs']} wall={s['run_wall_s']:.3f}s  {detail}"
             )
+
+    pool = summary.get("pool")
+    if pool:
+        lines.append("")
+        lines.append("worker pool / shm transport:")
+        lines.append(
+            f"  pool spawns={pool['spawns']} reuses={pool['reuses']} "
+            f"broken={pool['broken']}"
+            + (
+                f" swept_segments={pool['swept_segments']}"
+                if pool["swept_segments"] else ""
+            )
+        )
+        shm = pool.get("shm")
+        if shm:
+            lines.append(
+                f"  shm transfers={shm['transfers']} "
+                f"segments={shm['segments']} "
+                f"shm={shm['shm_bytes']}B pipe={shm['pickle_bytes']}B "
+                f"({shm['shm_fraction']:.0%} off-pipe)"
+            )
+        for key, count in sorted(pool.get("degrades", {}).items()):
+            lines.append(f"  degrade {key:<20} {count}")
 
     trials = summary.get("trials")
     if trials:

@@ -26,9 +26,11 @@ rate-limits exactly the rejoin churn this attack is made of.
 Execution kernels (selected by ``kernel=``, differential-tested):
 
 ``"vectorized"`` (the default)
-    Array-native relocation: occupancy queries are boolean scans over the
-    flat partition arrays and every event's victim cohort relocates in one
-    batched counter update — no Python-level bucket bookkeeping at all.
+    Array-native relocation: every event's victim cohort relocates in one
+    batched counter update, and occupancy queries come from an
+    *incremental occupancy index* — one membership bucket per eviction
+    region, updated as cohorts move — so a churn event costs ``O(|cohort|)``
+    instead of the ``O(n)`` ``flatnonzero`` scan it used to pay.
 ``"serial"``
     The reference oracle: explicit per-k-region/per-group bucket sets and
     one scalar ``_move`` per displaced ID.
@@ -150,6 +152,16 @@ class CuckooSimulator:
             self._gbuckets: list[set[int]] = [set() for _ in range(self.n_groups)]
             for i in range(self.n):
                 self._gbuckets[self.group_of[i]].add(i)
+        else:
+            # incremental occupancy index: one membership bucket per
+            # eviction region (group for commensal, k-region otherwise),
+            # kept current by _move_batch — victim cohorts enumerate in
+            # O(|region|) instead of an O(n) flatnonzero scan per event
+            keyed_by = self.group_of if self.commensal else self.kregion_of
+            n_buckets = self.n_groups if self.commensal else self.n_kregions
+            self._vbuckets: list[set[int]] = [set() for _ in range(n_buckets)]
+            for i in range(self.n):
+                self._vbuckets[keyed_by[i]].add(i)
 
     # -- partitions -------------------------------------------------------------
 
@@ -199,6 +211,8 @@ class CuckooSimulator:
             (pos * self.n_kregions).astype(np.int64), self.n_kregions - 1
         )
         old_g = self.group_of[idxs]
+        old_key = old_g if self.commensal else self.kregion_of[idxs]
+        new_key = new_g if self.commensal else new_k
         self.positions[idxs] = pos
         delta = np.concatenate([new_g, old_g])
         sign = np.empty(delta.size, dtype=np.int64)
@@ -215,6 +229,11 @@ class CuckooSimulator:
             )
         self.group_of[idxs] = new_g
         self.kregion_of[idxs] = new_k
+        # occupancy index upkeep: O(|cohort|) scalar set moves
+        for i, okey, nkey in zip(idxs.tolist(), old_key.tolist(), new_key.tolist()):
+            if okey != nkey:
+                self._vbuckets[okey].discard(i)
+                self._vbuckets[nkey].add(i)
 
     # -- victim cohorts (canonical ascending order) -------------------------------
 
@@ -258,11 +277,14 @@ class CuckooSimulator:
             return
         if self.commensal:
             target = min(int(pos * self.n_groups), self.n_groups - 1)
-            others = np.flatnonzero(self.group_of == target)
         else:
             target = min(int(pos * self.n_kregions), self.n_kregions - 1)
-            others = np.flatnonzero(self.kregion_of == target)
-        others = others[others != idx]
+        # ascending enumeration from the occupancy index == the sorted
+        # flatnonzero scan it replaces, so the victim order (and hence the
+        # RNG stream) is unchanged
+        others = np.asarray(
+            sorted(self._vbuckets[target] - {idx}), dtype=np.int64
+        )
         if self.commensal and others.size > self.k:
             sel = self.rng.choice(others.size, size=self.k, replace=False)
             others = others[sel]

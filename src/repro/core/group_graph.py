@@ -145,8 +145,14 @@ class GroupGraph:
         adversary cannot inflate.
         """
         batch = self.H.random_route_batch(probes, rng)
-        ev = self.evaluate(batch)
-        visited = batch.paths[ev.search_path_mask]
+        if not self.red.any():
+            # all-blue fast path (E1 / P4): with no red group the search
+            # path IS the full H path, so the evaluate() red-scan and
+            # prefix mask reduce to the validity mask exactly
+            visited = batch.paths[batch.paths != PADDING]
+        else:
+            ev = self.evaluate(batch)
+            visited = batch.paths[ev.search_path_mask]
         counts = np.bincount(visited, minlength=self.n).astype(np.float64)
         return counts / probes
 

@@ -34,6 +34,7 @@ __all__ = [
     "synthetic_static_graph",
     "constructive_static_graph",
     "measure_static_search",
+    "measure_static_search_routed",
     "measure_responsibility_bound",
 ]
 
@@ -114,8 +115,8 @@ def measure_static_search(
     # cached table built on them) are unchanged by the kernel split
     sources = rng.integers(0, n, size=probes)
     targets = rng.random(probes)
-    router = SecureRouter(gg)
     if kernel == "serial":
+        router = SecureRouter(gg)
         delivered = 0
         path_len_total = 0
         counts = np.zeros(n, dtype=np.int64)
@@ -131,13 +132,48 @@ def measure_static_search(
         mean_path_len = path_len_total / probes
         resp = counts.astype(np.float64) / probes
     else:
-        batch = gg.H.route_many(sources, targets)
-        out = router.route_outcomes(batch)
-        mask = out.search_path_mask()
-        failure_rate = out.failure_rate
-        mean_path_len = float(mask.sum(axis=1).mean())
-        visited = batch.paths[mask]
-        resp = np.bincount(visited, minlength=n).astype(np.float64) / probes
+        return measure_static_search_routed(
+            gg, gg.H.route_many(sources, targets), probes,
+            resp_constant=resp_constant,
+        )
+    c = gg.H.congestion_exponent
+    log_n = np.log(max(np.e, n))
+    rho_bound = resp_constant * (log_n**c) / n
+    pf = gg.fraction_red
+    return StaticSearchStats(
+        n=n,
+        pf=pf,
+        probes=probes,
+        failure_rate=float(failure_rate),
+        mean_search_path_len=float(mean_path_len),
+        max_responsibility=float(resp.max()),
+        responsibility_bound=float(rho_bound),
+        x_upper_pred=float(min(1.0, pf * resp_constant * (log_n**c))),
+    )
+
+
+def measure_static_search_routed(
+    gg: GroupGraph,
+    batch,
+    probes: int,
+    resp_constant: float = 8.0,
+) -> StaticSearchStats:
+    """The vectorized measurement over an already-routed probe batch.
+
+    The seam E2's stacked-cell pass uses: all cells share one substrate
+    ``H``, so their probes route in a *single* ``route_many`` call and
+    each cell's row slice lands here.  Every statistic is a padding-masked
+    per-row reduction, so a batch routed as part of a wider concatenation
+    yields bit-equal stats to routing the cell's probes alone.
+    """
+    n = gg.n
+    router = SecureRouter(gg)
+    out = router.route_outcomes(batch)
+    mask = out.search_path_mask()
+    failure_rate = out.failure_rate
+    mean_path_len = float(mask.sum(axis=1).mean())
+    visited = batch.paths[mask]
+    resp = np.bincount(visited, minlength=n).astype(np.float64) / probes
     c = gg.H.congestion_exponent
     log_n = np.log(max(np.e, n))
     rho_bound = resp_constant * (log_n**c) / n

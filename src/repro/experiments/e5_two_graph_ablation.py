@@ -22,8 +22,10 @@ Two views:
 
 Part A is a ``p_f0``-axis :class:`~repro.sim.sweep.SweepSpec` — each cell
 runs its dual/single transition pair (both variants share one sub-seed so
-the comparison stays paired) on its own spawned stream, cell-parallel
-under the process backend.  Part B is deterministic and assembled in the
+the comparison stays paired; the pair shares one substrate build, forking
+the generator state at the divergence point) on its own spawned stream,
+cell-parallel under the process backend with a stacked pass that runs
+whole spans of the axis per worker.  Part B is deterministic and assembled in the
 spec's finalize hook.  The transition machinery (``build_new_graph``)
 batches its per-slot searches internally, so the cell is kernel-neutral:
 serial and vectorized backends render the identical table.
@@ -40,7 +42,7 @@ from ..core.params import SystemParams
 from ..idspace.ring import Ring
 from ..inputgraph import make_input_graph
 from ..sim.montecarlo import ExecutionConfig
-from ..sim.sweep import SweepSpec, run_sweep
+from ..sim.sweep import StackedCells, SweepSpec, run_sweep
 
 __all__ = ["run", "build_spec"]
 
@@ -82,6 +84,62 @@ def _transition_once(
     return rep.fraction_red
 
 
+def _transition_pair(
+    n: int,
+    beta: float,
+    pf0: float,
+    params: SystemParams,
+    seed: int,
+    topology: str,
+) -> tuple[float, float]:
+    """Both variants of one cell's transition, sharing one substrate build.
+
+    The dual and single runs of :func:`_transition_once` consume an
+    *identical* RNG prefix — population, old-graph colourings, new ring —
+    and only diverge inside ``build_new_graph``.  Building that prefix
+    once and forking the generator state at the divergence point halves
+    the per-cell construction cost while staying bit-identical to two
+    independent ``_transition_once`` calls (pinned by a property test).
+    """
+    rng = np.random.default_rng(seed)
+    good = rng.random(n - int(beta * n))
+    bad_vals = rng.random(int(beta * n))
+    ids = np.sort(np.concatenate([good, bad_vals]))
+    ring = Ring(ids)
+    bad_mask = np.zeros(ring.n, dtype=bool)
+    bad_set = set(np.round(bad_vals, 12))
+    for i, v in enumerate(ring.ids):
+        if round(float(v), 12) in bad_set:
+            bad_mask[i] = True
+    H = make_input_graph(topology, ring)
+    old = EpochPair(
+        ring=ring,
+        H=H,
+        bad_mask=bad_mask,
+        red1=rng.random(ring.n) < pf0,
+        red2=rng.random(ring.n) < pf0,
+    )
+    new_ids = rng.random(ring.n)
+    new_ring = Ring(new_ids)
+    new_H = make_input_graph(topology, new_ring)
+    fork = rng.bit_generator.state
+    rep2 = build_new_graph(old, new_ring, new_H, 1, params, rng, two_graphs=True)
+    rng_single = np.random.default_rng(seed)
+    rng_single.bit_generator.state = fork
+    rep1 = build_new_graph(
+        old, new_ring, new_H, 1, params, rng_single, two_graphs=False
+    )
+    return rep2.fraction_red, rep1.fraction_red
+
+
+def _pair_row(pf0: float, r2: float, r1: float, n: int) -> list:
+    ratio = r1 / max(r2, 1.0 / n)
+    return [
+        "A: one transition", f"{pf0:.3f}", f"{r2:.4f}", f"{r1:.4f}",
+        f"{ratio:.1f}x", "ratio grows ~1/p_f0",
+    ]
+
+
 def _cell(
     rng: np.random.Generator, *, pf0: float, n: int, beta: float,
     topology: str, seed: int, **_finalize_only,
@@ -90,13 +148,29 @@ def _cell(
     # one sub-seed for both variants: dual and single see the identical
     # population and old-graph colouring, so the ratio is a paired contrast
     sub = int(rng.integers(0, 2**32))
-    r2 = _transition_once(n, beta, pf0, params, True, sub, topology)
-    r1 = _transition_once(n, beta, pf0, params, False, sub, topology)
-    ratio = r1 / max(r2, 1.0 / n)
-    return [[
-        "A: one transition", f"{pf0:.3f}", f"{r2:.4f}", f"{r1:.4f}",
-        f"{ratio:.1f}x", "ratio grows ~1/p_f0",
-    ]]
+    r2, r1 = _transition_pair(n, beta, pf0, params, sub, topology)
+    return [_pair_row(pf0, r2, r1, n)]
+
+
+def _stack(
+    batch: StackedCells, *, n: int, beta: float, topology: str, seed: int,
+    **_finalize_only,
+):
+    """Stacked-cell pass: the ``pf0`` axis as one span.
+
+    Each cell's substrate is keyed by its own stream's sub-seed, so cells
+    cannot share state; the stacked value here is scheduling — one call
+    (and, under the process backend, one shm-transported task per worker
+    span) instead of one task per cell — with the cells computed by the
+    exact per-cell arithmetic.
+    """
+    params = SystemParams(n=n, beta=beta, seed=seed)
+    outs = []
+    for rng, coords in zip(batch.generators(), batch.coords):
+        sub = int(rng.integers(0, 2**32))
+        r2, r1 = _transition_pair(n, beta, coords["pf0"], params, sub, topology)
+        outs.append([_pair_row(coords["pf0"], r2, r1, n)])
+    return outs
 
 
 # Part B delegates to the shared epoch-map model (analysis.regimes), which
@@ -157,6 +231,7 @@ def build_spec(
         ),
         seed=seed,
         finalize=_finalize,
+        stack=_stack,
     )
 
 

@@ -23,11 +23,14 @@ from .montecarlo import (
     spawn_map,
     wilson_interval,
 )
+from .pool import discard_pool, get_pool, pool_stats, shutdown_pool
 from .rng import child, make_rng, spawn, stream_for, tag_entropy
+from .shm import ShmArena, ShmRef, shm_dumps, shm_loads, sweep_run_segments
 from .sweep import (
     Cell,
     CellOut,
     CellResult,
+    StackedCells,
     SweepSpec,
     cells_executed,
     reset_cells_executed,
@@ -42,20 +45,30 @@ __all__ = [
     "CellResult",
     "ExecutionConfig",
     "MCResult",
+    "ShmArena",
+    "ShmRef",
+    "StackedCells",
     "SweepSpec",
     "aggregate_trials",
     "cells_executed",
     "child",
+    "discard_pool",
+    "get_pool",
     "make_rng",
+    "pool_stats",
     "reset_cells_executed",
     "resolve_kernel",
     "run_sweep",
     "run_trials",
     "run_trials_batched",
     "run_trials_parallel",
+    "shm_dumps",
+    "shm_loads",
+    "shutdown_pool",
     "spawn",
     "spawn_map",
     "stream_for",
+    "sweep_run_segments",
     "tag_entropy",
     "wilson_interval",
 ]

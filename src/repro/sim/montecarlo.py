@@ -24,10 +24,12 @@ CLI as ``--backend``/``--workers``):
     the per-trial serial path (documented, not a bug).
 
 Orthogonal to the backend (how trials/cells are *scheduled*), a sweep
-cell may support two *kernels* (how the cell body computes):
+cell may support several *kernels* (how the cell body computes):
 ``"vectorized"`` array kernels — the default execution path for the
-static-case experiments — and the ``"serial"`` reference loops they are
-parity-tested against.  :func:`resolve_kernel` maps an
+static-case experiments — the ``"serial"`` reference loops they are
+parity-tested against, and ``"stacked"`` (sweeps that declare a
+``SweepSpec.stack`` pass run whole spans of independent cells as one
+lockstep array computation).  :func:`resolve_kernel` maps an
 :class:`ExecutionConfig` to the kernel its cells should use: an explicit
 ``backend="serial"`` requests the reference loops, everything else (and
 no config at all) the kernels, and ``ExecutionConfig(kernel=...)``
@@ -44,6 +46,7 @@ clamped to [0, 1].
 
 from __future__ import annotations
 
+import functools
 import math
 import os
 import pickle
@@ -71,7 +74,7 @@ __all__ = [
 ]
 
 BACKENDS = ("serial", "process", "vectorized")
-KERNELS = ("serial", "vectorized")
+KERNELS = ("serial", "vectorized", "stacked")
 
 Trial = Callable[[np.random.Generator], float]
 BatchTrial = Callable[[np.random.Generator, int], np.ndarray]
@@ -90,8 +93,11 @@ class ExecutionConfig:
     chunk_size:
         Trials per work unit (``None`` -> split evenly across workers).
     kernel:
-        Explicit cell-kernel override (``"serial"`` | ``"vectorized"``);
-        ``None`` derives it from the backend via :func:`resolve_kernel`.
+        Explicit cell-kernel override (``"serial"`` | ``"vectorized"`` |
+        ``"stacked"``); ``None`` derives it from the backend via
+        :func:`resolve_kernel`.  ``"stacked"`` requests the stacked-cell
+        pass on sweeps that declare one (``SweepSpec.stack``); specs
+        without one run their cells per-cell vectorized as usual.
     """
 
     backend: str = "serial"
@@ -207,17 +213,19 @@ def _aggregate(vals: np.ndarray, trials: int) -> MCResult:
     return MCResult(mean=mean, std=std, lo=lo, hi=hi, trials=trials, values=vals)
 
 
-def _run_chunk(payload: tuple[bytes, list[np.random.SeedSequence]]) -> list[float]:
+def _run_chunk(payload: tuple[bytes, list[np.random.SeedSequence]]) -> np.ndarray:
     """Worker entry point: run one chunk of trials.
 
     Module-level (picklable under the ``spawn`` start method); the trial is
     shipped pre-pickled so every worker unpickles the identical callable.
+    Returns the chunk as a float array — the shape the shm transport can
+    move through a shared segment instead of the result pipe.
     """
     trial_bytes, seed_seqs = payload
     trial: Trial = pickle.loads(trial_bytes)
-    return [
-        float(trial(np.random.Generator(np.random.PCG64(ss)))) for ss in seed_seqs
-    ]
+    return np.asarray(
+        [float(trial(np.random.Generator(np.random.PCG64(ss)))) for ss in seed_seqs]
+    )
 
 
 def _run_serial(trial: Trial, seed_seqs: Sequence[np.random.SeedSequence]) -> np.ndarray:
@@ -226,32 +234,76 @@ def _run_serial(trial: Trial, seed_seqs: Sequence[np.random.SeedSequence]) -> np
     )
 
 
-def spawn_map(fn: Callable, *iterables, workers: int, mp_method: str = "spawn") -> list:
-    """Order-preserving ``map(fn, *iterables)`` across a spawn process pool.
+def _call_packed(fn: Callable, *args):
+    """Worker-side shm-transport shim: run ``fn`` and pack its result.
+
+    Large arrays in the result land in shared segments
+    (:func:`repro.sim.shm.shm_dumps`); only the small header pickle
+    travels back through the executor's result pipe.
+    """
+    from . import shm as shm_mod
+
+    return shm_mod.shm_dumps(fn(*args))
+
+
+def spawn_map(
+    fn: Callable,
+    *iterables,
+    workers: int,
+    mp_method: str = "spawn",
+    shm_transport: bool = False,
+) -> list:
+    """Order-preserving ``map(fn, *iterables)`` across the warm spawn pool.
 
     The shared dispatch seam for every process-backend call site (trial
-    chunks, E12 churn cases, ``run_all`` experiments): gates on worker and
-    item count (either <= 1 runs serially in-process), sizes the pool to
-    the work, and degrades to the serial map with a warning when the pool's
-    workers die on startup (``BrokenProcessPool``) instead of crashing
-    mid-suite.  ``fn`` must be module-level (picklable under ``spawn``).
+    chunks, sweep cells, E12 churn cases, ``run_all`` experiments): gates
+    on worker and item count (either <= 1 runs serially in-process),
+    draws workers from the process-wide warm pool (``repro.sim.pool`` —
+    spawn cost is paid once per process, not once per call), and degrades
+    to the serial map with a warning when the pool's workers die
+    (``BrokenProcessPool``) instead of crashing mid-suite.  ``fn`` must
+    be module-level (picklable under ``spawn``).
+
+    ``shm_transport=True`` routes results through shared-memory segments
+    (:mod:`repro.sim.shm`): workers pack each result with
+    :func:`~repro.sim.shm.shm_dumps`, the parent decodes — byte-equal
+    values, but large arrays cross the process boundary as headers, not
+    pickled payloads.  A broken pool additionally sweeps the run's
+    orphaned segments (a worker killed mid-write leaves its segment with
+    no consumer).
     """
     items = list(zip(*iterables))
     nworkers = min(workers, len(items))
     if nworkers <= 1:
         return [fn(*args) for args in items]
 
-    import multiprocessing as mp
-    from concurrent.futures import ProcessPoolExecutor
     from concurrent.futures.process import BrokenProcessPool
 
-    ctx = mp.get_context(mp_method)
+    from . import shm as shm_mod
+    from .pool import discard_pool, get_pool
+
     try:
-        with ProcessPoolExecutor(max_workers=nworkers, mp_context=ctx) as pool:
-            # map over the materialized items — the caller's iterables may
-            # be one-shot generators already consumed into `items` above
+        pool = get_pool(nworkers, mp_method)
+        # map over the materialized items — the caller's iterables may
+        # be one-shot generators already consumed into `items` above
+        if not shm_transport:
             return list(pool.map(fn, *zip(*items)))
+        packed = list(
+            pool.map(functools.partial(_call_packed, fn), *zip(*items))
+        )
+        with shm_mod.collect_load_stats() as stats:
+            results = [shm_mod.shm_loads(blob) for blob in packed]
+        emit_default(
+            "shm.bytes",
+            shm_bytes=int(stats.shm_bytes),
+            pickle_bytes=int(sum(len(blob) for blob in packed)),
+            segments=int(stats.segments),
+        )
+        return results
     except BrokenProcessPool as exc:
+        discard_pool()
+        swept = shm_mod.sweep_run_segments()
+        emit_default("pool.broken", workers=nworkers, swept_segments=len(swept))
         warnings.warn(
             f"process pool broke ({exc}); falling back to the serial path",
             RuntimeWarning,
@@ -302,8 +354,11 @@ def run_trials_parallel(
     payloads = [
         (trial_bytes, seed_seqs[i : i + chunk]) for i in range(0, trials, chunk)
     ]
-    chunks = spawn_map(_run_chunk, payloads, workers=nworkers, mp_method=mp_method)
-    vals = np.asarray([v for c in chunks for v in c])
+    chunks = spawn_map(
+        _run_chunk, payloads, workers=nworkers, mp_method=mp_method,
+        shm_transport=True,
+    )
+    vals = np.concatenate([np.asarray(c, dtype=float) for c in chunks])
     return _aggregate(vals, trials)
 
 

@@ -66,6 +66,16 @@ EVENT_TYPES: dict[str, dict[str, tuple]] = {
         "experiment": (str,), "cells": (int,), "kernel": (str,),
         "backend": (str,), "wall_s": _NUMBER,
     },
+    # a sweep silently losing parallelism is not silent any more: emitted
+    # when an unpicklable cell/stack forces the in-process path
+    "sweep.degrade": {"experiment": (str,), "reason": (str,)},
+    # pool layer — warm worker-pool lifecycle + shm result transport volume
+    "pool.spawn": {"workers": (int,), "mp_method": (str,)},
+    "pool.reuse": {"workers": (int,), "requested": (int,)},
+    "pool.broken": {"workers": (int,)},
+    "shm.bytes": {
+        "shm_bytes": (int,), "pickle_bytes": (int,), "segments": (int,),
+    },
     # trial layer — Monte-Carlo loop timings
     "trials.run": {"backend": (str,), "trials": (int,), "wall_s": _NUMBER},
     # bench layer — the perf ledger's row, timings.txt's line, and the

@@ -1,0 +1,95 @@
+"""Property tests: stacked-cell passes == per-cell execution, byte-for-byte.
+
+The stacked-cell contract from the sweep substrate: a ``SweepSpec.stack``
+pass changes *scheduling* — one lockstep call over a span of cells — and
+never values.  For every experiment that declares one (E1, E2, E5), the
+rendered table from the default stacked path must be byte-identical to
+
+* the per-cell vectorized path (``ExecutionConfig(kernel="vectorized")``,
+  the reference oracle the stack is defined against), and
+* the per-cell serial reference loops (``ExecutionConfig(backend="serial")``),
+
+over random grids, scales, and seeds — so the kernel choice can never
+leak into a table.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.e1_responsibility import build_spec as e1_spec
+from repro.experiments.e2_static_search import build_spec as e2_spec
+from repro.experiments.e5_two_graph_ablation import build_spec as e5_spec
+from repro.sim import ExecutionConfig, run_sweep
+
+
+def _assert_kernel_invariant(spec_fn, **kw):
+    stacked = run_sweep(spec_fn(**kw))  # default path: the stacked pass
+    percell = run_sweep(spec_fn(**kw),
+                        exec_config=ExecutionConfig(kernel="vectorized"))
+    serial = run_sweep(spec_fn(**kw),
+                       exec_config=ExecutionConfig(backend="serial"))
+    assert stacked.render() == percell.render()
+    assert stacked.render() == serial.render()
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    n_values=st.lists(
+        st.sampled_from([24, 32, 48, 64]), min_size=1, max_size=3, unique=True
+    ),
+    probes=st.integers(min_value=50, max_value=400),
+)
+@settings(max_examples=10, deadline=None)
+def test_e1_stacked_matches_per_cell(seed, n_values, probes):
+    _assert_kernel_invariant(
+        e1_spec, seed=seed, n_values=tuple(n_values), probes=probes
+    )
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    n=st.sampled_from([48, 64, 96]),
+    pf_values=st.lists(
+        st.floats(min_value=0.0, max_value=0.3, allow_nan=False),
+        min_size=1, max_size=4, unique=True,
+    ),
+    probes=st.integers(min_value=50, max_value=300),
+)
+@settings(max_examples=10, deadline=None)
+def test_e2_stacked_matches_per_cell(seed, n, pf_values, probes):
+    _assert_kernel_invariant(
+        e2_spec, seed=seed, n=n, pf_values=tuple(pf_values), probes=probes
+    )
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    n=st.sampled_from([48, 64]),
+    pf0_values=st.lists(
+        st.floats(min_value=0.005, max_value=0.1, allow_nan=False),
+        min_size=1, max_size=3, unique=True,
+    ),
+)
+@settings(max_examples=6, deadline=None)
+def test_e5_stacked_matches_per_cell(seed, n, pf0_values):
+    _assert_kernel_invariant(
+        e5_spec, seed=seed, n=n, pf0_values=tuple(pf0_values)
+    )
+
+
+def test_process_spans_match_in_process_stack():
+    """One fixed grid per experiment through the process backend: the
+    contiguous worker spans (one stacked call each) must reassemble to
+    the identical table at any worker count."""
+    cases = [
+        (e1_spec, dict(seed=3, n_values=(32, 48), probes=200)),
+        (e2_spec, dict(seed=3, n=64, pf_values=(0.01, 0.05, 0.1), probes=200)),
+        (e5_spec, dict(seed=3, n=64, pf0_values=(0.01, 0.05))),
+    ]
+    for spec_fn, kw in cases:
+        reference = run_sweep(spec_fn(**kw)).render()
+        for workers in (2, 3):
+            cfg = ExecutionConfig(backend="process", workers=workers)
+            assert run_sweep(spec_fn(**kw), exec_config=cfg).render() == \
+                reference

@@ -62,6 +62,23 @@ def crashing_trial(rng: np.random.Generator) -> float:
     return float(rng.random())
 
 
+def big_block(seed: float) -> np.ndarray:
+    """A result large enough to cross the shm divert threshold (256 KiB)."""
+    return np.random.default_rng(int(seed)).random(32_768)
+
+
+def share_then_die(seed: float) -> float:
+    """Worker writes a shared segment, then dies before any consumer
+    attaches (SIGKILL semantics: no unlink, no atexit) — exactly the
+    mid-write crash the run-scoped sweep must recover from."""
+    if _in_pool_worker():
+        from repro.sim import shm
+
+        shm.ShmArena().share(np.zeros(16_384))
+        os._exit(137)
+    return float(seed)
+
+
 class TestExecutionConfig:
     def test_defaults(self):
         cfg = ExecutionConfig()
@@ -192,3 +209,128 @@ class TestFaultInjection:
     def test_worker_exception_is_a_clear_error_not_a_partial_table(self):
         with pytest.raises(RuntimeError, match="exploded mid-chunk"):
             run_trials_parallel(crashing_trial, 12, make_rng(3), workers=2)
+
+
+class TestWarmPool:
+    """The process-wide warm pool: spawn once, reuse everywhere, resize
+    only when a caller genuinely needs more workers."""
+
+    def test_reuse_and_resize(self):
+        from repro.sim.pool import get_pool, pool_stats, shutdown_pool
+
+        shutdown_pool()
+        before = pool_stats()
+        first = get_pool(2)
+        assert get_pool(2) is first        # same request: reuse
+        assert get_pool(1) is first        # smaller request: reuse
+        after = pool_stats()
+        assert after["spawned"] == before["spawned"] + 1
+        assert after["reused"] == before["reused"] + 2
+        bigger = get_pool(3)               # needs more workers: respawn
+        assert bigger is not first
+        final = pool_stats()
+        assert final["spawned"] == after["spawned"] + 1
+        assert final["discarded"] >= after["discarded"] + 1
+        shutdown_pool()
+
+    def test_shutdown_idempotent(self):
+        from repro.sim.pool import pool_stats, shutdown_pool
+
+        shutdown_pool()
+        before = pool_stats()
+        shutdown_pool()                    # nothing to discard: no-op
+        assert pool_stats() == before
+
+    def test_spawn_map_reuses_the_warm_pool(self):
+        from repro.sim.pool import pool_stats, shutdown_pool
+
+        shutdown_pool()
+        before = pool_stats()
+        assert spawn_map(double, [1.0, 2.0, 3.0, 4.0], workers=2) == \
+            [2.0, 4.0, 6.0, 8.0]
+        assert spawn_map(double, [5.0, 6.0], workers=2) == [10.0, 12.0]
+        after = pool_stats()
+        assert after["spawned"] == before["spawned"] + 1
+        assert after["reused"] >= before["reused"] + 1
+
+    def test_spawn_and_reuse_emit_telemetry(self):
+        from repro.sim.pool import get_pool, shutdown_pool
+        from repro.telemetry import TelemetryBuffer, set_default_writer
+
+        shutdown_pool()
+        buf = TelemetryBuffer()
+        previous = set_default_writer(buf)
+        try:
+            get_pool(2)
+            get_pool(2)
+        finally:
+            set_default_writer(previous)
+        (spawn,) = buf.of_type("pool.spawn")
+        assert spawn["workers"] == 2 and spawn["mp_method"] == "spawn"
+        (reuse,) = buf.of_type("pool.reuse")
+        assert reuse["workers"] == 2 and reuse["requested"] == 2
+
+
+class TestShmTransport:
+    """shm_transport moves large results through shared segments: values
+    stay byte-equal, nothing is left behind in /dev/shm, and the byte
+    accounting surfaces as telemetry."""
+
+    def test_spawn_map_shm_parity_and_no_leaks(self):
+        from repro.sim import shm
+
+        seeds = [0.0, 1.0, 2.0, 3.0]
+        plain = spawn_map(big_block, seeds, workers=2)
+        via_shm = spawn_map(big_block, seeds, workers=2, shm_transport=True)
+        assert len(via_shm) == 4
+        for a, b in zip(plain, via_shm):
+            assert np.array_equal(a, b)
+        assert shm.run_segments() == []
+
+    def test_shm_transport_emits_byte_accounting(self):
+        from repro.telemetry import TelemetryBuffer, set_default_writer
+
+        buf = TelemetryBuffer()
+        previous = set_default_writer(buf)
+        try:
+            spawn_map(big_block, [0.0, 1.0, 2.0, 3.0], workers=2,
+                      shm_transport=True)
+        finally:
+            set_default_writer(previous)
+        (event,) = buf.of_type("shm.bytes")
+        # four 256 KiB results, all above the divert threshold: the
+        # segments carried the arrays, the pipe carried headers
+        assert event["segments"] == 4
+        assert event["shm_bytes"] == 4 * 32_768 * 8
+        assert 0 < event["pickle_bytes"] < event["shm_bytes"]
+
+    def test_run_trials_parallel_leaves_no_segments(self):
+        from repro.sim import shm
+
+        serial = run_trials(bernoulli_trial, 24, make_rng(7))
+        par = run_trials_parallel(bernoulli_trial, 24, make_rng(7), workers=2)
+        assert np.array_equal(serial.values, par.values)
+        assert shm.run_segments() == []
+
+    def test_worker_killed_mid_write_leaves_no_segments(self):
+        """The os._exit fault, extended to the shm layer: the dead worker's
+        segment has no consumer, so the broken-pool path must sweep it —
+        and the fallback must still produce every result."""
+        from repro.sim import shm
+        from repro.telemetry import TelemetryBuffer, set_default_writer
+
+        prefix = shm.ensure_run_prefix()
+        buf = TelemetryBuffer()
+        previous = set_default_writer(buf)
+        try:
+            with pytest.warns(RuntimeWarning, match="process pool broke"):
+                out = spawn_map(
+                    share_then_die, [1.0, 2.0, 3.0, 4.0], workers=2,
+                    shm_transport=True,
+                )
+        finally:
+            set_default_writer(previous)
+        assert out == [1.0, 2.0, 3.0, 4.0]  # serial fallback, complete
+        assert shm.run_segments(prefix) == []
+        (broken,) = buf.of_type("pool.broken")
+        assert broken["swept_segments"] >= 1

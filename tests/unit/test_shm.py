@@ -1,0 +1,214 @@
+"""Unit tests: shared-memory result transport (repro.sim.shm).
+
+The load-bearing contracts: a ``share``/``load`` round trip is byte-exact
+and retires its segment, :func:`shm_dumps`/:func:`shm_loads` divert
+exactly the large C-layout ndarrays (everything else pickles inline) and
+restore byte-equal objects, and leak recovery (:func:`run_segments` /
+:func:`sweep_run_segments`) is scoped to one run's name prefix, so a
+sweep can only ever unlink its own strays.
+"""
+
+import os
+import secrets
+
+import numpy as np
+import pytest
+
+from repro.sim import shm
+from repro.sim.shm import (
+    DEFAULT_MIN_BYTES,
+    ShmArena,
+    ShmRef,
+    collect_load_stats,
+    min_bytes,
+    run_segments,
+    shm_dumps,
+    shm_loads,
+    sweep_run_segments,
+)
+
+needs_shm_dir = pytest.mark.skipif(
+    not os.path.isdir("/dev/shm"),
+    reason="platform exposes no /dev/shm to inspect",
+)
+
+
+@pytest.fixture
+def arena():
+    """An arena under its own throwaway prefix, drained after the test."""
+    a = ShmArena(prefix=f"rst{secrets.token_hex(4)}")
+    yield a
+    sweep_run_segments(a.prefix)
+
+
+class TestShmArena:
+    def test_round_trip_byte_exact(self, arena):
+        arr = np.random.default_rng(0).random((64, 32))
+        ref = arena.share(arr)
+        out = arena.load(ref)
+        assert out.dtype == arr.dtype and out.shape == arr.shape
+        assert np.array_equal(out, arr)
+
+    def test_load_unlinks_by_default(self, arena):
+        ref = arena.share(np.arange(16))
+        assert arena.created_names() == {ref.name}
+        arena.load(ref)
+        assert arena.created_names() == set()
+        with pytest.raises(FileNotFoundError):
+            arena.load(ref)
+
+    def test_load_without_unlink_keeps_segment(self, arena):
+        arr = np.arange(100, dtype=np.int64)
+        ref = arena.share(arr)
+        first = arena.load(ref, unlink=False)
+        second = arena.load(ref, unlink=False)
+        assert np.array_equal(first, arr) and np.array_equal(second, arr)
+        assert arena.created_names() == {ref.name}
+        assert arena.unlink_created() == [ref.name]
+
+    def test_unlink_created_drains_everything(self, arena):
+        refs = [arena.share(np.arange(i + 1)) for i in range(3)]
+        assert arena.created_names() == {r.name for r in refs}
+        removed = arena.unlink_created()
+        assert sorted(removed) == sorted(r.name for r in refs)
+        assert arena.created_names() == set()
+        assert arena.unlink_created() == []  # idempotent
+
+    @needs_shm_dir
+    def test_context_manager_leaves_nothing(self):
+        prefix = f"rst{secrets.token_hex(4)}"
+        with ShmArena(prefix=prefix) as a:
+            a.share(np.zeros(256))
+            a.share(np.ones(256))
+            assert len(run_segments(prefix)) == 2
+        assert run_segments(prefix) == []
+
+    def test_empty_array_round_trips(self, arena):
+        ref = arena.share(np.empty(0, dtype=np.float64))
+        assert ref.nbytes == 0
+        out = arena.load(ref)
+        assert out.shape == (0,) and out.dtype == np.float64
+
+    def test_non_contiguous_input(self, arena):
+        arr = np.arange(64).reshape(8, 8)[::2, ::2]
+        assert not arr.flags.c_contiguous
+        out = arena.load(arena.share(arr))
+        assert np.array_equal(out, arr)
+
+    def test_ref_nbytes(self):
+        ref = ShmRef(name="x", shape=(3, 5), dtype="float64")
+        assert ref.nbytes == 3 * 5 * 8
+
+
+class TestShmPickleTransport:
+    def test_small_arrays_stay_inline(self, arena):
+        obj = {"a": np.arange(8), "b": [1.5, "text"]}
+        blob = shm_dumps(obj, threshold=10**9, arena=arena)
+        assert arena.created_names() == set()
+        out = shm_loads(blob)
+        assert np.array_equal(out["a"], obj["a"]) and out["b"] == obj["b"]
+
+    def test_large_arrays_diverted_and_restored(self, arena):
+        arr = np.random.default_rng(1).random(4096)
+        blob = shm_dumps(arr, threshold=0, arena=arena)
+        assert len(arena.created_names()) == 1
+        assert len(blob) < arr.nbytes // 4  # the pipe carries a header
+        out = shm_loads(blob)
+        assert type(out) is np.ndarray and np.array_equal(out, arr)
+
+    @needs_shm_dir
+    def test_load_retires_diverted_segments(self, arena):
+        blob = shm_dumps(np.zeros(4096), threshold=0, arena=arena)
+        assert len(run_segments(arena.prefix)) == 1
+        shm_loads(blob)
+        assert run_segments(arena.prefix) == []
+
+    def test_consumed_exactly_once(self, arena):
+        blob = shm_dumps(np.zeros(4096), threshold=0, arena=arena)
+        shm_loads(blob)
+        with pytest.raises(FileNotFoundError):
+            shm_loads(blob)
+
+    def test_object_dtype_stays_inline(self, arena):
+        arr = np.array([{"x": 1}, None, "s"], dtype=object)
+        blob = shm_dumps(arr, threshold=0, arena=arena)
+        assert arena.created_names() == set()
+        out = shm_loads(blob)
+        assert out.tolist() == arr.tolist()
+
+    def test_threshold_splits_nested_structure(self, arena):
+        big = np.random.default_rng(2).random(1024)      # 8 KiB
+        small = np.arange(4, dtype=np.float64)           # 32 B
+        obj = {"big": big, "small": small, "tag": "mixed",
+               "more": [big * 2, small + 1]}
+        blob = shm_dumps(obj, threshold=1024, arena=arena)
+        assert len(arena.created_names()) == 2  # only the two big arrays
+        out = shm_loads(blob)
+        assert np.array_equal(out["big"], big)
+        assert np.array_equal(out["small"], small)
+        assert np.array_equal(out["more"][0], big * 2)
+        assert np.array_equal(out["more"][1], small + 1)
+        assert out["tag"] == "mixed"
+
+    def test_collect_load_stats_counts_segments_and_bytes(self, arena):
+        a = np.zeros(2048)
+        b = np.ones(1024)
+        blob = shm_dumps((a, b), threshold=0, arena=arena)
+        with collect_load_stats() as stats:
+            shm_loads(blob)
+        assert stats.segments == 2
+        assert stats.shm_bytes == a.nbytes + b.nbytes
+
+    def test_loads_outside_scope_not_counted(self, arena):
+        blob = shm_dumps(np.zeros(2048), threshold=0, arena=arena)
+        shm_loads(blob)  # no scope active: must not raise, not counted
+        blob2 = shm_dumps(np.zeros(2048), threshold=0, arena=arena)
+        with collect_load_stats() as stats:
+            shm_loads(blob2)
+        assert stats.segments == 1
+
+    def test_min_bytes_env_override(self, monkeypatch):
+        assert min_bytes() == DEFAULT_MIN_BYTES
+        monkeypatch.setenv("REPRO_SHM_MIN_BYTES", "128")
+        assert min_bytes() == 128
+        monkeypatch.setenv("REPRO_SHM_MIN_BYTES", "not-a-number")
+        assert min_bytes() == DEFAULT_MIN_BYTES
+
+    def test_default_threshold_follows_env(self, arena, monkeypatch):
+        monkeypatch.setenv("REPRO_SHM_MIN_BYTES", "128")
+        arr = np.zeros(64)  # 512 B >= 128
+        blob = shm_dumps(arr, arena=arena)
+        assert len(arena.created_names()) == 1
+        assert np.array_equal(shm_loads(blob), arr)
+
+
+@needs_shm_dir
+class TestRunScopedRecovery:
+    def test_run_segments_and_sweep_scoped_to_prefix(self):
+        a = ShmArena(prefix=f"rst{secrets.token_hex(4)}")
+        b = ShmArena(prefix=f"rst{secrets.token_hex(4)}")
+        try:
+            a.share(np.zeros(64))
+            a.share(np.zeros(64))
+            b.share(np.zeros(64))
+            assert len(run_segments(a.prefix)) == 2
+            assert len(run_segments(b.prefix)) == 1
+            swept = sweep_run_segments(a.prefix)
+            assert len(swept) == 2
+            assert run_segments(a.prefix) == []
+            # the other run's segment must survive a's sweep
+            assert len(run_segments(b.prefix)) == 1
+        finally:
+            sweep_run_segments(a.prefix)
+            sweep_run_segments(b.prefix)
+
+    def test_sweep_is_idempotent(self):
+        prefix = f"rst{secrets.token_hex(4)}"
+        ShmArena(prefix=prefix).share(np.zeros(16))
+        assert len(sweep_run_segments(prefix)) == 1
+        assert sweep_run_segments(prefix) == []
+
+    def test_ensure_run_prefix_is_stable_and_in_env(self):
+        prefix = shm.ensure_run_prefix()
+        assert prefix and os.environ.get("REPRO_SHM_RUN") == prefix
+        assert shm.ensure_run_prefix() == prefix

@@ -40,6 +40,14 @@ def _mixed_buffer() -> TelemetryBuffer:
              backend="serial", wall_s=0.05)
     buf.emit("trials.run", backend="serial", trials=1000, wall_s=0.5)
     buf.emit("trials.run", backend="vectorized", trials=1000, wall_s=0.1)
+    buf.emit("pool.spawn", workers=4, mp_method="spawn")
+    buf.emit("pool.reuse", workers=4, requested=2)
+    buf.emit("pool.reuse", workers=4, requested=4)
+    buf.emit("pool.broken", workers=4, swept_segments=2)
+    buf.emit("shm.bytes", shm_bytes=600_000, pickle_bytes=300_000, segments=3)
+    buf.emit("shm.bytes", shm_bytes=300_000, pickle_bytes=0, segments=1)
+    buf.emit("sweep.degrade", experiment="E2", reason="unpicklable-cell",
+             detail="PicklingError")
     buf.emit("bench.calibration", wall_s=0.02)
     buf.emit("bench.row", **bench_row("E2", 1024, "serial", 2.0, 1, 1000))
     buf.emit("bench.row", **bench_row("E2", 1024, "vectorized", 0.2, 1, 1000))
@@ -75,6 +83,26 @@ class TestSummary:
         assert speedup["speedup"] == 10.0
         assert bench["calibration_wall_s"] == 0.02
 
+    def test_pool_and_shm_section(self):
+        summary = summarize_events(_mixed_buffer().events)
+        pool = summary["pool"]
+        assert pool["spawns"] == 1
+        assert pool["reuses"] == 2
+        assert pool["broken"] == 1
+        assert pool["swept_segments"] == 2
+        shm = pool["shm"]
+        assert shm["transfers"] == 2
+        assert shm["segments"] == 4
+        assert shm["shm_bytes"] == 900_000
+        assert shm["pickle_bytes"] == 300_000
+        assert shm["shm_fraction"] == 0.75
+        assert pool["degrades"] == {"E2:unpicklable-cell": 1}
+
+    def test_no_pool_events_no_section(self):
+        buf = TelemetryBuffer(clock=lambda: 1.0)
+        buf.emit("trials.run", backend="serial", trials=10, wall_s=0.1)
+        assert "pool" not in summarize_events(buf.events)
+
     def test_unknown_types_counted_not_fatal(self):
         buf = TelemetryBuffer(clock=lambda: 1.0)
         buf.emit("future.metric", whatever=1)
@@ -85,7 +113,9 @@ class TestSummary:
     def test_render_is_text_with_all_sections(self):
         text = render_report(summarize_events(_mixed_buffer().events))
         for needle in ("dispatch funnel", "sweep cells", "trial loops",
-                       "bench ledger", "host calibration", "speedup"):
+                       "bench ledger", "host calibration", "speedup",
+                       "worker pool / shm transport", "off-pipe",
+                       "degrade E2:unpicklable-cell"):
             assert needle in text
 
 

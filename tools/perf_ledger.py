@@ -6,12 +6,14 @@ CI's ``smoke-vectorized`` job downloads the previous run's
 ``BENCH_vectorized`` artifact, re-measures the kernel rows, and runs this
 tool to compare the two files:
 
-* **Gating** (exit 1): the machine-invariant serial/vectorized *speedup
-  ratio* per ``(experiment, n)`` (:func:`repro.analysis.benchio.
-  diff_bench_ratios`).  Both kernels run on the same host in the same
-  process, so host speed divides out of their ratio — a drop of more than
-  ``--max-regression`` (default 20%) means the vectorized kernel itself
-  regressed, whatever machine CI landed on.
+* **Gating** (exit 1): the machine-invariant *speedup ratios* per
+  ``(experiment, n)`` (:func:`repro.analysis.benchio.diff_bench_ratios`)
+  — the kernel pair (``serial``/``vectorized``) and the process
+  backend's cell-scheduling pair (``cells-serial``/``cells-process``,
+  the warm-pool + shm + stacked-span win).  Both sides of a pair run on
+  the same host in the same run, so host speed divides out of the ratio
+  — a drop of more than ``--max-regression`` (default 20%) means the
+  code itself regressed, whatever machine CI landed on.
 * **Warn-only**: absolute wall-clock drift per ``(experiment, n,
   backend)`` (:func:`~repro.analysis.benchio.diff_bench_rows`).  It
   catches everything-got-slower problems a ratio cannot, but across
@@ -123,30 +125,49 @@ def main(argv: list[str] | None = None) -> int:
             "(heterogeneous runners; the speedup ratio below is the gate)"
         )
 
-    # the gate: machine-invariant serial/vectorized speedup per point
-    deltas, regressions = diff_bench_ratios(
-        baseline, current,
-        max_regression=args.max_regression, min_wall_s=args.min_wall,
+    # the gate: machine-invariant speedup ratios per point, for both the
+    # kernel pair (serial/vectorized) and the process backend's
+    # cell-scheduling pair (cells-serial/cells-process)
+    pairs = (
+        ("kernel", ("serial", "vectorized")),
+        ("process", ("cells-serial", "cells-process")),
     )
-    if not deltas:
-        print("perf-ledger: no (experiment, n) point has a serial/vectorized "
-              "pair in both files; warn-only (nothing ratio-comparable)")
-        return 0
-    print(f"perf-ledger: {len(deltas)} comparable speedup point(s) "
-          f"(gate: ratio drop >{args.max_regression:.0%}, "
-          f"noise floor {args.min_wall}s)")
-    flagged = {(d["experiment"], d["n"]) for d in regressions}
-    for d in deltas:
-        mark = "REGRESSION" if (d["experiment"], d["n"]) in flagged else "ok"
-        print(
-            f"  ratio {d['experiment']:>4} n={d['n']:<6} "
-            f"{d['baseline_speedup']:.2f}x -> {d['speedup']:.2f}x "
-            f"({d['ratio']:.2f} of baseline)  {mark}"
+    any_deltas = False
+    all_regressions: list[str] = []
+    for label, backends in pairs:
+        deltas, regressions = diff_bench_ratios(
+            baseline, current,
+            max_regression=args.max_regression, min_wall_s=args.min_wall,
+            backends=backends,
         )
-    if regressions:
+        if not deltas:
+            print(f"perf-ledger: no (experiment, n) point has a "
+                  f"{backends[0]}/{backends[1]} pair in both files; "
+                  f"{label} ratios not comparable")
+            continue
+        any_deltas = True
+        print(f"perf-ledger: {len(deltas)} comparable {label} speedup "
+              f"point(s) (gate: ratio drop >{args.max_regression:.0%}, "
+              f"noise floor {args.min_wall}s)")
+        flagged = {(d["experiment"], d["n"]) for d in regressions}
+        for d in deltas:
+            mark = "REGRESSION" if (d["experiment"], d["n"]) in flagged else "ok"
+            print(
+                f"  ratio {d['experiment']:>4} n={d['n']:<6} "
+                f"{d['baseline_speedup']:.2f}x -> {d['speedup']:.2f}x "
+                f"({d['ratio']:.2f} of baseline)  {mark}"
+            )
+        all_regressions.extend(
+            f"{label} {d['experiment']} n={d['n']}" for d in regressions
+        )
+    if not any_deltas:
+        print("perf-ledger: no ratio-comparable point in both files; "
+              "warn-only (nothing to gate)")
+        return 0
+    if all_regressions:
         print(
-            f"perf-ledger: {len(regressions)} speedup point(s) regressed "
-            f"beyond {args.max_regression:.0%}",
+            f"perf-ledger: {len(all_regressions)} speedup point(s) regressed "
+            f"beyond {args.max_regression:.0%}: {', '.join(all_regressions)}",
             file=sys.stderr,
         )
         return 0 if args.warn_only else 1

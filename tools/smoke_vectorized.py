@@ -26,6 +26,16 @@ bar — is measured only under ``--full-serial`` (CI's full job).  The
 smoke default still times and records the paper-scale *vectorized* row,
 so the ledger's trajectory for the fast path never gaps.
 
+After the kernel cases, the **process-backend** cases (E1/E2/E5 at paper
+scale, ``repro.analysis.benchio.PROCESS_BENCH_CASES``) compare in-process
+execution of the default kernels (``cells-serial``) against the same
+computation dispatched across the warm worker pool with shared-memory
+result transport (``cells-process``): tables must stay byte-identical,
+and on hosts with >= 4 usable cores the process side must beat serial by
+each case's ``min_ratio`` bar (scaled by ``--process-margin``) — the
+ROADMAP item-3 acceptance.  On smaller hosts the ratio is recorded
+warn-only (a pool cannot beat one core).
+
 Every measurement is also emitted as telemetry (``bench.row`` /
 ``bench.calibration`` events, default ``<out dir>/telemetry.jsonl``),
 along with a per-run host-calibration row — a fixed NumPy workload timing
@@ -80,6 +90,17 @@ def main(argv: list[str] | None = None) -> int:
              "smoke default replaces it with a quick-scale parity check",
     )
     ap.add_argument(
+        "--process-margin", type=float, default=1.0,
+        help="scale every process case's min_ratio bar by this factor "
+             "(the bar itself is 1.0 = process strictly beats serial; "
+             "only enforced on hosts with >= 4 usable cores)",
+    )
+    ap.add_argument(
+        "--skip-process", action="store_true",
+        help="skip the process-backend (cells-serial vs cells-process) "
+             "cases entirely",
+    )
+    ap.add_argument(
         "--only", nargs="*", default=None, metavar="EXP",
         help="restrict to these experiment IDs (default: all cases)",
     )
@@ -101,6 +122,8 @@ def main(argv: list[str] | None = None) -> int:
         BENCH_FILENAME,
         KERNEL_BENCH_CASES,
         KERNEL_BENCH_CASES_QUICK,
+        PROCESS_BENCH_CASES,
+        PROCESS_BENCH_CASES_QUICK,
         bench_row,
         calibration_row,
         measure_calibration,
@@ -108,7 +131,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     from repro.experiments import run_experiment
     from repro.sim import ExecutionConfig
-    from repro.telemetry import TelemetryWriter
+    from repro.sim.pool import get_pool, shutdown_pool
+    from repro.telemetry import TelemetryWriter, set_default_writer
 
     out_path = pathlib.Path(
         args.out
@@ -123,16 +147,29 @@ def main(argv: list[str] | None = None) -> int:
     )
     serial_cfg = ExecutionConfig(backend="serial")
     cases = KERNEL_BENCH_CASES_QUICK if args.quick else KERNEL_BENCH_CASES
+    process_cases = (
+        {} if args.skip_process
+        else (PROCESS_BENCH_CASES_QUICK if args.quick else PROCESS_BENCH_CASES)
+    )
     if args.only:
         wanted = {name.upper() for name in args.only}
-        unknown = wanted - set(cases)
+        unknown = wanted - (set(cases) | set(process_cases))
         if unknown:
-            print(f"unknown case(s) {sorted(unknown)}; have {sorted(cases)}",
+            print(f"unknown case(s) {sorted(unknown)}; have "
+                  f"{sorted(set(cases) | set(process_cases))}",
                   file=sys.stderr)
             return 2
         cases = {k: v for k, v in cases.items() if k in wanted}
+        process_cases = {
+            k: v for k, v in process_cases.items() if k in wanted
+        }
 
     telemetry = TelemetryWriter(telemetry_path)
+    # install as the process-default sink too, so the runtime's own events
+    # (sweep.run, pool.spawn/reuse, shm.bytes, sweep.degrade) land in the
+    # same artifact as the bench rows — the report CLI's pool/shm section
+    # reads them back
+    previous_writer = set_default_writer(telemetry)
     cal_wall = measure_calibration()
     telemetry.emit("bench.calibration", wall_s=round(cal_wall, 6))
     print(f"host calibration: {cal_wall:.4f}s (fixed NumPy workload)")
@@ -192,10 +229,59 @@ def main(argv: list[str] | None = None) -> int:
                 f"{name}: speedup {speedup:.1f}x < "
                 f"{bar}x * margin {args.speedup_margin}"
             )
+    import os
+
+    cores = os.cpu_count() or 1
+    for name, case in process_cases.items():
+        kwargs = dict(case["kwargs"], seed=args.seed)
+        workers = case["workers"]
+        # warm the pool before timing: the warm pool pays spawn once per
+        # process by design, so the steady-state scheduling win — not the
+        # one-off boot — is what the row records
+        get_pool(workers)
+        in_table, t_in = _timed(lambda: run_experiment(name, **kwargs))
+        proc_cfg = ExecutionConfig(backend="process", workers=workers)
+        proc_table, t_proc = _timed(
+            lambda: run_experiment(name, exec_config=proc_cfg, **kwargs)
+        )
+        if in_table.render() != proc_table.render():
+            failures.append(
+                f"{name}: in-process and process-backend tables differ"
+            )
+            continue
+        ratio = t_in / t_proc
+        rows.append(dict(
+            experiment=name, n=case["n"], backend="cells-serial",
+            wall_s=t_in, cells=case["cells"], trials=case["trials"],
+        ))
+        rows.append(dict(
+            experiment=name, n=case["n"], backend="cells-process",
+            wall_s=t_proc, cells=case["cells"], trials=case["trials"],
+        ))
+        bar = case.get("min_ratio")
+        enforce = bar is not None and cores >= 4
+        print(
+            f"{name} (n={case['n']}): cells-serial {t_in:.3f}s / "
+            f"cells-process {t_proc:.3f}s = {ratio:.2f}x "
+            f"({workers} workers), tables identical"
+            + ("" if enforce else
+               f" (bar not enforced: "
+               f"{'parity-only case' if bar is None else f'{cores} core(s)'})")
+        )
+        if enforce and ratio < bar * args.process_margin:
+            failures.append(
+                f"{name}: process backend did not beat serial — "
+                f"{ratio:.2f}x < {bar}x * margin {args.process_margin} "
+                f"({workers} workers on {cores} cores)"
+            )
+    if process_cases:
+        shutdown_pool()
+
     for row in rows:
         # normalize exactly as record_bench_rows will: the event stream and
         # the ledger file must hold byte-equal rows
         telemetry.emit("bench.row", **bench_row(**row))
+    set_default_writer(previous_writer)
     telemetry.close()
     record_bench_rows(out_path, rows)
     print(f"wrote {len(rows)} rows to {out_path} "
