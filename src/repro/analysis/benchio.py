@@ -50,10 +50,12 @@ __all__ = [
     "KERNEL_BENCH_CASES_QUICK",
     "PROCESS_BENCH_CASES",
     "PROCESS_BENCH_CASES_QUICK",
+    "SCALE_BENCH_FILENAME",
     "bench_row",
     "calibration_row",
     "diff_bench_ratios",
     "diff_bench_rows",
+    "diff_mem_rows",
     "measure_calibration",
     "read_bench_rows",
     "record_bench_rows",
@@ -61,6 +63,10 @@ __all__ = [
 ]
 
 BENCH_FILENAME = "BENCH_vectorized.json"
+
+# the memory-scaling ledger (``benchmarks/bench_scale.py``): same row
+# shape plus the optional ``peak_rss_mb`` column, gated by diff_mem_rows
+SCALE_BENCH_FILENAME = "BENCH_scale.json"
 
 # the per-run host-speed measurement's ledger key (n=0, backend="host")
 CALIBRATION_EXPERIMENT = "CALIBRATION"
@@ -238,6 +244,50 @@ def diff_bench_rows(
             float(row["wall_s"]) < min_wall_s and float(ref["wall_s"]) < min_wall_s
         )
         if ratio > 1.0 + max_regression and not noise_floor:
+            regressions.append(delta)
+    return deltas, regressions
+
+
+def diff_mem_rows(
+    baseline: list[dict],
+    current: list[dict],
+    max_regression: float = 0.20,
+    min_mb: float = 32.0,
+) -> tuple[list[dict], list[dict]]:
+    """Diff two bench-row sets' ``peak_rss_mb`` columns — the memory gate.
+
+    Returns ``(deltas, regressions)``: one delta per ``(experiment, n,
+    backend)`` key carrying a positive ``peak_rss_mb`` in both sets
+    (``ratio`` = current peak over baseline, ``kb_per_node`` from the
+    current row), and the subset whose current peak exceeds ``(1 +
+    max_regression) * baseline``.  Unlike wall clock, peak RSS is largely
+    machine-invariant for a fixed workload, so the absolute ratio *is*
+    the gate.  Keys where both peaks sit under ``min_mb`` are reported
+    but never flagged: down there the interpreter's own footprint
+    (allocator arenas, import churn) swamps any kernel change.
+    """
+    base = {tuple(r.get(k) for k in _ROW_KEY): r for r in baseline}
+    deltas: list[dict] = []
+    regressions: list[dict] = []
+    for row in current:
+        key = tuple(row.get(k) for k in _ROW_KEY)
+        ref = base.get(key)
+        if ref is None or not ref.get("peak_rss_mb") or not row.get("peak_rss_mb"):
+            continue
+        cur_mb = float(row["peak_rss_mb"])
+        base_mb = float(ref["peak_rss_mb"])
+        delta = {
+            "experiment": row["experiment"],
+            "n": row["n"],
+            "backend": row["backend"],
+            "baseline_peak_rss_mb": base_mb,
+            "peak_rss_mb": cur_mb,
+            "ratio": round(cur_mb / base_mb, 4),
+            "kb_per_node": round(cur_mb * 1024.0 / max(1, int(row["n"])), 3),
+        }
+        deltas.append(delta)
+        noise_floor = cur_mb < min_mb and base_mb < min_mb
+        if cur_mb > (1.0 + max_regression) * base_mb and not noise_floor:
             regressions.append(delta)
     return deltas, regressions
 

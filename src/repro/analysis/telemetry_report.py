@@ -34,6 +34,7 @@ from .benchio import read_bench_rows, speedup_rows
 __all__ = [
     "bench_rows_from_events",
     "check_bench",
+    "render_mem_report",
     "render_report",
     "summarize_events",
 ]
@@ -82,10 +83,14 @@ def bench_rows_from_events(events: list[dict]) -> list[dict]:
         if event.get("type") != "bench.row":
             continue
         try:
-            row = bench_row(**{
+            fields = {
                 k: event[k]
                 for k in ("experiment", "n", "backend", "wall_s", "cells", "trials")
-            })
+            }
+            peak = event.get("peak_rss_mb")
+            if isinstance(peak, (int, float)) and not isinstance(peak, bool):
+                fields["peak_rss_mb"] = peak
+            row = bench_row(**fields)
         except (KeyError, TypeError, ValueError):
             continue  # malformed/foreign row event: skip, never crash
         merged[tuple(row[k] for k in _ROW_KEY)] = row
@@ -186,6 +191,43 @@ def summarize_events(events: list[dict]) -> dict:
                 for e in degrades
             ))
         summary["pool"] = pool
+
+    # -- memory: peak-RSS samples + input-transport volume ------------------
+    peaks = by_type.get("mem.peak", [])
+    shm_inputs = by_type.get("shm.input_bytes", [])
+    if peaks or shm_inputs:
+        phases: dict[str, list[float]] = {}
+        for e in peaks:
+            value = e.get("peak_rss_mb")
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                phases.setdefault(str(e.get("phase", "?")), []).append(float(value))
+        mem: dict = {
+            "samples": sum(len(vs) for vs in phases.values()),
+            # ru_maxrss is a lifetime high-water mark, so the overall peak
+            # is the max over every sample whatever phase reached it first
+            "peak_rss_mb": round(
+                max((max(vs) for vs in phases.values()), default=0.0), 3
+            ) or None,
+            "phases": {
+                phase: {
+                    "samples": len(vs),
+                    "p50": round(sorted(vs)[len(vs) // 2], 3),
+                    "max": round(max(vs), 3),
+                }
+                for phase, vs in sorted(phases.items())
+            },
+        }
+        if shm_inputs:
+            in_shm = sum(int(e.get("shm_bytes", 0)) for e in shm_inputs)
+            in_pipe = sum(int(e.get("pickle_bytes", 0)) for e in shm_inputs)
+            mem["input_shm"] = {
+                "transfers": len(shm_inputs),
+                "segments": sum(int(e.get("segments", 0)) for e in shm_inputs),
+                "shm_bytes": in_shm,
+                "pickle_bytes": in_pipe,
+                "shm_fraction": round(in_shm / max(1, in_shm + in_pipe), 4),
+            }
+        summary["mem"] = mem
 
     # -- trial loops -------------------------------------------------------
     trial_events = by_type.get("trials.run", [])
@@ -290,6 +332,11 @@ def render_report(summary: dict) -> str:
         for key, count in sorted(pool.get("degrades", {}).items()):
             lines.append(f"  degrade {key:<20} {count}")
 
+    mem = summary.get("mem")
+    if mem:
+        lines.append("")
+        lines.extend(_mem_lines(mem))
+
     trials = summary.get("trials")
     if trials:
         lines.append("")
@@ -305,11 +352,14 @@ def render_report(summary: dict) -> str:
         lines.append("")
         lines.append("bench ledger (from bench.row events):")
         for row in bench["rows"]:
-            lines.append(
+            line = (
                 f"  {row['experiment']:>11} n={row['n']:<6} "
                 f"{row['backend']:<10} {row['wall_s']:.4f}s "
                 f"cells={row['cells']} trials={row['trials']}"
             )
+            if row.get("peak_rss_mb") is not None:
+                line += f" peak={row['peak_rss_mb']:.1f}MB"
+            lines.append(line)
         for s in bench["speedups"]:
             lines.append(
                 f"  speedup {s['experiment']:>4} n={s['n']:<6} "
@@ -321,6 +371,43 @@ def render_report(summary: dict) -> str:
                 f"  host calibration {bench['calibration_wall_s']:.4f}s"
             )
     return "\n".join(lines)
+
+
+def _mem_lines(mem: dict) -> list[str]:
+    """The memory section's text lines (shared by both report views)."""
+    lines = ["memory (mem.peak / shm.input_bytes):"]
+    if mem.get("peak_rss_mb") is not None:
+        lines.append(
+            f"  peak RSS          {mem['peak_rss_mb']:.1f}MB "
+            f"({mem['samples']} sample(s))"
+        )
+    for phase, stats in mem.get("phases", {}).items():
+        lines.append(
+            f"  phase {phase:<18} samples={stats['samples']} "
+            f"p50={stats['p50']:.1f}MB max={stats['max']:.1f}MB"
+        )
+    shm = mem.get("input_shm")
+    if shm:
+        lines.append(
+            f"  input shm transfers={shm['transfers']} "
+            f"segments={shm['segments']} "
+            f"shm={shm['shm_bytes']}B pipe={shm['pickle_bytes']}B "
+            f"({shm['shm_fraction']:.0%} off-pipe)"
+        )
+    return lines
+
+
+def render_mem_report(summary: dict) -> str:
+    """Just the memory section (``repro telemetry report --mem``).
+
+    Mirrors the pool/shm focused view: the peak-RSS high-water mark,
+    per-phase sample trends from the chunked hot paths, and the
+    input-transport volume — without the full multi-layer report.
+    """
+    mem = summary.get("mem")
+    if not mem:
+        return "no memory events (mem.peak / shm.input_bytes) in this stream"
+    return "\n".join(_mem_lines(mem))
 
 
 def check_bench(events: list[dict], bench_path) -> list[str]:

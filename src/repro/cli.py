@@ -35,7 +35,7 @@ Commands
     ``--keep-latest-per-experiment`` exempts each experiment's newest
     entry from eviction (alone, it evicts everything else) — the janitor
     policy for stores that accumulated entries across version bumps.
-``telemetry report --events F [--json] [--check-bench BENCH] [--write-bench BENCH]``
+``telemetry report --events F [--json] [--mem] [--check-bench BENCH] [--write-bench BENCH]``
     Summarise a :mod:`repro.telemetry` jsonl stream (dispatch funnel with
     lease-latency percentiles, per-sweep cell timing trends, trial-loop
     totals, bench ledger rows + host calibration).  ``--check-bench``
@@ -248,6 +248,7 @@ def _cmd_telemetry(args) -> int:
     from .analysis.telemetry_report import (
         bench_rows_from_events,
         check_bench,
+        render_mem_report,
         render_report,
         summarize_events,
     )
@@ -263,7 +264,9 @@ def _cmd_telemetry(args) -> int:
         print(f"telemetry report: no events in {args.events}", file=sys.stderr)
         return 1
     summary = summarize_events(events)
-    if args.json:
+    if getattr(args, "mem", False):
+        print(render_mem_report(summary))
+    elif args.json:
         print(json.dumps(summary, indent=2, sort_keys=True))
     else:
         print(render_report(summary))
@@ -457,6 +460,11 @@ def build_parser() -> argparse.ArgumentParser:
     ptr.add_argument(
         "--json", action="store_true",
         help="emit the structured summary as JSON instead of text",
+    )
+    ptr.add_argument(
+        "--mem", action="store_true",
+        help="render only the memory section (mem.peak phase trends + "
+             "shm.input_bytes transport volume)",
     )
     ptr.add_argument(
         "--check-bench", default=None, metavar="BENCH",

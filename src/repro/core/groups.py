@@ -55,6 +55,22 @@ def _require_kernel(kernel: str) -> None:
         raise ValueError(f"unknown kernel {kernel!r}; choose from {KERNELS}")
 
 
+def _as_index(arr) -> np.ndarray:
+    """Coerce to an index array, preserving an already-narrow int32 layout."""
+    arr = np.asarray(arr)
+    if arr.dtype == np.int32 or arr.dtype == np.int64:
+        return arr
+    return arr.astype(np.int64)
+
+
+def _narrow_indptr(ring: Ring, indptr: np.ndarray) -> np.ndarray:
+    """Store ``indptr`` at the ring's index dtype when its totals fit."""
+    dt = ring.index_dtype
+    if indptr.size and int(indptr[-1]) <= np.iinfo(dt).max:
+        return indptr.astype(dt, copy=False)
+    return indptr
+
+
 class GroupSet:
     """CSR collection of ``n_groups`` member lists over a ring of IDs.
 
@@ -67,9 +83,11 @@ class GroupSet:
 
     def __init__(self, leaders: np.ndarray, indptr: np.ndarray,
                  member_idx: np.ndarray, n_ids: int):
+        # index arrays keep the builder's (ring-policy) dtype — at n = 10^6
+        # the flat member list is the biggest array the static pipeline owns
         self.leaders = np.asarray(leaders, dtype=np.int64)
-        self.indptr = np.asarray(indptr, dtype=np.int64)
-        self.member_idx = np.asarray(member_idx, dtype=np.int64)
+        self.indptr = _as_index(indptr)
+        self.member_idx = _as_index(member_idx)
         self.n_groups = int(self.leaders.size)
         self.n_ids = int(n_ids)
         if self.indptr.size != self.n_groups + 1:
@@ -126,7 +144,8 @@ def _points_to_csr(ring: Ring, pts: np.ndarray) -> tuple[np.ndarray, np.ndarray]
     """
     ng, m = pts.shape
     if pts.size == 0:  # no leaders or zero solicit: all-empty groups
-        return np.zeros(ng + 1, dtype=np.int64), np.empty(0, dtype=np.int64)
+        return (np.zeros(ng + 1, dtype=ring.index_dtype),
+                np.empty(0, dtype=ring.index_dtype))
     idx = ring.successor_index_bulk(pts.ravel()).reshape(ng, m)
     idx.sort(axis=1)
     keep = np.empty((ng, m), dtype=bool)
@@ -134,7 +153,8 @@ def _points_to_csr(ring: Ring, pts: np.ndarray) -> tuple[np.ndarray, np.ndarray]
     np.not_equal(idx[:, 1:], idx[:, :-1], out=keep[:, 1:])
     indptr = np.zeros(ng + 1, dtype=np.int64)
     np.cumsum(keep.sum(axis=1), out=indptr[1:])
-    return indptr, idx[keep].astype(np.int64, copy=False)
+    # member indices inherit ring.index_dtype from the bulk lookup
+    return _narrow_indptr(ring, indptr), idx[keep]
 
 
 def build_groups(
@@ -176,8 +196,10 @@ def build_groups(
         rows.append(members)
     indptr = np.zeros(len(rows) + 1, dtype=np.int64)
     indptr[1:] = np.cumsum([r.size for r in rows])
-    member_idx = np.concatenate(rows) if rows else np.empty(0, dtype=np.int64)
-    return GroupSet(np.asarray(leaders), indptr, member_idx, ring.n)
+    member_idx = (np.concatenate(rows) if rows
+                  else np.empty(0, dtype=ring.index_dtype))
+    return GroupSet(np.asarray(leaders), _narrow_indptr(ring, indptr),
+                    member_idx, ring.n)
 
 
 def build_groups_fast(
@@ -213,8 +235,9 @@ def build_groups_fast(
     rows = [np.unique(idx[g]) for g in range(ng)]
     indptr = np.zeros(ng + 1, dtype=np.int64)
     indptr[1:] = np.cumsum([r.size for r in rows])
-    member_idx = np.concatenate(rows) if rows else np.empty(0, dtype=np.int64)
-    return GroupSet(leaders, indptr, member_idx, ring.n)
+    member_idx = (np.concatenate(rows) if rows
+                  else np.empty(0, dtype=ring.index_dtype))
+    return GroupSet(leaders, _narrow_indptr(ring, indptr), member_idx, ring.n)
 
 
 def classify_groups(

@@ -35,8 +35,35 @@ __all__ = [
     "constructive_static_graph",
     "measure_static_search",
     "measure_static_search_routed",
+    "measure_static_search_streamed",
     "measure_responsibility_bound",
 ]
+
+
+def _finish_stats(
+    gg: GroupGraph,
+    probes: int,
+    resp_constant: float,
+    failure_rate: float,
+    mean_path_len: float,
+    max_responsibility: float,
+) -> StaticSearchStats:
+    """Assemble the stats record from the three measured reductions."""
+    n = gg.n
+    c = gg.H.congestion_exponent
+    log_n = np.log(max(np.e, n))
+    rho_bound = resp_constant * (log_n**c) / n
+    pf = gg.fraction_red
+    return StaticSearchStats(
+        n=n,
+        pf=pf,
+        probes=probes,
+        failure_rate=float(failure_rate),
+        mean_search_path_len=float(mean_path_len),
+        max_responsibility=float(max_responsibility),
+        responsibility_bound=float(rho_bound),
+        x_upper_pred=float(min(1.0, pf * resp_constant * (log_n**c))),
+    )
 
 
 @dataclass(frozen=True)
@@ -96,6 +123,7 @@ def measure_static_search(
     gg: GroupGraph, probes: int, rng: np.random.Generator,
     resp_constant: float = 8.0,
     kernel: str = "vectorized",
+    probe_chunk: int | None = None,
 ) -> StaticSearchStats:
     """Measure ``X`` and ``rho`` on a marked group graph.
 
@@ -109,6 +137,11 @@ def measure_static_search(
     ``kernel="serial"`` is the per-probe reference loop (one scalar
     secure search per probe).  Both consume identical RNG draws and
     produce identical statistics — the sweep substrate parity-tests them.
+
+    ``probe_chunk`` (vectorized kernel only) streams the probes through
+    fixed-size windows via :func:`measure_static_search_streamed`: the RNG
+    draws happen once up front exactly as here, so results are bit-equal
+    at any window size while the transient tables stay window-bounded.
     """
     n = gg.n
     # same draw order as InputGraph.random_route_batch, so stats (and every
@@ -131,24 +164,18 @@ def measure_static_search(
         failure_rate = 1.0 - delivered / probes
         mean_path_len = path_len_total / probes
         resp = counts.astype(np.float64) / probes
-    else:
-        return measure_static_search_routed(
-            gg, gg.H.route_many(sources, targets), probes,
-            resp_constant=resp_constant,
+        return _finish_stats(
+            gg, probes, resp_constant, failure_rate, mean_path_len,
+            float(resp.max()),
         )
-    c = gg.H.congestion_exponent
-    log_n = np.log(max(np.e, n))
-    rho_bound = resp_constant * (log_n**c) / n
-    pf = gg.fraction_red
-    return StaticSearchStats(
-        n=n,
-        pf=pf,
-        probes=probes,
-        failure_rate=float(failure_rate),
-        mean_search_path_len=float(mean_path_len),
-        max_responsibility=float(resp.max()),
-        responsibility_bound=float(rho_bound),
-        x_upper_pred=float(min(1.0, pf * resp_constant * (log_n**c))),
+    if probe_chunk is not None and 0 < probe_chunk < probes:
+        return measure_static_search_streamed(
+            gg, sources, targets, probes,
+            resp_constant=resp_constant, probe_chunk=probe_chunk,
+        )
+    return measure_static_search_routed(
+        gg, gg.H.route_many(sources, targets), probes,
+        resp_constant=resp_constant,
     )
 
 
@@ -174,19 +201,57 @@ def measure_static_search_routed(
     mean_path_len = float(mask.sum(axis=1).mean())
     visited = batch.paths[mask]
     resp = np.bincount(visited, minlength=n).astype(np.float64) / probes
-    c = gg.H.congestion_exponent
-    log_n = np.log(max(np.e, n))
-    rho_bound = resp_constant * (log_n**c) / n
-    pf = gg.fraction_red
-    return StaticSearchStats(
-        n=n,
-        pf=pf,
-        probes=probes,
-        failure_rate=float(failure_rate),
-        mean_search_path_len=float(mean_path_len),
-        max_responsibility=float(resp.max()),
-        responsibility_bound=float(rho_bound),
-        x_upper_pred=float(min(1.0, pf * resp_constant * (log_n**c))),
+    return _finish_stats(
+        gg, probes, resp_constant, failure_rate, mean_path_len,
+        float(resp.max()),
+    )
+
+
+def measure_static_search_streamed(
+    gg: GroupGraph,
+    sources: np.ndarray,
+    targets: np.ndarray,
+    probes: int,
+    resp_constant: float = 8.0,
+    probe_chunk: int | None = None,
+) -> StaticSearchStats:
+    """Window-streamed variant of :func:`measure_static_search_routed`.
+
+    Routes and classifies at most ``probe_chunk`` probes at a time, so the
+    peak transient footprint is the window's ``(chunk, width)`` tables
+    instead of the whole batch's — the difference between fitting and not
+    fitting the 100k-probe workload at n = 10^6 in a ~4 GB budget.
+
+    Every statistic reduces across windows through *integer* accumulators
+    (delivered count, search-path cell count, per-node visit counts) and
+    divides by ``probes`` once at the end — exactly how the one-shot kernel
+    computes its float reductions (mean = sum / probes), so the streamed
+    stats are bit-equal at any window size.  Each window emits a
+    ``mem.peak`` telemetry event (phase ``static.search``).
+    """
+    from ..telemetry import emit_peak
+
+    n = gg.n
+    router = SecureRouter(gg)
+    chunk = probes if not probe_chunk or probe_chunk <= 0 else int(probe_chunk)
+    delivered_total = 0
+    path_cells_total = 0
+    counts = np.zeros(n, dtype=np.int64)
+    for ci, start in enumerate(range(0, probes, chunk)):
+        window = slice(start, start + chunk)
+        routed = gg.H.route_many(sources[window], targets[window])
+        out = router.route_outcomes(routed)
+        mask = out.search_path_mask()
+        delivered_total += int(out.delivered.sum())
+        path_cells_total += int(mask.sum())
+        counts += np.bincount(routed.paths[mask], minlength=n)
+        emit_peak("static.search", chunk=ci)
+    failure_rate = 1.0 - delivered_total / probes
+    mean_path_len = path_cells_total / probes
+    resp = counts.astype(np.float64) / probes
+    return _finish_stats(
+        gg, probes, resp_constant, failure_rate, mean_path_len,
+        float(resp.max()),
     )
 
 

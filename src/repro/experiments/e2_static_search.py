@@ -28,6 +28,7 @@ from ..core.params import SystemParams
 from ..core.static_case import (
     measure_static_search,
     measure_static_search_routed,
+    measure_static_search_streamed,
     synthetic_static_graph,
 )
 from ..inputgraph import make_input_graph
@@ -50,6 +51,7 @@ def _cell_out(pf: float, stats) -> CellOut:
 def _cell(
     rng: np.random.Generator, *, pf: float, topology: str, n: int,
     probes: int, seed: int, kernel: str = "vectorized",
+    probe_chunk: int | None = None,
 ):
     # identical substrate in every cell: the graph is a function of the
     # experiment seed, so only the red colouring and probes vary with p_f
@@ -57,13 +59,15 @@ def _cell(
     H = make_input_graph(topology, ids)
     params = SystemParams(n=n, seed=seed)
     gg = synthetic_static_graph(H, params, pf, rng)
-    stats = measure_static_search(gg, probes, rng, kernel=kernel)
+    stats = measure_static_search(
+        gg, probes, rng, kernel=kernel, probe_chunk=probe_chunk
+    )
     return _cell_out(pf, stats)
 
 
 def _stack(
     batch: StackedCells, *, topology: str, n: int, probes: int, seed: int,
-    kernel: str = "vectorized",
+    kernel: str = "vectorized", probe_chunk: int | None = None,
 ):
     """Stacked-cell pass: the whole ``p_f`` axis sharing one substrate.
 
@@ -87,9 +91,16 @@ def _stack(
         # same draw order as measure_static_search
         sources = rng.integers(0, n, size=probes)
         targets = rng.random(probes)
-        stats = measure_static_search_routed(
-            gg, H.route_many(sources, targets), probes
-        )
+        if probe_chunk is not None and 0 < probe_chunk < probes:
+            # window-streamed variant: bit-equal at any window size (all
+            # stats reduce through integer accumulators / probes)
+            stats = measure_static_search_streamed(
+                gg, sources, targets, probes, probe_chunk=probe_chunk
+            )
+        else:
+            stats = measure_static_search_routed(
+                gg, H.route_many(sources, targets), probes
+            )
         outs.append(_cell_out(coords["pf"], stats))
     return outs
 
@@ -117,6 +128,7 @@ def build_spec(
     n: int | None = None,
     pf_values: tuple[float, ...] = (0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1),
     probes: int | None = None,
+    probe_chunk: int | None = None,
 ) -> SweepSpec:
     n = n or (1024 if fast else 4096)
     probes = probes or (20_000 if fast else 100_000)
@@ -129,7 +141,10 @@ def build_spec(
         ],
         cell=_cell,
         axes=(("pf", tuple(pf_values)),),
-        context=dict(topology=topology, n=n, probes=probes, seed=seed),
+        context=dict(
+            topology=topology, n=n, probes=probes, seed=seed,
+            probe_chunk=probe_chunk,
+        ),
         seed=seed,
         finalize=_finalize,
         pass_kernel=True,

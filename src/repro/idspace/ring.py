@@ -34,7 +34,42 @@ __all__ = [
     "Ring",
     "estimate_ln_n",
     "estimate_ln_ln_n",
+    "index_dtype_for",
 ]
+
+
+def index_dtype_for(n: int, policy: str | np.dtype | None = "auto") -> np.dtype:
+    """Resolve the storage dtype for ring indices of an ``n``-ID system.
+
+    ``"auto"`` (the default) selects int32 whenever every ring index fits —
+    ``n < 2**31`` — halving the persistent CSR/finger/LUT footprint at any
+    scale this simulator reaches in practice.  ``"int64"`` forces the wide
+    layout (the byte-identity oracle for the narrowing property tests);
+    ``"int32"`` demands the narrow layout and *refuses* — ``ValueError`` —
+    when indices would not fit, rather than silently wrapping.
+
+    Only storage narrows: index *values* are identical under every policy,
+    and RNG draws / float accumulations never pass through this dtype.
+    """
+    if policy is None:
+        policy = "auto"
+    if not isinstance(policy, str):
+        policy = np.dtype(policy).name
+    fits = n <= np.iinfo(np.int32).max
+    if policy == "int64":
+        return np.dtype(np.int64)
+    if policy == "int32":
+        if not fits:
+            raise ValueError(
+                f"index_dtype 'int32' cannot address n={n} ids (>= 2**31); "
+                "use 'auto' or 'int64'"
+            )
+        return np.dtype(np.int32)
+    if policy == "auto":
+        return np.dtype(np.int32) if fits else np.dtype(np.int64)
+    raise ValueError(
+        f"unknown index_dtype policy {policy!r}; choose 'auto', 'int32' or 'int64'"
+    )
 
 
 _ALMOST_ONE = float(np.nextafter(1.0, 0.0))
@@ -82,6 +117,11 @@ class Ring:
     ids:
         Iterable of ID values in ``[0, 1)``.  Duplicates are dropped;
         values outside the range raise ``ValueError``.
+    index_dtype:
+        Policy for the dtype of returned ring indices — ``"auto"``
+        (default: int32 when ``n < 2**31``), ``"int32"`` (refuses larger
+        rings), or ``"int64"`` (the wide oracle).  See
+        :func:`index_dtype_for`.  Index values never depend on the policy.
 
     Notes
     -----
@@ -92,9 +132,13 @@ class Ring:
     instead of per-object Python dictionaries.
     """
 
-    __slots__ = ("ids", "n", "_succ_lut", "_ids_ext")
+    __slots__ = ("ids", "n", "index_dtype", "_succ_lut", "_ids_ext")
 
-    def __init__(self, ids: Iterable[float] | np.ndarray):
+    def __init__(
+        self,
+        ids: Iterable[float] | np.ndarray,
+        index_dtype: str | np.dtype | None = "auto",
+    ):
         arr = np.unique(np.asarray(list(ids) if not isinstance(ids, np.ndarray) else ids,
                                    dtype=np.float64))
         if arr.size == 0:
@@ -104,6 +148,7 @@ class Ring:
         self.ids: np.ndarray = arr
         self.ids.setflags(write=False)
         self.n: int = int(arr.size)
+        self.index_dtype: np.dtype = index_dtype_for(self.n, index_dtype)
         self._succ_lut: np.ndarray | None = None
         self._ids_ext: np.ndarray | None = None
 
@@ -120,10 +165,13 @@ class Ring:
         return 0 if i == self.n else i
 
     def successor_index_many(self, points) -> np.ndarray:
-        """Vectorized :meth:`successor_index` over an array of points."""
+        """Vectorized :meth:`successor_index` over an array of points.
+
+        Returned indices carry :attr:`index_dtype` (values are unaffected).
+        """
         idx = np.searchsorted(self.ids, np.asarray(points, dtype=np.float64), side="left")
         idx[idx == self.n] = 0
-        return idx
+        return idx.astype(self.index_dtype, copy=False)
 
     # bulk-successor tuning: below this many queries the binary search wins
     # (LUT construction + the extra gathers don't amortize)
@@ -142,9 +190,12 @@ class Ring:
         """
         if self._succ_lut is None:
             K = 4 * self.n
+            # int32 under the narrow policy halves the LUT (its 4n+1 slots
+            # dominate the ring's resident footprint at large n); lut values
+            # reach n, which fits whenever ring indices do
             self._succ_lut = np.searchsorted(
                 self.ids, np.arange(K + 1) / K, side="left"
-            )
+            ).astype(self.index_dtype, copy=False)
             self._succ_lut.setflags(write=False)
             self._ids_ext = np.append(self.ids, np.inf)
             self._ids_ext.setflags(write=False)
@@ -170,7 +221,7 @@ class Ring:
         lut, ids_ext = self._bulk_tables()
         K = lut.size - 1
         bucket = np.minimum((pts * K).astype(np.int64), K - 1)
-        idx = lut[bucket]
+        idx = lut[bucket]  # inherits index_dtype from the LUT
         active = np.flatnonzero(ids_ext[idx] < pts)
         if active.size:
             for _ in range(self._BULK_MAX_ADVANCE):

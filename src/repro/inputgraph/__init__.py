@@ -7,7 +7,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..idspace.ring import Ring
+from ..idspace.ring import Ring, index_dtype_for
 from .base import PADDING, InputGraph, RouteBatch
 from .chord import ChordGraph
 from .debruijn import DeBruijnGraph
@@ -40,11 +40,28 @@ TOPOLOGIES = {
 }
 
 
-def make_input_graph(name: str, ids: np.ndarray | Ring, **kwargs) -> InputGraph:
-    """Build the named topology over ``ids`` (array of ID values or a Ring)."""
+def make_input_graph(
+    name: str,
+    ids: np.ndarray | Ring,
+    index_dtype: str | np.dtype | None = None,
+    **kwargs,
+) -> InputGraph:
+    """Build the named topology over ``ids`` (array of ID values or a Ring).
+
+    ``index_dtype`` selects the ring-index storage policy (``"auto"`` /
+    ``"int32"`` / ``"int64"``, see :func:`repro.idspace.ring.index_dtype_for`);
+    when a prebuilt :class:`Ring` is passed with a different policy, the ring
+    is re-wrapped over the same IDs.
+    """
     try:
         cls = TOPOLOGIES[name]
     except KeyError:
         raise ValueError(f"unknown topology {name!r}; choose from {sorted(TOPOLOGIES)}") from None
-    ring = ids if isinstance(ids, Ring) else Ring(ids)
+    if isinstance(ids, Ring):
+        ring = ids
+        if index_dtype is not None and \
+                ring.index_dtype != index_dtype_for(ring.n, index_dtype):
+            ring = Ring(ring.ids, index_dtype=index_dtype)
+    else:
+        ring = Ring(ids, index_dtype=index_dtype)
     return cls(ring, **kwargs)

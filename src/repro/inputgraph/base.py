@@ -89,7 +89,15 @@ class InputGraph(abc.ABC):
 
     def __init__(self, ring: Ring):
         self.ring = ring
-        self._indptr, self._indices = self._neighbor_sets()
+        indptr, indices = self._neighbor_sets()
+        # Storage narrowing (ring.index_dtype): neighbor indices are ring
+        # indices (< n) so they always fit the ring's index dtype; indptr
+        # values reach nnz, so it only narrows when the edge count fits too.
+        # Values are identical either way — only the byte layout changes.
+        dt = ring.index_dtype
+        ptr_dt = dt if int(indices.size) <= np.iinfo(dt).max else np.int64
+        self._indptr = indptr.astype(ptr_dt, copy=False)
+        self._indices = indices.astype(dt, copy=False)
         # Defensive: CSR arrays are read-only once built.
         self._indptr.setflags(write=False)
         self._indices.setflags(write=False)

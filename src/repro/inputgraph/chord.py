@@ -54,8 +54,12 @@ class ChordGraph(InputGraph):
         succ = (np.arange(n) + 1) % n
         pred = (np.arange(n) - 1) % n
         # Columns: m fingers, successor, predecessor.  Successor doubles as
-        # the hop of last resort in routing.
-        self._fingers = np.column_stack([table, succ, pred]).astype(np.int64)
+        # the hop of last resort in routing.  Stored at the ring's index
+        # dtype: the (n, m+2) finger matrix is the largest persistent array
+        # of the topology, so int32 halves it at million-node scale.
+        self._fingers = np.column_stack([table, succ, pred]).astype(
+            ring.index_dtype
+        )
         self._m = m
         # Clockwise distances current -> finger / successor depend only on
         # the (node, column) pair, so they are precomputed once: the routing
@@ -70,6 +74,23 @@ class ChordGraph(InputGraph):
     # -- topology -------------------------------------------------------------
 
     def _neighbor_sets(self) -> tuple[np.ndarray, np.ndarray]:
+        # One-pass vectorized build: row-sort the finger matrix, mask
+        # duplicate-adjacent and self entries, and gather the survivors.
+        # Per row that is exactly ``np.unique(row[row != i])`` — the same
+        # sorted/unique/self-free neighbor list as the reference loop below,
+        # without n Python iterations (the wall-time blocker at n = 10^6).
+        n = self.n
+        f = np.sort(self._fingers, axis=1)
+        keep = np.empty(f.shape, dtype=bool)
+        keep[:, 0] = True
+        np.not_equal(f[:, 1:], f[:, :-1], out=keep[:, 1:])
+        keep &= f != np.arange(n, dtype=f.dtype)[:, None]
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(keep.sum(axis=1), out=indptr[1:])
+        return indptr, f[keep]
+
+    def _neighbor_sets_reference(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-node loop the vectorized build is defined against (oracle)."""
         n = self.n
         rows = [np.unique(self._fingers[i][self._fingers[i] != i]) for i in range(n)]
         indptr = np.zeros(n + 1, dtype=np.int64)
@@ -93,7 +114,7 @@ class ChordGraph(InputGraph):
         q = sources.size
         ids = self.ring.ids
         n = self.n
-        resp = self.ring.successor_index_bulk(targets).astype(np.int64)
+        resp = self.ring.successor_index_bulk(targets)
         succ_of = (np.arange(n) + 1) % n
 
         max_hops = 4 * self._m + 8

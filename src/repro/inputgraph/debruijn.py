@@ -47,7 +47,7 @@ class DeBruijnGraph(DistanceHalvingGraph):
         sources = np.asarray(sources, dtype=np.int64)
         targets = np.asarray(targets, dtype=np.float64)
         q = sources.size
-        resp = self.ring.successor_index_many(targets).astype(np.int64)
+        resp = self.ring.successor_index_many(targets)
         # Contraction walk from the *target key point* steered toward the
         # source ID, then reversed: q_i = pts[:, L-i].
         pts = self.walk_points(targets, self.ring.ids[sources])
@@ -82,5 +82,5 @@ class DeBruijnGraph(DistanceHalvingGraph):
             rows.append(seq[keep])
         return RouteBatch(
             paths=self._pack_paths(rows), resolved=resolved,
-            responsible=resp.astype(np.int64),
+            responsible=resp,
         )

@@ -52,8 +52,10 @@ class ViceroyGraph(InputGraph):
         self._max_tail = int(max_tail)
         oracle = RandomOracle("viceroy-level", level_seed)
         # deterministic, verifiable level assignment (P3): level from the ID
+        # (stored at the ring's index dtype like every per-node array)
         self.levels = np.array(
-            [1 + int(oracle(float(v)) * self._m) for v in ring.ids], dtype=np.int64
+            [1 + int(oracle(float(v)) * self._m) for v in ring.ids],
+            dtype=ring.index_dtype,
         )
         self.levels = np.clip(self.levels, 1, self._m)
         # per-level sorted position indices for nearest-at-level queries
@@ -198,7 +200,7 @@ class ViceroyGraph(InputGraph):
     def route_many(self, sources: np.ndarray, targets: np.ndarray) -> RouteBatch:
         sources = np.asarray(sources, dtype=np.int64)
         targets = np.asarray(targets, dtype=np.float64)
-        resp = self.ring.successor_index_many(targets).astype(np.int64)
+        resp = self.ring.successor_index_many(targets)
         rows = [
             self._route_one(int(s), float(t), int(r))
             for s, t, r in zip(sources, targets, resp)

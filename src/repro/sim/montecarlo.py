@@ -246,12 +246,28 @@ def _call_packed(fn: Callable, *args):
     return shm_mod.shm_dumps(fn(*args))
 
 
+def _call_shm_input(fn: Callable, pack_result: bool, blob: bytes):
+    """Worker-side shim for zero-copy inputs (composable with result shm).
+
+    ``blob`` is an :class:`~repro.sim.shm.ShmInputBatch` pickle of the
+    task's argument tuple: unpickling attaches the shared input segments
+    without retiring them (the producer owns their lifecycle), so every
+    worker of the map reads the same context arrays from the same pages.
+    """
+    from . import shm as shm_mod
+
+    args = pickle.loads(blob)
+    result = fn(*args)
+    return shm_mod.shm_dumps(result) if pack_result else result
+
+
 def spawn_map(
     fn: Callable,
     *iterables,
     workers: int,
     mp_method: str = "spawn",
     shm_transport: bool = False,
+    shm_input_transport: bool = False,
 ) -> list:
     """Order-preserving ``map(fn, *iterables)`` across the warm spawn pool.
 
@@ -271,6 +287,15 @@ def spawn_map(
     pickled payloads.  A broken pool additionally sweeps the run's
     orphaned segments (a worker killed mid-write leaves its segment with
     no consumer).
+
+    ``shm_input_transport=True`` is the mirror for the *task* direction:
+    each item's argument tuple is packed by one
+    :class:`~repro.sim.shm.ShmInputBatch`, so large input arrays (a built
+    graph's CSR arrays, probe batches, a stacked span's shared context)
+    cross as keep-on-load segments — and an array shared by every item
+    ships **once**, not once per task.  Values are byte-equal either way;
+    volume lands in a ``shm.input_bytes`` event.  Composable with
+    ``shm_transport``.
     """
     items = list(zip(*iterables))
     nworkers = min(workers, len(items))
@@ -286,11 +311,34 @@ def spawn_map(
         pool = get_pool(nworkers, mp_method)
         # map over the materialized items — the caller's iterables may
         # be one-shot generators already consumed into `items` above
-        if not shm_transport:
+        if not (shm_transport or shm_input_transport):
             return list(pool.map(fn, *zip(*items)))
-        packed = list(
-            pool.map(functools.partial(_call_packed, fn), *zip(*items))
-        )
+        if shm_input_transport:
+            batch = shm_mod.ShmInputBatch()
+            try:
+                blobs = [batch.dumps(args) for args in items]
+                input_stats = (batch.shm_bytes, batch.segments,
+                               sum(len(b) for b in blobs))
+                packed = list(pool.map(
+                    functools.partial(_call_shm_input, fn, shm_transport),
+                    blobs,
+                ))
+            finally:
+                # map() has returned (every worker copied out) or raised
+                # (the fallback path must not inherit live input segments)
+                batch.unlink()
+            emit_default(
+                "shm.input_bytes",
+                shm_bytes=int(input_stats[0]),
+                pickle_bytes=int(input_stats[2]),
+                segments=int(input_stats[1]),
+            )
+        else:
+            packed = list(
+                pool.map(functools.partial(_call_packed, fn), *zip(*items))
+            )
+        if not shm_transport:
+            return packed
         with shm_mod.collect_load_stats() as stats:
             results = [shm_mod.shm_loads(blob) for blob in packed]
         emit_default(

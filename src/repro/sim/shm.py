@@ -54,6 +54,7 @@ import numpy as np
 __all__ = [
     "DEFAULT_MIN_BYTES",
     "ShmArena",
+    "ShmInputBatch",
     "ShmRef",
     "collect_load_stats",
     "default_arena",
@@ -272,6 +273,100 @@ def shm_dumps(
 def shm_loads(data: bytes):
     """Inverse of :func:`shm_dumps`; unlinks the segments it consumes."""
     return pickle.loads(data)
+
+
+# -- zero-copy input transport ---------------------------------------------------
+
+
+def _load_shared_keep(ref: ShmRef) -> np.ndarray:
+    """Unpickle hook for *input* arrays: attach + copy, but do NOT unlink.
+
+    Result transport is consume-once (one producer, one consumer, the
+    consumer retires the segment).  Inputs are the opposite shape: the same
+    large array — a built graph's CSR arrays, a probe batch, a stacked
+    span's shared context — appears in many payloads and is read by many
+    workers, so the segment must outlive every individual load.  The
+    producer retires the batch's segments after the whole map completes
+    (:meth:`ShmInputBatch.unlink`).
+    """
+    return default_arena().load(ref, unlink=False)
+
+
+class _ShmInputPickler(pickle.Pickler):
+    def __init__(self, file, batch: "ShmInputBatch") -> None:
+        super().__init__(file, protocol=pickle.HIGHEST_PROTOCOL)
+        self._batch = batch
+
+    def reducer_override(self, obj):
+        # exactly ndarray: subclasses may carry state a raw buffer loses
+        if (
+            type(obj) is np.ndarray
+            and obj.dtype != np.dtype(object)
+            and obj.nbytes >= self._batch.threshold
+        ):
+            return (_load_shared_keep, (self._batch.share(obj),))
+        return NotImplemented
+
+
+class ShmInputBatch:
+    """Producer-side packer for payloads that *share* large input arrays.
+
+    :meth:`dumps` pickles a payload with every large ndarray diverted into
+    a keep-on-load segment, memoized by object identity: an array
+    referenced by all of a map's payloads occupies **one** segment no
+    matter how many payloads (or workers) touch it — the zero-copy input
+    path the process backend needs at n = 10^6, where re-pickling the
+    built graph per task would double peak memory.
+
+    The memo holds a reference to each shared array for the batch's
+    lifetime, which both deduplicates and makes the ``id()`` key safe (a
+    held object's id cannot be recycled).  The producer must call
+    :meth:`unlink` (or use the batch as a context manager) once every
+    consumer is done — for a pool map, after ``map`` returns; segments
+    from producers that die first are recovered by the run-prefix sweep.
+    """
+
+    def __init__(self, threshold: int | None = None) -> None:
+        self.threshold = min_bytes() if threshold is None else int(threshold)
+        self._arena = ShmArena()
+        self._memo: dict[int, tuple[np.ndarray, ShmRef]] = {}
+
+    def share(self, arr: np.ndarray) -> ShmRef:
+        """Segment for ``arr``, created on first sight and memoized after."""
+        hit = self._memo.get(id(arr))
+        if hit is not None:
+            return hit[1]
+        ref = self._arena.share(arr)
+        self._memo[id(arr)] = (arr, ref)
+        return ref
+
+    def dumps(self, obj) -> bytes:
+        """Pickle ``obj`` with large input arrays diverted (keep-on-load)."""
+        buf = io.BytesIO()
+        _ShmInputPickler(buf, self).dump(obj)
+        return buf.getvalue()
+
+    @property
+    def segments(self) -> int:
+        return len(self._memo)
+
+    @property
+    def shm_bytes(self) -> int:
+        return sum(ref.nbytes for _, ref in self._memo.values())
+
+    def created_names(self) -> set[str]:
+        return self._arena.created_names()
+
+    def unlink(self) -> list[str]:
+        """Retire every segment this batch created; returns the names."""
+        self._memo.clear()
+        return self._arena.unlink_created()
+
+    def __enter__(self) -> "ShmInputBatch":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.unlink()
 
 
 # -- run-scoped leak recovery ----------------------------------------------------

@@ -431,6 +431,7 @@ def run_sweep(
                 payloads,
                 workers=exec_config.resolved_workers(),
                 shm_transport=True,
+                shm_input_transport=True,
             )
             results = [res for chunk in span_results for res in chunk]
         else:
@@ -451,6 +452,7 @@ def run_sweep(
             payloads,
             workers=exec_config.resolved_workers(),
             shm_transport=True,
+            shm_input_transport=True,
         )
     else:
         results = []

@@ -35,6 +35,7 @@ from .config import (
     set_default_writer,
     telemetry_to,
 )
+from .mem import emit_peak, peak_rss_mb
 from .reader import convert_legacy_line, iter_events, read_events
 from .records import (
     EVENT_TYPES,
@@ -57,8 +58,10 @@ __all__ = [
     "convert_legacy_line",
     "default_writer",
     "emit_default",
+    "emit_peak",
     "iter_events",
     "make_event",
+    "peak_rss_mb",
     "read_events",
     "reset_default_writer",
     "set_default_writer",

@@ -1,0 +1,56 @@
+"""Peak-RSS sampling for the memory-lean hot paths (ROADMAP item 4).
+
+The million-node acceptance bar is a *memory* budget, so the evidence has
+to live in the same event stream as the wall-clock rows.  This module is
+the one place that reads the kernel's resident-set high-water mark:
+
+* :func:`peak_rss_mb` — ``getrusage(RUSAGE_SELF).ru_maxrss`` normalized to
+  MiB (Linux reports KiB, macOS bytes); ``None`` where the ``resource``
+  module is unavailable, so callers degrade to "no sample" instead of
+  crashing on exotic platforms;
+* :func:`emit_peak` — sample + emit one ``mem.peak`` event through the
+  process-default telemetry sink, tagged with a phase label (``graph``,
+  ``groups``, ``static.search``, ...).
+
+``ru_maxrss`` is the *process-lifetime* maximum: per-phase samples are
+non-decreasing within a run.  That is exactly what a budget gate wants
+(the peak so far can only confirm, never understate, the footprint), but
+it means per-phase values attribute a peak to the first phase that
+reached it, not to every phase that stayed under it.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .config import emit_default
+
+__all__ = ["peak_rss_mb", "emit_peak"]
+
+
+def peak_rss_mb() -> float | None:
+    """Process peak resident set size in MiB, or ``None`` if unreadable."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platform
+        return None
+    ru = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if ru <= 0:  # pragma: no cover - kernel reported nothing usable
+        return None
+    # Linux counts ru_maxrss in KiB; macOS counts bytes.
+    scale = 1024.0 * 1024.0 if sys.platform == "darwin" else 1024.0
+    return float(ru) / scale
+
+
+def emit_peak(phase: str, **fields) -> float | None:
+    """Emit one ``mem.peak`` sample for ``phase``; returns the MiB value.
+
+    Extra keyword fields (chunk index, n, ...) ride along as open-registry
+    annotations.  No event is emitted when the platform has no reading.
+    """
+    mb = peak_rss_mb()
+    if mb is not None:
+        emit_default(
+            "mem.peak", phase=str(phase), peak_rss_mb=round(mb, 3), **fields
+        )
+    return mb

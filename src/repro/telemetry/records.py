@@ -76,6 +76,14 @@ EVENT_TYPES: dict[str, dict[str, tuple]] = {
     "shm.bytes": {
         "shm_bytes": (int,), "pickle_bytes": (int,), "segments": (int,),
     },
+    # zero-copy *input* transport volume (context/probe arrays shipped to
+    # workers through named segments instead of the executor's task pipe)
+    "shm.input_bytes": {
+        "shm_bytes": (int,), "pickle_bytes": (int,), "segments": (int,),
+    },
+    # memory layer — peak-RSS samples from chunked/streaming hot paths
+    # (ru_maxrss is process-lifetime max, so samples are non-decreasing)
+    "mem.peak": {"phase": (str,), "peak_rss_mb": _NUMBER},
     # trial layer — Monte-Carlo loop timings
     "trials.run": {"backend": (str,), "trials": (int,), "wall_s": _NUMBER},
     # bench layer — the perf ledger's row, timings.txt's line, and the
@@ -149,10 +157,16 @@ def bench_row(
     wall_s: float,
     cells: int,
     trials: int,
+    peak_rss_mb: float | None = None,
 ) -> dict:
     """One benchmark measurement in the canonical row shape — the payload
-    of a ``bench.row`` event and a ``BENCH_vectorized.json`` row alike."""
-    return {
+    of a ``bench.row`` event and a ``BENCH_vectorized.json`` row alike.
+
+    ``peak_rss_mb`` is the optional memory column the scale ledger
+    (``BENCH_scale.json``) carries; it is omitted (not null-filled) when
+    absent so the pre-existing row shape stays byte-stable.
+    """
+    row = {
         "experiment": str(experiment).upper(),
         "n": int(n),
         "backend": str(backend),
@@ -160,3 +174,6 @@ def bench_row(
         "cells": int(cells),
         "trials": int(trials),
     }
+    if peak_rss_mb is not None:
+        row["peak_rss_mb"] = round(float(peak_rss_mb), 3)
+    return row

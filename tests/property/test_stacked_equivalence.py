@@ -2,8 +2,9 @@
 
 The stacked-cell contract from the sweep substrate: a ``SweepSpec.stack``
 pass changes *scheduling* — one lockstep call over a span of cells — and
-never values.  For every experiment that declares one (E1, E2, E5), the
-rendered table from the default stacked path must be byte-identical to
+never values.  For every experiment that declares one (E1, E2, E3, E5,
+E6), the rendered table from the default stacked path must be
+byte-identical to
 
 * the per-cell vectorized path (``ExecutionConfig(kernel="vectorized")``,
   the reference oracle the stack is defined against), and
@@ -19,7 +20,9 @@ from hypothesis import strategies as st
 
 from repro.experiments.e1_responsibility import build_spec as e1_spec
 from repro.experiments.e2_static_search import build_spec as e2_spec
+from repro.experiments.e3_group_quality import build_spec as e3_spec
 from repro.experiments.e5_two_graph_ablation import build_spec as e5_spec
+from repro.experiments.e6_costs import build_spec as e6_spec
 from repro.sim import ExecutionConfig, run_sweep
 
 
@@ -78,6 +81,55 @@ def test_e5_stacked_matches_per_cell(seed, n, pf0_values):
     )
 
 
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    n=st.sampled_from([48, 64]),
+    betas=st.lists(
+        st.sampled_from([0.05, 0.10, 0.15]), min_size=1, max_size=2,
+        unique=True,
+    ),
+    d2_values=st.lists(
+        st.sampled_from([4.0, 8.0, 12.0]), min_size=1, max_size=2,
+        unique=True,
+    ),
+)
+@settings(max_examples=6, deadline=None)
+def test_e3_stacked_matches_per_cell(seed, n, betas, d2_values):
+    _assert_kernel_invariant(
+        e3_spec, seed=seed, n=n, betas=tuple(betas),
+        d2_values=tuple(d2_values),
+    )
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    n_values=st.lists(
+        st.sampled_from([48, 64]), min_size=1, max_size=2, unique=True
+    ),
+    probes=st.integers(min_value=30, max_value=150),
+)
+@settings(max_examples=5, deadline=None)
+def test_e6_stacked_matches_per_cell(seed, n_values, probes):
+    _assert_kernel_invariant(
+        e6_spec, seed=seed, n_values=tuple(n_values), probes=probes
+    )
+
+
+def test_e2_probe_chunk_is_table_invisible():
+    """The streaming window is a memory knob, not a statistics knob: any
+    chunk size — including pathological width-1 windows — must render the
+    byte-identical table on both the stacked and per-cell paths."""
+    kw = dict(seed=5, n=64, pf_values=(0.01, 0.05, 0.1), probes=230)
+    reference = run_sweep(e2_spec(**kw)).render()
+    for chunk in (1, 7, 64, 229, 230, 1000):
+        assert run_sweep(e2_spec(**kw, probe_chunk=chunk)).render() == \
+            reference
+        cfg = ExecutionConfig(kernel="vectorized")
+        assert run_sweep(
+            e2_spec(**kw, probe_chunk=chunk), exec_config=cfg
+        ).render() == reference
+
+
 def test_process_spans_match_in_process_stack():
     """One fixed grid per experiment through the process backend: the
     contiguous worker spans (one stacked call each) must reassemble to
@@ -85,7 +137,9 @@ def test_process_spans_match_in_process_stack():
     cases = [
         (e1_spec, dict(seed=3, n_values=(32, 48), probes=200)),
         (e2_spec, dict(seed=3, n=64, pf_values=(0.01, 0.05, 0.1), probes=200)),
+        (e3_spec, dict(seed=3, n=48, betas=(0.05, 0.1), d2_values=(4.0, 8.0))),
         (e5_spec, dict(seed=3, n=64, pf0_values=(0.01, 0.05))),
+        (e6_spec, dict(seed=3, n_values=(48, 64), probes=120)),
     ]
     for spec_fn, kw in cases:
         reference = run_sweep(spec_fn(**kw)).render()

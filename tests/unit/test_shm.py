@@ -14,10 +14,13 @@ import secrets
 import numpy as np
 import pytest
 
+import pickle
+
 from repro.sim import shm
 from repro.sim.shm import (
     DEFAULT_MIN_BYTES,
     ShmArena,
+    ShmInputBatch,
     ShmRef,
     collect_load_stats,
     min_bytes,
@@ -180,6 +183,58 @@ class TestShmPickleTransport:
         blob = shm_dumps(arr, arena=arena)
         assert len(arena.created_names()) == 1
         assert np.array_equal(shm_loads(blob), arr)
+
+
+class TestShmInputBatch:
+    def test_round_trip_byte_exact_and_reloadable(self):
+        arr = np.random.default_rng(3).random(2048)
+        with ShmInputBatch(threshold=0) as batch:
+            blob = batch.dumps({"arr": arr, "tag": 7})
+            # keep-on-load: many consumers may load the same payload
+            first = pickle.loads(blob)
+            second = pickle.loads(blob)
+            assert np.array_equal(first["arr"], arr) and first["tag"] == 7
+            assert np.array_equal(second["arr"], arr)
+        with pytest.raises(FileNotFoundError):  # unlinked on exit
+            pickle.loads(blob)
+
+    def test_shared_array_ships_once_across_payloads(self):
+        big = np.random.default_rng(4).random(1024)
+        with ShmInputBatch(threshold=0) as batch:
+            blobs = [batch.dumps((big, i)) for i in range(5)]
+            assert batch.segments == 1
+            assert batch.shm_bytes == big.nbytes
+            outs = [pickle.loads(b) for b in blobs]
+            for i, (out_arr, out_i) in enumerate(outs):
+                assert np.array_equal(out_arr, big) and out_i == i
+
+    def test_distinct_arrays_get_distinct_segments(self):
+        a = np.zeros(512)
+        b = np.ones(512)
+        with ShmInputBatch(threshold=0) as batch:
+            batch.dumps([a, b, a])
+            assert batch.segments == 2
+            assert batch.shm_bytes == a.nbytes + b.nbytes
+
+    def test_small_and_object_arrays_stay_inline(self):
+        with ShmInputBatch(threshold=10**9) as batch:
+            blob = batch.dumps(np.arange(16))
+            assert batch.segments == 0
+        out = pickle.loads(blob)  # valid after unlink: nothing diverted
+        assert np.array_equal(out, np.arange(16))
+        with ShmInputBatch(threshold=0) as batch:
+            batch.dumps(np.array([{"x": 1}, None], dtype=object))
+            assert batch.segments == 0
+
+    @needs_shm_dir
+    def test_unlink_leaves_no_segments(self):
+        batch = ShmInputBatch(threshold=0)
+        batch.dumps(np.zeros(4096))
+        names = batch.created_names()
+        assert len(names) == 1
+        assert sorted(batch.unlink()) == sorted(names)
+        assert batch.created_names() == set()
+        assert batch.unlink() == []  # idempotent
 
 
 @needs_shm_dir

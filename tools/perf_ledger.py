@@ -22,16 +22,28 @@ tool to compare the two files:
   (a fixed NumPy workload timing both runs record) is printed alongside
   so a reader can attribute the drift.
 
+A second, independent gate covers the **memory ledger**
+(``BENCH_scale.json``, written by ``benchmarks/bench_scale.py``): pass
+``--scale-baseline``/``--scale-current`` and the tool diffs the rows'
+``peak_rss_mb`` column per ``(experiment, n, backend)``
+(:func:`repro.analysis.benchio.diff_mem_rows`).  Peak RSS for a fixed
+workload is largely machine-invariant — unlike wall clock it needs no
+ratio normalization — so a peak more than ``--mem-max-regression``
+(default 20%) above baseline fails the job directly.
+
 Rows under the ``--min-wall`` noise floor are reported but never gated
 (µs-scale cells measure scheduler jitter, not kernels).  Missing or
 unreadable baseline (first run, expired artifact) is **warn-only**: the
-tool prints the situation and exits 0, so the ledger bootstraps itself.
+tool prints the situation and exits 0, so the ledger bootstraps itself —
+the same convention for both the speedup and the memory baselines.
 
 Usage::
 
     PYTHONPATH=src python tools/perf_ledger.py \
         --baseline previous/BENCH_vectorized.json \
-        --current benchmarks/output/BENCH_vectorized.json
+        --current benchmarks/output/BENCH_vectorized.json \
+        --scale-baseline previous/BENCH_scale.json \
+        --scale-current benchmarks/output/BENCH_scale.json
 """
 
 from __future__ import annotations
@@ -52,11 +64,63 @@ def _calibration_wall(rows: list[dict]) -> float | None:
     return None
 
 
+def _gate_memory(args) -> int:
+    """The peak-RSS gate over the scale ledger; returns an exit code."""
+    from repro.analysis.benchio import diff_mem_rows, read_bench_rows
+
+    current = read_bench_rows(args.scale_current)
+    if not current:
+        print(f"perf-ledger: no rows in current scale file "
+              f"{args.scale_current}", file=sys.stderr)
+        return 1
+    baseline_path = pathlib.Path(args.scale_baseline)
+    baseline = read_bench_rows(baseline_path)
+    if not baseline:
+        state = "missing" if not baseline_path.exists() else "empty/corrupt"
+        print(
+            f"perf-ledger: scale baseline {baseline_path} is {state}; "
+            "warn-only bootstrap run (current rows become the next baseline)"
+        )
+        return 0
+    deltas, regressions = diff_mem_rows(
+        baseline, current, max_regression=args.mem_max_regression,
+    )
+    if not deltas:
+        print("perf-ledger: no (experiment, n, backend) key has a "
+              "peak_rss_mb in both scale files; memory not comparable")
+        return 0
+    print(f"perf-ledger: {len(deltas)} comparable memory point(s) "
+          f"(gate: peak RSS growth >{args.mem_max_regression:.0%})")
+    flagged = {(d["experiment"], d["n"], d["backend"]) for d in regressions}
+    for d in deltas:
+        mark = ("REGRESSION"
+                if (d["experiment"], d["n"], d["backend"]) in flagged
+                else "ok")
+        print(
+            f"  mem   {d['experiment']:>5} n={d['n']:<8} {d['backend']:<8} "
+            f"{d['baseline_peak_rss_mb']:.1f}MB -> {d['peak_rss_mb']:.1f}MB "
+            f"({d['ratio']:.2f}x, {d['kb_per_node']:.2f} KiB/node)  {mark}"
+        )
+    if regressions:
+        print(
+            f"perf-ledger: {len(regressions)} memory point(s) regressed "
+            f"beyond {args.mem_max_regression:.0%}: "
+            + ", ".join(
+                f"{d['experiment']} n={d['n']} {d['backend']}"
+                for d in regressions
+            ),
+            file=sys.stderr,
+        )
+        return 0 if args.warn_only else 1
+    print("perf-ledger: no peak-RSS regressions")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--baseline", required=True,
+    ap.add_argument("--baseline", default=None,
                     help="previous run's BENCH JSON (missing -> warn-only)")
-    ap.add_argument("--current", required=True,
+    ap.add_argument("--current", default=None,
                     help="this run's BENCH JSON")
     ap.add_argument("--max-regression", type=float, default=0.20,
                     help="fail when the serial/vectorized speedup drops by "
@@ -64,9 +128,29 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--min-wall", type=float, default=0.05,
                     help="noise floor in seconds: points whose vectorized "
                          "wall clock sits below it are never gated")
+    ap.add_argument("--scale-baseline", default=None,
+                    help="previous run's BENCH_scale JSON (missing -> "
+                         "warn-only); gates peak_rss_mb per row")
+    ap.add_argument("--scale-current", default=None,
+                    help="this run's BENCH_scale JSON")
+    ap.add_argument("--mem-max-regression", type=float, default=0.20,
+                    help="fail when a row's peak RSS grows by more than "
+                         "this fraction over baseline (default 0.20 = 20%%)")
     ap.add_argument("--warn-only", action="store_true",
                     help="report regressions but always exit 0")
     args = ap.parse_args(argv)
+
+    if bool(args.baseline) != bool(args.current):
+        ap.error("--baseline and --current must be given together")
+    if bool(args.scale_baseline) != bool(args.scale_current):
+        ap.error("--scale-baseline and --scale-current must be given together")
+    if not args.current and not args.scale_current:
+        ap.error("nothing to gate: give --baseline/--current and/or "
+                 "--scale-baseline/--scale-current")
+
+    mem_rc = _gate_memory(args) if args.scale_current else 0
+    if not args.current:
+        return mem_rc
 
     from repro.analysis.benchio import (
         diff_bench_ratios,
@@ -87,7 +171,7 @@ def main(argv: list[str] | None = None) -> int:
             f"perf-ledger: baseline {baseline_path} is {state}; "
             "warn-only bootstrap run (current rows become the next baseline)"
         )
-        return 0
+        return mem_rc
 
     # host context first: was this run on a comparable machine?
     cal_base, cal_cur = _calibration_wall(baseline), _calibration_wall(current)
@@ -163,16 +247,16 @@ def main(argv: list[str] | None = None) -> int:
     if not any_deltas:
         print("perf-ledger: no ratio-comparable point in both files; "
               "warn-only (nothing to gate)")
-        return 0
+        return mem_rc
     if all_regressions:
         print(
             f"perf-ledger: {len(all_regressions)} speedup point(s) regressed "
             f"beyond {args.max_regression:.0%}: {', '.join(all_regressions)}",
             file=sys.stderr,
         )
-        return 0 if args.warn_only else 1
+        return mem_rc if args.warn_only else 1
     print("perf-ledger: no speedup regressions")
-    return 0
+    return mem_rc
 
 
 if __name__ == "__main__":
