@@ -132,6 +132,24 @@ def summarize_events(events: list[dict]) -> dict:
                 _walls(by_type.get("dispatch.execute", []))
             ),
         }
+        quorums = by_type.get("dispatch.quorum", [])
+        poisons = by_type.get("dispatch.poison", [])
+        suspects = by_type.get("dispatch.suspect", [])
+        if quorums or poisons or suspects:
+            # a worker's suspicion counter only grows; the stream's last
+            # dispatch.suspect per worker is its final standing
+            suspicion: dict[str, int] = {}
+            for e in suspects:
+                suspicion[str(e.get("worker", "?"))] = int(e.get("suspicion", 0))
+            summary["dispatch"]["quorum"] = {
+                "outcomes": dict(Counter(
+                    str(e.get("outcome", "?")) for e in quorums
+                )),
+                "poisoned": len(poisons),
+                "suspicion": dict(sorted(
+                    suspicion.items(), key=lambda kv: (-kv[1], kv[0])
+                )),
+            }
 
     # -- sweep cell trends -------------------------------------------------
     cells: dict[tuple, list[dict]] = {}
@@ -292,6 +310,15 @@ def render_report(summary: dict) -> str:
                     f"p95 {stats['p95']:.3f}s  max {stats['max']:.3f}s  "
                     f"(n={stats['count']})"
                 )
+        quorum = dispatch.get("quorum")
+        if quorum:
+            lines.append("  quorum:")
+            for outcome, count in sorted(quorum["outcomes"].items()):
+                lines.append(f"    {outcome:<15} {count}")
+            if quorum["poisoned"]:
+                lines.append(f"    poisoned        {quorum['poisoned']}")
+            for worker, score in list(quorum["suspicion"].items())[:5]:
+                lines.append(f"    suspect {worker:<15} suspicion={score}")
 
     sweeps = summary.get("sweeps")
     if sweeps:

@@ -15,8 +15,8 @@ Commands
     (``benchmarks/output/cache/``; a warm run re-executes nothing),
     ``--force`` recomputes and refreshes cached entries, and
     ``--cache-dir`` relocates the store.
-``dispatch serve EXP [--spool D] [--lease-timeout S] [--cache] [--force]``
-``dispatch work --spool D [--max-units N] [--timeout S]``
+``dispatch serve EXP [--spool D] [--replicas R] [--max-attempts N] [--cache]``
+``dispatch work --spool D [--max-units N] [--timeout S] [--chaos SPEC]``
 ``dispatch collect --spool D [--wait] [--timeout S] [--cache]``
     Sharded execution: ``serve`` serializes one experiment's sweep grid
     into self-contained work units under a filesystem spool
@@ -27,6 +27,12 @@ Commands
     the lease timeout), and ``collect`` verifies results (payload hash +
     sweep fingerprint), requeues rejected units, and reassembles the
     table — byte-identical to a local run at any worker count.
+    ``--replicas R`` (serve) turns on quorum mode: each unit is executed
+    by R workers and collect accepts the majority payload hash, so even
+    a worker computing *plausible wrong answers* is outvoted;
+    ``--max-attempts`` bounds per-slot retries (poison instead of
+    livelock).  Both are recorded in the manifest, so work/collect need
+    no extra flags.
 ``cache ls [--cache-dir D]`` / ``cache prune [--older-than N] [--max-bytes B]
 [--keep-latest-per-experiment]``
     Inspect or evict stored result tables: ``ls`` lists entries with
@@ -202,12 +208,21 @@ def _cmd_dispatch(args) -> int:
             cache=cache,
             force=args.force,
             cache_dir=args.cache_dir,
+            replicas=args.replicas,
+            max_attempts=args.max_attempts,
         )
         if report.cache_hit:
             print(
                 f"serve {args.experiment.upper()}: cache hit — table staged "
                 f"in {report.spool}, 0 of {report.n_cells} units enqueued"
             )
+        elif report.replicas > 1:
+            print(
+                f"serve {args.experiment.upper()}: {report.enqueued} slots "
+                f"for {report.n_cells} units x{report.replicas} replicas "
+                f"enqueued in {report.spool} (fingerprint {report.fingerprint})"
+            )
+            print(f"next: repro dispatch work --spool {report.spool}")
         else:
             print(
                 f"serve {args.experiment.upper()}: {report.enqueued} of "
@@ -224,6 +239,7 @@ def _cmd_dispatch(args) -> int:
             max_units=args.max_units,
             timeout=args.timeout,
             chaos=chaos,
+            replicas=args.replicas,
         )
         print(f"work: executed {executed} unit(s) from {args.spool}")
         return 0
@@ -236,6 +252,7 @@ def _cmd_dispatch(args) -> int:
             timeout=args.timeout,
             cache=cache,
             cache_dir=args.cache_dir,
+            replicas=args.replicas,
         )
     except IncompleteSweepError as exc:
         print(f"collect: {exc}", file=sys.stderr)
@@ -396,6 +413,18 @@ def build_parser() -> argparse.ArgumentParser:
              "(recorded in the spool manifest; default 300)",
     )
     pds.add_argument(
+        "--replicas", type=_positive_int, default=1, metavar="R",
+        help="quorum mode: lease every unit to R workers and accept the "
+             "majority payload hash at collect time (default 1 = classic "
+             "single-execution dispatch)",
+    )
+    pds.add_argument(
+        "--max-attempts", type=_positive_int, default=None, metavar="N",
+        help="retry budget per slot: a unit rejected/expired N times is "
+             "poisoned (dispatch.poison) instead of retried forever "
+             "(default: unbounded)",
+    )
+    pds.add_argument(
         "--cache", action=argparse.BooleanOptionalAction, default=False,
         help="consult the result cache first: a warm table is staged into "
              "the spool and zero units are enqueued",
@@ -425,7 +454,14 @@ def build_parser() -> argparse.ArgumentParser:
     pdw.add_argument(
         "--chaos", default=None, metavar="SPEC",
         help="fault injection for failure drills/tests: kill:K (hard-kill "
-             "mid-unit K), corrupt:K, stale:K — comma-separated",
+             "mid-unit K), corrupt:K, stale:K, equivocate:K (every "
+             "completion from unit K on is a plausible wrong answer) — "
+             "comma-separated",
+    )
+    pdw.add_argument(
+        "--replicas", type=_positive_int, default=None, metavar="R",
+        help="override the manifest's quorum width (rarely needed: the "
+             "serve-time value is recorded in the spool)",
     )
     pdw.set_defaults(fn=_cmd_dispatch)
 
@@ -445,6 +481,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="store the reassembled table in the result cache",
     )
     pdc.add_argument("--cache-dir", default=None, help="cache root (implies --cache)")
+    pdc.add_argument(
+        "--replicas", type=_positive_int, default=None, metavar="R",
+        help="override the manifest's quorum width (rarely needed: the "
+             "serve-time value is recorded in the spool)",
+    )
     pdc.set_defaults(fn=_cmd_dispatch)
 
     pt = sub.add_parser(

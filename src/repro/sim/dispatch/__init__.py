@@ -32,9 +32,18 @@ from .chaos import (
     FaultyWorker,
     VirtualClock,
     WorkerFault,
+    equivocate_result,
     run_chaos,
 )
-from .reassemble import ACCEPTED, CORRUPT, DUPLICATE, STALE, Reassembler
+from .reassemble import (
+    ACCEPTED,
+    CORRUPT,
+    DUPLICATE,
+    OUTVOTED,
+    STALE,
+    VOTE,
+    Reassembler,
+)
 from .service import ServeReport, collect, serve, spool_path_for, work
 from .spool import SpoolBroker, default_spool_root
 from .wire import (
@@ -55,7 +64,9 @@ __all__ = [
     "CORRUPT",
     "DUPLICATE",
     "FAULT_KINDS",
+    "OUTVOTED",
     "STALE",
+    "VOTE",
     "CliChaos",
     "DispatchError",
     "FaultyWorker",
@@ -72,6 +83,7 @@ __all__ = [
     "WorkerFault",
     "collect",
     "default_spool_root",
+    "equivocate_result",
     "execute_unit",
     "payload_hash",
     "run_chaos",

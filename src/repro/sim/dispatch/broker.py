@@ -19,6 +19,16 @@ may execute several times, on several workers — and correctness comes
 from the reassembler's first-write-wins idempotency, not from exactly-
 once delivery (which no transport here pretends to offer).
 
+**Quorum mode** (``replicas=r > 1``) turns each unit into r *replica
+slots* — independent leases of the same computation — and the
+reassembler settles the index on the majority payload hash (see
+:mod:`repro.sim.dispatch.reassemble`).  Leasing prefers handing a slot
+to a worker that has not already voted on (or currently leases) that
+index, because only *distinct* workers add votes; when no such slot is
+available, the preference yields rather than deadlocking a small pool.
+A tally that runs out of slots without a majority gets a fresh
+*tiebreaker* slot materialized on the spot.
+
 :class:`MemoryBroker` is the in-process transport (deque + dicts, an
 injectable clock so lease expiry is testable without sleeping); the
 filesystem spool transport in :mod:`repro.sim.dispatch.spool` implements
@@ -31,10 +41,10 @@ from __future__ import annotations
 import itertools
 import time
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable
 
-from .reassemble import ACCEPTED, DUPLICATE, Reassembler
+from .reassemble import ACCEPTED, CORRUPT, DUPLICATE, STALE, Reassembler
 from .wire import DispatchError, WorkResult, WorkUnit
 
 __all__ = ["Lease", "MemoryBroker"]
@@ -55,13 +65,15 @@ class MemoryBroker:
 
     ``clock`` defaults to ``time.monotonic``; tests (and the chaos
     harness) inject a virtual clock to exercise expiry deterministically.
-    ``max_attempts`` bounds retries per unit — ``None`` retries forever
-    (an honest worker eventually wins); a bound turns a poisoned unit
-    into a loud :class:`DispatchError` instead of an infinite loop.
-    ``telemetry`` is any emitter with the
+    ``max_attempts`` bounds retries per replica slot — ``None`` retries
+    forever (an honest worker eventually wins); a bound turns a poisoned
+    unit into a loud :class:`DispatchError` (after a ``dispatch.poison``
+    event) instead of an infinite loop.  ``replicas`` enables quorum
+    mode: every unit is staged as r replica slots and indexes settle on
+    the majority payload hash.  ``telemetry`` is any emitter with the
     :class:`~repro.telemetry.TelemetryBuffer` surface; when given, every
-    lease/complete/requeue transition lands there as the same typed
-    records the spool transport writes to its ``events.log``.
+    lease/complete/requeue/quorum transition lands there as the same
+    typed records the spool transport writes to its ``events.log``.
     """
 
     def __init__(
@@ -72,9 +84,12 @@ class MemoryBroker:
         clock: Callable[[], float] | None = None,
         max_attempts: int | None = None,
         telemetry=None,
+        replicas: int = 1,
     ):
         if lease_timeout <= 0:
             raise ValueError("lease_timeout must be positive")
+        if int(replicas) < 1:
+            raise ValueError("replicas must be >= 1")
         fingerprints = {u.fingerprint for u in units}
         if len(fingerprints) > 1:
             raise DispatchError(
@@ -85,13 +100,28 @@ class MemoryBroker:
         self.clock = time.monotonic if clock is None else clock
         self.max_attempts = max_attempts
         self.telemetry = telemetry
+        self.replicas = int(replicas)
         self.reassembler = Reassembler(
-            spec, units[0].fingerprint if units else ""
+            spec,
+            units[0].fingerprint if units else "",
+            replicas=self.replicas,
+            emit=self.emit,
         )
-        self._pending: deque[WorkUnit] = deque(units)
-        self._leases: dict[int, Lease] = {}
-        self._attempts: dict[int, int] = {u.index: 0 for u in units}
+        # replica-major staging order spreads first votes across the grid
+        self._pending: deque[WorkUnit] = deque(
+            replace(u, replica=k)
+            for k in range(self.replicas)
+            for u in units
+        )
+        self._leases: dict[tuple[int, int], Lease] = {}
+        self._attempts: dict[tuple[int, int], int] = {
+            (u.index, k): 0 for u in units for k in range(self.replicas)
+        }
         self._units: dict[int, WorkUnit] = {u.index: u for u in units}
+        # next tiebreaker replica number per index
+        self._next_replica: dict[int, int] = {
+            u.index: self.replicas for u in units
+        }
         self._worker_ids = itertools.count()
 
     def emit(self, type: str, **fields) -> None:
@@ -104,18 +134,19 @@ class MemoryBroker:
     def requeue_expired(self, now: float | None = None) -> list[int]:
         """Return expired leases to the pending queue (indexes requeued)."""
         now = self.clock() if now is None else now
-        expired = [i for i, lease in self._leases.items() if now > lease.deadline]
-        for index in expired:
-            lease = self._leases.pop(index)
+        expired = [k for k, lease in self._leases.items() if now > lease.deadline]
+        for key in expired:
+            lease = self._leases.pop(key)
             self._requeue(lease.unit)
-            self.emit("dispatch.requeue", index=index, reason="lease_expired")
-        return expired
+            self.emit("dispatch.requeue", index=key[0], reason="lease_expired")
+        return [index for index, _ in expired]
 
     def _requeue(self, unit: WorkUnit) -> None:
         if self.reassembler.is_accepted(unit.index):
-            return  # verified while leased elsewhere: already done
-        attempts = self._attempts[unit.index]
+            return  # settled while leased elsewhere: already done
+        attempts = self._attempts[(unit.index, unit.replica)]
         if self.max_attempts is not None and attempts >= self.max_attempts:
+            self.emit("dispatch.poison", index=unit.index, attempts=attempts)
             raise DispatchError(
                 f"unit {unit.unit_id()} failed {attempts} attempts "
                 f"(max_attempts={self.max_attempts}); refusing to retry a "
@@ -125,42 +156,96 @@ class MemoryBroker:
         # first claim, and finishing stragglers early shortens the sweep tail
         self._pending.appendleft(unit)
 
+    def _engaged(self, worker: str, index: int) -> bool:
+        """Whether this worker's vote on the index is already in flight
+        (recorded, or pending via a lease it currently holds)."""
+        if worker in self.reassembler.voters(index):
+            return True
+        return any(
+            k[0] == index and lease.worker == worker
+            for k, lease in self._leases.items()
+        )
+
     def lease(self, worker: str | None = None) -> WorkUnit | None:
         """Claim the next unit, or None when nothing is claimable now.
 
         A ``None`` does not mean the sweep is done — outstanding leases
-        may still expire and requeue; poll :meth:`complete_` / check
-        :meth:`outstanding` to distinguish.
+        may still expire and requeue; poll :meth:`is_complete` / check
+        :meth:`outstanding` to distinguish.  In quorum mode slots whose
+        index this worker already voted on are passed over when any other
+        slot is claimable (distinct workers are what a tally needs), but
+        never refused outright — liveness beats strict distinctness when
+        the pool is smaller than r.
         """
         worker = f"worker-{next(self._worker_ids)}" if worker is None else worker
         now = self.clock()
         self.requeue_expired(now)
+        chosen: WorkUnit | None = None
+        passed_over: list[WorkUnit] = []
         while self._pending:
             unit = self._pending.popleft()
             if self.reassembler.is_accepted(unit.index):
                 continue  # retired while queued (late verified duplicate)
-            self._attempts[unit.index] += 1
-            self._leases[unit.index] = Lease(
-                unit=unit,
-                worker=worker,
-                deadline=now + self.lease_timeout,
-                attempt=self._attempts[unit.index],
-            )
-            self.emit(
-                "dispatch.lease",
-                index=unit.index,
-                worker=worker,
-                attempt=self._attempts[unit.index],
-                fingerprint=unit.fingerprint,
-            )
-            return unit
-        return None
+            if self.replicas > 1 and self._engaged(worker, unit.index):
+                passed_over.append(unit)
+                continue
+            chosen = unit
+            break
+        if chosen is None and passed_over:
+            chosen = passed_over.pop(0)  # liveness fallback: repeat voter
+        for unit in reversed(passed_over):
+            self._pending.appendleft(unit)
+        if chosen is None:
+            return None
+        key = (chosen.index, chosen.replica)
+        self._attempts[key] = self._attempts.get(key, 0) + 1
+        self._leases[key] = Lease(
+            unit=chosen,
+            worker=worker,
+            deadline=now + self.lease_timeout,
+            attempt=self._attempts[key],
+        )
+        self.emit(
+            "dispatch.lease",
+            index=chosen.index,
+            worker=worker,
+            attempt=self._attempts[key],
+            fingerprint=chosen.fingerprint,
+        )
+        return chosen
+
+    def _maybe_tiebreak(self, index: int) -> None:
+        """Materialize a fresh replica slot when a tally stalls: the index
+        is unsettled and no slot of it is pending or leased."""
+        if self.replicas == 1 or index not in self._units:
+            return
+        if self.reassembler.is_accepted(index):
+            return
+        if any(k[0] == index for k in self._leases):
+            return
+        if any(u.index == index for u in self._pending):
+            return
+        replica = self._next_replica[index]
+        self._next_replica[index] = replica + 1
+        self._attempts[(index, replica)] = 0
+        self._pending.appendleft(replace(self._units[index], replica=replica))
+        self.emit("dispatch.requeue", index=index, reason="tiebreaker")
+        self.emit(
+            "dispatch.quorum",
+            index=index,
+            outcome="tie",
+            votes={
+                h[:12]: c
+                for h, c in sorted(self.reassembler.vote_counts(index).items())
+            },
+        )
 
     def complete(self, result: WorkResult) -> str:
-        """Judge a completion; verified results retire the unit, rejected
-        ones requeue it immediately (no need to wait out the lease)."""
+        """Judge a completion; verified results retire (or vote on) the
+        unit, rejected ones requeue it immediately (no need to wait out
+        the lease)."""
         verdict = self.reassembler.accept(result)
-        lease = self._leases.pop(result.index, None)
+        lease = self._leases.pop((result.index, result.replica), None)
         fields: dict = {}
         if lease is not None:
             # lease start = deadline - timeout: claim-to-completion latency
@@ -174,9 +259,13 @@ class MemoryBroker:
             verdict=verdict,
             **fields,
         )
-        if verdict in (ACCEPTED, DUPLICATE):
+        if verdict not in (STALE, CORRUPT):
+            # accepted/duplicate/vote/outvoted all consumed the slot; a
+            # stalled tally (vote without majority, slots drained) gets a
+            # tiebreaker so the quorum can still converge
+            self._maybe_tiebreak(result.index)
             return verdict
-        # stale/corrupt: the unit still needs an honest execution
+        # stale/corrupt: the slot still needs an honest execution
         self.emit("dispatch.reject", index=result.index, verdict=verdict)
         if lease is not None:
             self._requeue(lease.unit)
@@ -184,23 +273,30 @@ class MemoryBroker:
         elif (
             result.index in self._units
             and not self.reassembler.is_accepted(result.index)
-            and not any(u.index == result.index for u in self._pending)
+            and not any(
+                u.index == result.index and u.replica == result.replica
+                for u in self._pending
+            )
+            and self.replicas == 1
         ):
             self._requeue(self._units[result.index])
             self.emit("dispatch.requeue", index=result.index, reason=verdict)
+        else:
+            self._maybe_tiebreak(result.index)
         return verdict
 
     # -- observability -----------------------------------------------------
 
     def outstanding(self) -> int:
-        """Units not yet verified (pending + leased)."""
+        """Units not yet settled (pending + leased + mid-tally)."""
         return len(self._units) - self.reassembler.accepted_count()
 
     def is_complete(self) -> bool:
         return self.reassembler.complete()
 
     def attempts(self, index: int) -> int:
-        return self._attempts.get(index, 0)
+        """Total lease grants across every replica slot of the index."""
+        return sum(v for (i, _), v in self._attempts.items() if i == index)
 
     def table(self):
         return self.reassembler.table()

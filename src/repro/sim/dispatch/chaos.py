@@ -20,7 +20,24 @@ to survive:
     mismatch rejects it and the unit is retried;
 ``stale``
     replays a result under a foreign sweep fingerprint — rejected as
-    belonging to a different generation.
+    belonging to a different generation;
+``equivocate``
+    computes a plausible-but-wrong payload and hashes it *correctly* —
+    internally consistent, undetectable by verification alone; only a
+    quorum (``replicas >= 3``) can outvote it.  Each equivocator's wrong
+    answer is salted by its own identity, so independent liars disagree
+    with each other as well as with the truth;
+``split``
+    the coordinated variant: every worker sharing a ``salt`` produces
+    the *same* wrong hash, so a pair can split a small quorum down the
+    middle and force tiebreakers (or, past the ⌈r/2⌉ bound, steal the
+    vote — which is exactly why the byte-identity guarantee is stated
+    as "strictly fewer than ⌈r/2⌉ equivocators per unit");
+``adaptive``
+    behaves honestly until it has observed ``after`` of its own leases,
+    then starts equivocating — the adaptive adversary that watches
+    traffic before striking (PAPERS.md: "Improved Byzantine Agreement
+    under an Adaptive Adversary").
 
 Faults carry a ``budget`` and turn honest once it is spent, so every
 schedule terminates (the Byzantine fraction is transient, mirroring the
@@ -41,6 +58,7 @@ reassembled table is byte-identical to the serial oracle's.*
 
 from __future__ import annotations
 
+import json
 import os
 from dataclasses import dataclass
 
@@ -56,10 +74,14 @@ __all__ = [
     "FaultyWorker",
     "VirtualClock",
     "WorkerFault",
+    "equivocate_result",
     "run_chaos",
 ]
 
-FAULT_KINDS = ("honest", "kill", "stall", "duplicate", "corrupt", "stale")
+FAULT_KINDS = (
+    "honest", "kill", "stall", "duplicate", "corrupt", "stale",
+    "equivocate", "split", "adaptive",
+)
 
 
 class VirtualClock:
@@ -86,11 +108,16 @@ class WorkerFault:
     turns honest (``kill`` ignores it: death is permanent).  ``stall_for``
     = how far past claim time a stalling worker sits on its unit; choose
     it larger than the lease timeout to force a requeue + late duplicate.
+    ``salt`` = the coordination key for ``split`` personas (same salt =
+    same wrong hash); ``after`` = how many of its own leases an
+    ``adaptive`` persona observes before it starts equivocating.
     """
 
     kind: str = "honest"
     budget: int = 1
     stall_for: float = 0.0
+    salt: str = ""
+    after: int = 0
 
     def __post_init__(self):
         if self.kind not in FAULT_KINDS:
@@ -111,6 +138,8 @@ def corrupt_result(result: WorkResult) -> WorkResult:
         payload=payload,
         payload_sha256=result.payload_sha256,  # now a lie
         worker=result.worker,
+        replica=result.replica,
+        attempt=result.attempt,
     )
 
 
@@ -122,6 +151,46 @@ def staleify_result(result: WorkResult) -> WorkResult:
         payload=result.payload,
         payload_sha256=result.payload_sha256,
         worker=result.worker,
+        replica=result.replica,
+        attempt=result.attempt,
+    )
+
+
+def equivocate_result(result: WorkResult, salt: str = "") -> WorkResult:
+    """A plausible-but-wrong answer, hashed *correctly*.
+
+    The payload keeps the honest shape (same row/note structure) but its
+    first numeric cell is nudged, and the hash is recomputed over the
+    tampered bytes — so fingerprint and hash verification both pass, and
+    only a quorum can tell truth from confident fiction.  The tamper is
+    deterministic in ``(index, salt)``: workers sharing a salt coordinate
+    on one wrong hash (the quorum-splitting pair), distinct salts
+    disagree with each other too.
+    """
+    from .wire import payload_hash
+
+    payload = json.loads(json.dumps(result.payload))  # deep JSON copy
+    tampered = False
+    for row in payload.get("rows", []):
+        for j, value in enumerate(row):
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                row[j] = value + 1  # plausible magnitude, wrong answer
+                tampered = True
+                break
+        if tampered:
+            break
+    if not tampered:  # a payload with no numeric cells: tamper the notes
+        payload["notes"] = list(payload.get("notes", [])) + ["equivocated"]
+    if salt:
+        payload["notes"] = list(payload.get("notes", [])) + [f"salt:{salt}"]
+    return WorkResult(
+        fingerprint=result.fingerprint,
+        index=result.index,
+        payload=payload,
+        payload_sha256=payload_hash(payload),  # consistent: the lie holds up
+        worker=result.worker,
+        replica=result.replica,
+        attempt=result.attempt,
     )
 
 
@@ -137,6 +206,7 @@ class FaultyWorker:
         self.clock = clock
         self.dead = False
         self.budget_left = fault.budget
+        self.leases_observed = 0  # what the adaptive persona watches
         self._held: tuple[WorkUnit, WorkResult, float] | None = None  # stall
 
     def _execute(self, unit: WorkUnit) -> WorkResult:
@@ -157,7 +227,12 @@ class FaultyWorker:
         unit = self.broker.lease(worker=self.worker_id)
         if unit is None:
             return False
+        self.leases_observed += 1
         faulting = self.fault.kind != "honest" and self.budget_left > 0
+        if self.fault.kind == "adaptive":
+            # strikes only once it has watched enough of its own leases —
+            # the observation the adaptive adversary conditions on
+            faulting = faulting and self.leases_observed > self.fault.after
         if faulting and self.fault.kind == "kill":
             self.dead = True  # mid-unit death: lease dangles until expiry
             return True
@@ -179,6 +254,16 @@ class FaultyWorker:
         if self.fault.kind == "stale":
             self.broker.complete(staleify_result(result))
             return True
+        if self.fault.kind in ("equivocate", "adaptive"):
+            # self-salted: independent liars disagree with each other
+            self.broker.complete(equivocate_result(result, salt=self.worker_id))
+            return True
+        if self.fault.kind == "split":
+            # salt-coordinated: every member of the pair tells one lie
+            self.broker.complete(
+                equivocate_result(result, salt=self.fault.salt or "split")
+            )
+            return True
         raise AssertionError(f"unhandled fault {self.fault.kind}")  # pragma: no cover
 
 
@@ -191,6 +276,8 @@ def run_chaos(
     transport: str = "memory",
     spool_dir=None,
     max_steps: int | None = None,
+    replicas: int = 1,
+    max_attempts: int | None = None,
 ):
     """Drive faulty workers over a broker until the sweep completes.
 
@@ -199,17 +286,23 @@ def run_chaos(
     driver raises on livelock).  ``transport`` selects the in-process
     :class:`MemoryBroker` or a :class:`SpoolBroker` rooted at
     ``spool_dir`` — both under the virtual clock, so lease expiry is
-    schedule-driven, not wall-clock-driven.
+    schedule-driven, not wall-clock-driven.  ``replicas``/``max_attempts``
+    configure quorum mode and the retry budget on either transport, so
+    the equivocating personas can be outvoted instead of fatal.
     """
     clock = VirtualClock()
     if transport == "memory":
         broker = MemoryBroker(
-            spec, units, lease_timeout=lease_timeout, clock=clock.now
+            spec, units, lease_timeout=lease_timeout, clock=clock.now,
+            replicas=replicas, max_attempts=max_attempts,
         )
     elif transport == "spool":
         if spool_dir is None:
             raise ValueError("spool transport needs spool_dir")
-        broker = _ChaosSpool(spec, units, spool_dir, lease_timeout, clock)
+        broker = _ChaosSpool(
+            spec, units, spool_dir, lease_timeout, clock,
+            replicas=replicas, max_attempts=max_attempts,
+        )
     else:
         raise ValueError(f"unknown transport {transport!r}")
     rng = np.random.default_rng(seed)
@@ -218,9 +311,9 @@ def run_chaos(
         for i, f in enumerate(faults)
     ]
     # generous default: every unit may be retried by every worker several
-    # times before we call livelock
+    # times before we call livelock (each replica slot is its own retry)
     if max_steps is None:
-        max_steps = 200 + 40 * len(units) * max(1, len(workers))
+        max_steps = 200 + 40 * len(units) * max(1, replicas) * max(1, len(workers))
     idle_streak = 0
     for _ in range(max_steps):
         if broker.is_complete():
@@ -249,7 +342,8 @@ class _ChaosSpool:
     """Adapter: the MemoryBroker surface over a SpoolBroker + Reassembler,
     so :func:`run_chaos` drives both transports identically."""
 
-    def __init__(self, spec, units, spool_dir, lease_timeout, clock: VirtualClock):
+    def __init__(self, spec, units, spool_dir, lease_timeout, clock: VirtualClock,
+                 replicas: int = 1, max_attempts: int | None = None):
         from .reassemble import Reassembler
 
         self._spool = SpoolBroker(spool_dir, clock=clock.now)
@@ -264,11 +358,15 @@ class _ChaosSpool:
                 "fingerprint": fingerprint,
                 "n_cells": len(units),
                 "lease_timeout": float(lease_timeout),
+                "replicas": int(replicas),
+                "max_attempts": max_attempts,
             },
             units,
         )
         self._n_cells = len(units)
-        self.reassembler = Reassembler(spec, fingerprint)
+        self.reassembler = Reassembler(
+            spec, fingerprint, replicas=replicas, emit=self._spool.emit
+        )
 
     def lease(self, worker):
         return self._spool.lease(worker=worker)
@@ -299,19 +397,24 @@ class CliChaos:
     completing it, leaving a dangling lease exactly as a crashed machine
     would; ``corrupt:K`` — tamper the K-th completion's payload after
     hashing; ``stale:K`` — submit the K-th completion under a foreign
-    fingerprint.  Used by tests and the CI smoke job; documented so a
+    fingerprint; ``equivocate:K`` — submit a plausible-but-wrong,
+    hash-consistent payload for the K-th completion *and every one
+    after it* (a persistently lying machine — the drill a quorum spool
+    must outvote).  Used by tests and the CI smoke job; documented so a
     human operator can stage a failure drill on a real spool.
     """
+
+    KINDS = ("kill", "corrupt", "stale", "equivocate")
 
     def __init__(self, spec_text: str):
         self.plan: dict[str, int] = {}
         self.seen = 0
         for part in filter(None, (p.strip() for p in spec_text.split(","))):
             kind, _, arg = part.partition(":")
-            if kind not in ("kill", "corrupt", "stale"):
+            if kind not in self.KINDS:
                 raise ValueError(
                     f"unknown chaos fault {kind!r} (grammar: kill:K, "
-                    "corrupt:K, stale:K)"
+                    "corrupt:K, stale:K, equivocate:K)"
                 )
             self.plan[kind] = int(arg or 1)
 
@@ -327,5 +430,12 @@ class CliChaos:
             return None
         if self.plan.get("stale") == self.seen:
             broker.complete(staleify_result(result))
+            return None
+        if "equivocate" in self.plan and self.seen >= self.plan["equivocate"]:
+            # persistent: this worker's *every* answer from here on is a
+            # consistent lie, salted by its identity
+            broker.complete(
+                equivocate_result(result, salt=result.worker or "cli")
+            )
             return None
         return result

@@ -18,8 +18,32 @@ from evidence in the result itself:
    grid index is accepted; later verified results for the same index are
    duplicates.  Because cells are deterministic in their coordinate-keyed
    streams, honest duplicates are bit-identical; a *divergent* verified
-   duplicate is a correctly-hashed wrong answer and raises
-   :class:`PayloadConflictError` rather than being resolved silently.
+   duplicate is a correctly-hashed wrong answer.
+
+What happens to that wrong answer depends on ``replicas``:
+
+* ``replicas=1`` (default, the pre-quorum behavior): it raises
+  :class:`PayloadConflictError` — beyond what retry can repair, so it is
+  surfaced loudly instead of resolved silently.
+* ``replicas=r > 1`` (**quorum mode**): each grid index is executed by r
+  workers and verified results become *votes*, grouped by payload
+  SHA-256.  One worker gets one vote per index (duplicate submissions
+  count once; a worker that re-votes under a *different* hash is an
+  observed equivocator — its latest vote stands and its suspicion
+  counter grows).  The first hash to reach a strict majority
+  (``r // 2 + 1`` distinct workers) settles the index; minority voters
+  are *outvoted*, not fatal — the paper's thesis (reliable global
+  answers from unreliable participants by majority) applied to the
+  dispatcher's own compute fabric.  A tally that exhausts its replica
+  slots without a majority is a *tie*; the broker materializes
+  tiebreaker slots until one side wins (progress relies on faults having
+  finite budgets, the same bounded-adversary assumption the chaos
+  harness encodes).
+
+Every quorum transition lands in telemetry (``dispatch.quorum`` with the
+per-hash vote counts, ``dispatch.suspect`` with the per-worker suspicion
+counter) through the ``emit`` hook, so an operator can watch a vote
+converge — or identify the worker that keeps losing them.
 
 Once every index is filled, :meth:`Reassembler.table` hands the decoded
 cell results to the same ``assemble_table`` the local ``run_sweep`` uses
@@ -28,6 +52,9 @@ byte-identical to the serial oracle by construction.
 """
 
 from __future__ import annotations
+
+from collections import Counter
+from typing import Callable
 
 from ..sweep import SweepSpec, assemble_table
 from ...analysis.tables import TableResult
@@ -38,31 +65,91 @@ from .wire import (
     payload_hash,
 )
 
-__all__ = ["ACCEPTED", "CORRUPT", "DUPLICATE", "STALE", "Reassembler"]
+__all__ = [
+    "ACCEPTED",
+    "CORRUPT",
+    "DUPLICATE",
+    "OUTVOTED",
+    "STALE",
+    "VOTE",
+    "Reassembler",
+]
 
 # acceptance verdicts (complete() routes requeues off the rejected ones)
 ACCEPTED = "accepted"
 DUPLICATE = "duplicate"
 STALE = "stale"
 CORRUPT = "corrupt"
+# quorum-mode verdicts: a verified result that joined a pending tally,
+# and a verified result whose hash lost (or had already lost) the vote
+VOTE = "vote"
+OUTVOTED = "outvoted"
 
 
 class Reassembler:
-    """Accepts :class:`WorkResult`s idempotently, emits the sweep table."""
+    """Accepts :class:`WorkResult`s idempotently, emits the sweep table.
 
-    def __init__(self, spec: SweepSpec, fingerprint: str):
+    ``replicas`` enables quorum mode (see the module docstring);
+    ``emit`` is an optional ``emit(type, **fields)`` telemetry hook —
+    the brokers pass their own, so quorum events land in the same trail
+    as the unit lifecycle.
+    """
+
+    def __init__(
+        self,
+        spec: SweepSpec,
+        fingerprint: str,
+        replicas: int = 1,
+        emit: Callable | None = None,
+    ):
+        if int(replicas) < 1:
+            raise ValueError("replicas must be >= 1")
         self.spec = spec
         self.fingerprint = fingerprint
+        self.replicas = int(replicas)
+        self.majority = self.replicas // 2 + 1
         self.cells = spec.cells()
         self._accepted: dict[int, WorkResult] = {}
+        # unsettled tallies: index -> worker -> that worker's latest
+        # verified result (one worker, one vote; latest hash stands)
+        self._votes: dict[int, dict[str, WorkResult]] = {}
+        # how often each worker's verified answers lost a vote or flipped
+        # mid-tally — the reputation signal quorum mode accumulates
+        self.suspicion: dict[str, int] = {}
         self.rejected: list[tuple[str, WorkResult]] = []
+        self._emit_hook = emit
+
+    def _emit(self, type: str, **fields) -> None:
+        if self._emit_hook is not None:
+            self._emit_hook(type, **fields)
+
+    def _suspect(self, worker: str) -> None:
+        w = worker or "?"
+        self.suspicion[w] = self.suspicion.get(w, 0) + 1
+        self._emit("dispatch.suspect", worker=w, suspicion=self.suspicion[w])
+
+    def _tally(self, index: int) -> Counter:
+        """Distinct-worker vote counts by payload hash (latest vote per
+        worker — an equivocator cannot stack a tally by re-voting)."""
+        return Counter(r.payload_sha256 for r in self._votes.get(index, {}).values())
+
+    def vote_counts(self, index: int) -> dict[str, int]:
+        """Current per-hash vote counts for an unsettled index."""
+        return dict(self._tally(index))
+
+    def voters(self, index: int) -> set[str]:
+        """Workers whose vote is already recorded for an index (the
+        brokers' prefer-distinct leasing query)."""
+        return set(self._votes.get(index, {}))
 
     def accept(self, result: WorkResult) -> str:
         """Judge one completion; returns the verdict constant.
 
-        Raises :class:`PayloadConflictError` only for a verified result
-        that disagrees with an already-accepted verified result — the one
-        fault retry cannot repair.
+        Raises :class:`PayloadConflictError` only at ``replicas=1``, for
+        a verified result that disagrees with an already-accepted
+        verified result — the one fault a replica-less dispatch cannot
+        repair.  In quorum mode the same evidence becomes an ``outvoted``
+        (or ``vote``) verdict instead.
         """
         if result.fingerprint != self.fingerprint:
             self.rejected.append((STALE, result))
@@ -76,7 +163,9 @@ class Reassembler:
             return CORRUPT
         held = self._accepted.get(result.index)
         if held is not None:
-            if held.payload_sha256 != result.payload_sha256:
+            if held.payload_sha256 == result.payload_sha256:
+                return DUPLICATE
+            if self.replicas == 1:
                 raise PayloadConflictError(
                     f"index {result.index}: verified result from worker "
                     f"{result.worker or '?'} (hash {result.payload_sha256[:12]}) "
@@ -84,23 +173,75 @@ class Reassembler:
                     f"from worker {held.worker or '?'} — deterministic cells "
                     "cannot diverge; a worker computed a wrong answer"
                 )
-            return DUPLICATE
+            # a late minority vote against a settled index: survivable
+            self._suspect(result.worker)
+            self.rejected.append((OUTVOTED, result))
+            self._emit(
+                "dispatch.quorum",
+                index=result.index,
+                outcome="outvoted",
+                worker=result.worker or "?",
+                winner=held.payload_sha256[:12],
+            )
+            return OUTVOTED
+        if self.replicas == 1:
+            self._accepted[result.index] = result
+            return ACCEPTED
+        return self._record_vote(result)
+
+    def _record_vote(self, result: WorkResult) -> str:
+        votes = self._votes.setdefault(result.index, {})
+        key = result.worker  # "" collapses anonymous workers to one voter
+        prev = votes.get(key)
+        if prev is not None and prev.payload_sha256 == result.payload_sha256:
+            return DUPLICATE  # one worker's repeat counts once
+        if prev is not None:
+            # the same worker now swears to a different answer: observed
+            # equivocation — its latest vote stands, its reputation drops
+            self._suspect(key)
+        votes[key] = result
+        tally = self._tally(result.index)
+        counts = {h[:12]: c for h, c in sorted(tally.items())}
+        if tally[result.payload_sha256] < self.majority:
+            self._emit(
+                "dispatch.quorum",
+                index=result.index,
+                outcome="vote",
+                worker=result.worker or "?",
+                votes=counts,
+            )
+            return VOTE
+        # majority reached: settle on the winning hash; the stored result
+        # is any vote carrying it (same hash = byte-identical payload)
+        winner = result.payload_sha256
         self._accepted[result.index] = result
+        for worker, vote in votes.items():
+            if vote.payload_sha256 != winner:
+                self._suspect(worker)
+                self.rejected.append((OUTVOTED, vote))
+        del self._votes[result.index]
+        self._emit(
+            "dispatch.quorum",
+            index=result.index,
+            outcome="settled",
+            worker=result.worker or "?",
+            votes=counts,
+        )
         return ACCEPTED
 
     def accepted_count(self) -> int:
         return len(self._accepted)
 
     def is_accepted(self, index: int) -> bool:
-        """Whether a verified result already holds this grid index (the
-        transports' dedup/retirement query)."""
+        """Whether this grid index is settled (verified at r=1, majority-
+        settled in quorum mode) — the transports' retirement query."""
         return index in self._accepted
 
     def in_grid(self, index: int) -> bool:
         return 0 <= index < len(self.cells)
 
     def missing(self) -> list[int]:
-        """Grid indexes still without a verified result."""
+        """Grid indexes still without a settled result."""
         return [c.index for c in self.cells if c.index not in self._accepted]
 
     def complete(self) -> bool:

@@ -52,6 +52,7 @@ class ServeReport:
     n_cells: int
     enqueued: int
     cache_hit: bool
+    replicas: int = 1
 
 
 def _result_cache(cache_dir):
@@ -72,6 +73,8 @@ def serve(
     force: bool = False,
     cache_dir: str | None = None,
     registry=None,
+    replicas: int = 1,
+    max_attempts: int | None = None,
 ) -> ServeReport:
     """Serialize a sweep into spool units (the producer role).
 
@@ -81,7 +84,17 @@ def serve(
     to workers.  ``force`` recomputes: cache hit ignored, spool wiped
     (including completed shards).  Re-serving an unfinished spool is
     idempotent and only enqueues the missing units.
+
+    ``replicas=r > 1`` turns on quorum mode: every unit is staged as r
+    replica slots and collect settles each index on the majority payload
+    hash — the dispatch survives workers that compute wrong answers
+    convincingly, at r× the compute.  ``max_attempts`` bounds retries per
+    slot (a persistently-failing unit is poisoned loudly instead of
+    retried forever); both land in the manifest, so work/collect pick
+    them up with no extra flags.
     """
+    if int(replicas) < 1:
+        raise ValueError("replicas must be >= 1")
     overrides = dict(overrides or {})
     # validate like the runner: a typo'd override must fail at serve time,
     # not inside a worker three processes away
@@ -105,6 +118,8 @@ def serve(
         "fingerprint": fingerprint,
         "n_cells": len(units),
         "lease_timeout": float(lease_timeout),
+        "replicas": int(replicas),
+        "max_attempts": None if max_attempts is None else int(max_attempts),
         "created": time.time(),
     }
     if cache and not force:
@@ -116,11 +131,13 @@ def serve(
             return ServeReport(
                 spool=str(root), fingerprint=fingerprint,
                 n_cells=len(units), enqueued=0, cache_hit=True,
+                replicas=int(replicas),
             )
     enqueued = broker.initialize(manifest, units, force=force)
     return ServeReport(
         spool=str(root), fingerprint=fingerprint,
         n_cells=len(units), enqueued=enqueued, cache_hit=False,
+        replicas=int(replicas),
     )
 
 
@@ -132,6 +149,7 @@ def work(
     timeout: float | None = None,
     registry=None,
     chaos=None,
+    replicas: int | None = None,
 ) -> int:
     """Pull-execute-complete until the spool drains (the worker role).
 
@@ -147,7 +165,14 @@ def work(
     delays this worker by at most the lease timeout.  ``timeout`` bounds
     the total wait (DispatchError rather than a silent partial spool).
     ``chaos`` injects faults for the test harness (see
-    :mod:`repro.sim.dispatch.chaos`).
+    :mod:`repro.sim.dispatch.chaos`).  ``replicas`` normally comes from
+    the manifest; passing it overrides (e.g. collecting a foreign spool
+    whose manifest predates quorum mode).
+
+    A spool whose every remaining unit was poisoned (``max_attempts``
+    spent, nothing pending or leased, quorum unsettleable) raises
+    immediately — a persistently-failing unit can never livelock the
+    worker pool.
     """
     broker = SpoolBroker(spool)
     manifest = broker.load_manifest()
@@ -156,10 +181,14 @@ def work(
         manifest["experiment"], manifest["seed"], manifest["fast"],
         manifest["overrides"], registry=registry,
     )
+    if replicas is None:
+        replicas = int(manifest.get("replicas") or 1)
     # the worker-side validator: accepted results are only used as the
     # drain condition (collect re-verifies from disk for the table);
     # sweeping also deletes invalid result files and requeues their units
-    reassembler = Reassembler(spec, manifest["fingerprint"])
+    reassembler = Reassembler(
+        spec, manifest["fingerprint"], replicas=replicas, emit=broker.emit
+    )
     executed = 0
     deadline = None if timeout is None else time.time() + timeout
     while True:
@@ -172,6 +201,23 @@ def work(
             break
         unit = broker.lease(worker=worker)
         if unit is None:
+            state = broker.counts()
+            if state["pending"] == 0 and state["leased"] == 0:
+                # nothing in flight anywhere: one more sweep (a colleague
+                # may have completed between our sweep and the census),
+                # then the spool is wedged — every remaining slot was
+                # poisoned past max_attempts
+                broker.sweep_results(reassembler)
+                if reassembler.complete():
+                    break
+                state = broker.counts()
+                if state["pending"] == 0 and state["leased"] == 0:
+                    raise DispatchError(
+                        f"spool {spool} is wedged: grid indexes "
+                        f"{reassembler.missing()} have no claimable slots "
+                        "left (poisoned past max_attempts?); re-serve with "
+                        "force=True to retry them"
+                    )
             if deadline is not None and time.time() > deadline:
                 raise DispatchError(
                     f"worker {worker} timed out after {timeout}s with "
@@ -205,6 +251,7 @@ def collect(
     cache: bool = False,
     cache_dir: str | None = None,
     registry=None,
+    replicas: int | None = None,
 ) -> TableResult:
     """Verify results and reassemble the table (the consumer role).
 
@@ -215,7 +262,9 @@ def collect(
     ``wait=True`` polls (requeueing expired leases, so stragglers from
     dead workers resurface) until complete or ``timeout``.  A serve-time
     cache hit is returned directly; on success the table is stored in the
-    spool and (with ``cache=True``) the result cache.
+    spool and (with ``cache=True``) the result cache.  In quorum mode
+    (manifest ``replicas`` > 1, or the ``replicas`` override) each index
+    must settle on a majority payload hash before it counts as present.
     """
     broker = SpoolBroker(spool)
     manifest = broker.load_manifest()
@@ -238,7 +287,11 @@ def collect(
         manifest["experiment"], manifest["seed"], manifest["fast"],
         manifest["overrides"], registry=registry,
     )
-    reassembler = Reassembler(spec, manifest["fingerprint"])
+    if replicas is None:
+        replicas = int(manifest.get("replicas") or 1)
+    reassembler = Reassembler(
+        spec, manifest["fingerprint"], replicas=replicas, emit=broker.emit
+    )
     deadline = None if timeout is None else time.time() + timeout
     while True:
         broker.requeue_expired()

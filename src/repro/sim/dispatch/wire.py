@@ -24,10 +24,14 @@ the unit JSON and the experiment registry:
 
 What the codec deliberately cannot detect: a worker that executes the
 wrong computation and hashes its wrong answer consistently, under the
-correct fingerprint.  Defending against that requires redundant
-execution (run each unit on r workers, accept the majority payload
-hash) — the broker's first-write-wins + conflict-detection contract is
-the hook such a quorum layer would build on.
+correct fingerprint.  Defending against that is the quorum layer's job:
+with ``replicas=r`` each unit is leased as r *replica slots* (``replica``
+on the unit names the slot, ``attempt`` counts its leases) and the
+reassembler accepts the majority payload hash across distinct workers —
+see :mod:`repro.sim.dispatch.reassemble`.  Both fields are transport
+bookkeeping, not sweep identity: they never enter the fingerprint, and
+absent fields decode to the r=1 defaults so pre-quorum spools stay
+readable.
 """
 
 from __future__ import annotations
@@ -134,7 +138,11 @@ class WorkUnit:
     tuples arrive as lists, which every builder accepts and the cache key
     canonicalizes identically); ``kernel`` is the execution hint threaded
     into ``pass_kernel`` cells — byte-identical tables either way, so it
-    is excluded from the fingerprint.
+    is excluded from the fingerprint.  ``replica`` names the quorum slot
+    this copy of the unit fills (0..r-1, plus tiebreakers) and
+    ``attempt`` how many times that slot has been leased; both are
+    transport state, excluded from identity and equality-irrelevant for
+    the ``units/`` originals (which always carry the 0 defaults).
     """
 
     experiment: str
@@ -145,6 +153,8 @@ class WorkUnit:
     n_cells: int
     kernel: str = "vectorized"
     fingerprint: str = ""
+    replica: int = 0
+    attempt: int = 0
 
     def unit_id(self) -> str:
         return f"{self.experiment.lower()}-{self.fingerprint}-{self.index:05d}"
@@ -160,6 +170,8 @@ class WorkUnit:
                 "n_cells": self.n_cells,
                 "kernel": self.kernel,
                 "fingerprint": self.fingerprint,
+                "replica": self.replica,
+                "attempt": self.attempt,
             },
             sort_keys=True,
             indent=1,
@@ -178,6 +190,10 @@ class WorkUnit:
                 n_cells=int(data["n_cells"]),
                 kernel=str(data["kernel"]),
                 fingerprint=str(data["fingerprint"]),
+                # pre-quorum unit JSON has neither field: decode to the
+                # r=1 defaults so existing spools stay readable
+                replica=int(data.get("replica", 0)),
+                attempt=int(data.get("attempt", 0)),
             )
         except (ValueError, KeyError, TypeError) as exc:
             raise DispatchError(f"malformed work unit: {exc}") from exc
@@ -191,6 +207,8 @@ class WorkResult:
     exactly a :class:`~repro.sim.sweep.CellResult` minus the identity
     the unit already carries.  ``payload_sha256`` is the worker's claim;
     the reassembler recomputes it before believing anything else.
+    ``replica``/``attempt`` echo the leased unit's slot bookkeeping so a
+    rejected result can be requeued without losing its retry budget.
     """
 
     fingerprint: str
@@ -198,6 +216,8 @@ class WorkResult:
     payload: dict
     payload_sha256: str
     worker: str = ""
+    replica: int = 0
+    attempt: int = 0
 
     def to_json(self) -> str:
         return json.dumps(
@@ -207,6 +227,8 @@ class WorkResult:
                 "payload": self.payload,
                 "payload_sha256": self.payload_sha256,
                 "worker": self.worker,
+                "replica": self.replica,
+                "attempt": self.attempt,
             },
             sort_keys=True,
             indent=1,
@@ -222,6 +244,8 @@ class WorkResult:
                 payload=dict(data["payload"]),
                 payload_sha256=str(data["payload_sha256"]),
                 worker=str(data.get("worker", "")),
+                replica=int(data.get("replica", 0)),
+                attempt=int(data.get("attempt", 0)),
             )
         except (ValueError, KeyError, TypeError) as exc:
             raise DispatchError(f"malformed work result: {exc}") from exc
@@ -358,4 +382,6 @@ def execute_unit(
         payload=payload,
         payload_sha256=payload_hash(payload),
         worker=worker,
+        replica=unit.replica,
+        attempt=unit.attempt,
     )

@@ -57,6 +57,12 @@ EVENT_TYPES: dict[str, dict[str, tuple]] = {
     "dispatch.reject": {"index": (int,), "verdict": (str,)},
     "dispatch.corrupt_unit": {"index": (int,)},
     "dispatch.collect": {"cells": (int,)},
+    # quorum mode: vote tallies (outcome = vote/settled/outvoted/tie, with
+    # per-hash counts in the optional `votes` field), slots whose retry
+    # budget ran out, and the per-worker suspicion counter
+    "dispatch.quorum": {"index": (int,), "outcome": (str,)},
+    "dispatch.poison": {"index": (int,), "attempts": (int,)},
+    "dispatch.suspect": {"worker": (str,), "suspicion": (int,)},
     # sweep layer — per-cell kernel timings and sweep summaries
     "sweep.cell": {
         "experiment": (str,), "index": (int,), "kernel": (str,),

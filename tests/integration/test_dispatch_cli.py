@@ -129,6 +129,50 @@ def test_serve_rejects_typo_overrides(spool):
     assert "probez" in (proc.stderr + proc.stdout)
 
 
+def test_quorum_serve_work_collect_outvotes_equivocator(tmp_path, spool):
+    # quorum round trip across OS processes: r=3, one worker whose every
+    # answer is a plausible hash-consistent lie; the honest majority must
+    # outvote it and the collected table must match the serial oracle
+    out = repro_cli(
+        "--seed", "2", "dispatch", "serve", "E1", *OVERRIDES,
+        "--spool", str(spool), "--replicas", "3", "--max-attempts", "8",
+        "--lease-timeout", "30",
+    )
+    assert "x3 replicas" in out.stdout
+    manifest = json.loads((spool / "manifest.json").read_text())
+    assert manifest["replicas"] == 3
+    assert manifest["max_attempts"] == 8
+    # 2 cells x 3 replicas staged as slots
+    assert len(list((spool / "pending").glob("unit-*.json"))) == 6
+
+    # the liar votes on both units, then two honest workers in sequence
+    # provide the two distinct votes each index needs to settle
+    repro_cli(
+        "dispatch", "work", "--spool", str(spool), "--worker", "wLiar",
+        "--chaos", "equivocate:1", "--max-units", "2",
+    )
+    repro_cli(
+        "dispatch", "work", "--spool", str(spool), "--worker", "wB",
+        "--max-units", "4",
+    )
+    repro_cli(
+        "dispatch", "work", "--spool", str(spool), "--worker", "wC",
+        "--timeout", "60",
+    )
+    collected = repro_cli("dispatch", "collect", "--spool", str(spool))
+    oracle = run_experiment("E1", seed=2, fast=True, **OVERRIDE_KWARGS)
+    assert collected.stdout.strip() == oracle.render().strip()
+
+    from repro.telemetry import read_events
+
+    events = read_events(spool / "events.log")
+    settled = {
+        e["index"] for e in events
+        if e["type"] == "dispatch.quorum" and e["outcome"] == "settled"
+    }
+    assert settled == {0, 1}  # every index settled by majority vote
+
+
 def test_manifest_records_the_request(spool):
     repro_cli(
         "--seed", "9", "dispatch", "serve", "E1", *OVERRIDES,

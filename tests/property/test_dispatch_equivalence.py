@@ -113,6 +113,55 @@ def test_spool_transport_equivalence(experiment, schedule, workers, tmp_path):
     _run_case(experiment, schedule, workers, "spool", tmp_path=tmp_path)
 
 
+# quorum-mode matrix: replicas r with strictly fewer than ceil(r/2)
+# equivocators per unit — the bound under which byte-identity is
+# guaranteed even against workers whose wrong answers verify clean.
+# Budgets are effectively unlimited (999): convergence must come from
+# honest majorities, never from the fault expiring.
+QUORUM_CASES = {
+    "r1-honest": (1, []),
+    "r3-equivocate": (3, [WorkerFault("equivocate", budget=999)]),
+    "r3-adaptive": (3, [WorkerFault("adaptive", budget=999, after=2)]),
+    "r5-split-pair": (5, [
+        WorkerFault("split", budget=999, salt="cartel"),
+        WorkerFault("split", budget=999, salt="cartel"),
+    ]),
+}
+
+
+def _run_quorum_case(experiment, case, transport, tmp_path=None):
+    replicas, byzantine = QUORUM_CASES[case]
+    workers = byzantine + [WorkerFault("honest")] * max(
+        1, replicas - len(byzantine)
+    )
+    rng = _case_rng(experiment, case, transport, "quorum")
+    lease_timeout = float(rng.uniform(2.0, 20.0))
+    chaos_seed = int(rng.integers(2**31))
+    spec, units = units_for_request(
+        experiment, 0, True, EXPERIMENT_OVERRIDES[experiment]
+    )
+    table = run_chaos(
+        spec, units, workers, seed=chaos_seed, lease_timeout=lease_timeout,
+        transport=transport, replicas=replicas,
+        spool_dir=None if tmp_path is None else tmp_path / "spool",
+    )
+    expected = oracle(experiment)
+    assert table.to_json() == expected.to_json()
+    assert table.render() == expected.render()
+
+
+@pytest.mark.parametrize("experiment", ("E2", "E6"))
+@pytest.mark.parametrize("case", sorted(QUORUM_CASES))
+def test_memory_quorum_equivalence(experiment, case):
+    _run_quorum_case(experiment, case, "memory")
+
+
+@pytest.mark.parametrize("experiment", ("E2", "E6"))
+@pytest.mark.parametrize("case", sorted(QUORUM_CASES))
+def test_spool_quorum_equivalence(experiment, case, tmp_path):
+    _run_quorum_case(experiment, case, "spool", tmp_path=tmp_path)
+
+
 def test_fault_free_single_worker_equivalence(tmp_path):
     # degenerate corner the matrix above skips: one worker, no faults
     for experiment in sorted(EXPERIMENT_OVERRIDES):

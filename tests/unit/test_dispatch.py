@@ -17,7 +17,9 @@ from repro.sim.dispatch import (
     ACCEPTED,
     CORRUPT,
     DUPLICATE,
+    OUTVOTED,
     STALE,
+    VOTE,
     DispatchError,
     IncompleteSweepError,
     MemoryBroker,
@@ -27,6 +29,7 @@ from repro.sim.dispatch import (
     VirtualClock,
     WorkResult,
     WorkUnit,
+    equivocate_result,
     execute_unit,
     payload_hash,
     sweep_fingerprint,
@@ -544,3 +547,393 @@ class TestBrokerTelemetry:
         completes = [e for e in events if e["type"] == "dispatch.complete"]
         assert all(e["verdict"] == "accepted" for e in completes)
         assert all("lease_latency_s" in e for e in completes)
+
+
+class TestQuorumReassembler:
+    """Quorum mode: verified results are votes, majority hash settles."""
+
+    def _fresh(self, replicas=3, emit=None, **kw):
+        spec, units = toy_units(**kw)
+        return spec, units, Reassembler(
+            spec, units[0].fingerprint, replicas=replicas, emit=emit
+        )
+
+    def test_replicas_must_be_positive(self):
+        spec, units = toy_units()
+        with pytest.raises(ValueError, match="replicas"):
+            Reassembler(spec, units[0].fingerprint, replicas=0)
+
+    def test_majority_of_distinct_workers_settles(self):
+        spec, units, reasm = self._fresh()
+        a = execute_unit(units[0], spec=spec, worker="w1")
+        b = execute_unit(units[0], spec=spec, worker="w2")
+        assert reasm.accept(a) == VOTE
+        assert not reasm.is_accepted(0)
+        assert reasm.accept(b) == ACCEPTED  # 2 of 3 = majority
+        assert reasm.is_accepted(0)
+
+    def test_one_worker_counts_once_across_replica_slots(self):
+        from dataclasses import replace
+
+        spec, units, reasm = self._fresh()
+        a = execute_unit(units[0], spec=spec, worker="w1")
+        assert reasm.accept(a) == VOTE
+        assert reasm.accept(a) == DUPLICATE  # literal resubmission
+        # the same worker completing a *different* replica slot of the
+        # same index is still one voter — a quorum needs distinct workers
+        assert reasm.accept(replace(a, replica=1)) == DUPLICATE
+        assert reasm.vote_counts(0) == {a.payload_sha256: 1}
+        assert reasm.voters(0) == {"w1"}
+
+    def test_equivocating_worker_latest_vote_stands(self):
+        spec, units, reasm = self._fresh()
+        honest = execute_unit(units[0], spec=spec, worker="liar")
+        lie = equivocate_result(honest, salt="x")
+        assert reasm.accept(lie) == VOTE
+        # the same worker now swears to a different hash: observed
+        # equivocation — latest vote stands, suspicion grows
+        assert reasm.accept(honest) == VOTE
+        assert reasm.suspicion["liar"] == 1
+        assert reasm.vote_counts(0) == {honest.payload_sha256: 1}
+        other = execute_unit(units[0], spec=spec, worker="w2")
+        assert reasm.accept(other) == ACCEPTED
+
+    def test_minority_is_outvoted_not_fatal(self):
+        spec, units, reasm = self._fresh()
+        lie = equivocate_result(
+            execute_unit(units[0], spec=spec, worker="liar"), salt="liar"
+        )
+        assert reasm.accept(lie) == VOTE
+        assert reasm.accept(execute_unit(units[0], spec=spec, worker="w1")) == VOTE
+        assert reasm.accept(execute_unit(units[0], spec=spec, worker="w2")) == ACCEPTED
+        assert reasm.suspicion["liar"] == 1  # outvoted at settle time
+        # a late minority report against the settled index: survivable,
+        # never the PayloadConflictError the r=1 path raises
+        late = equivocate_result(
+            execute_unit(units[0], spec=spec, worker="late"), salt="late"
+        )
+        assert reasm.accept(late) == OUTVOTED
+        assert reasm.suspicion["late"] == 1
+        for u in units[1:]:
+            reasm.accept(execute_unit(u, spec=spec, worker="w1"))
+            reasm.accept(execute_unit(u, spec=spec, worker="w2"))
+        assert reasm.table().to_json() == run_sweep(spec).to_json()
+
+    def test_quorum_telemetry_trail(self):
+        events = []
+        spec, units, reasm = self._fresh(
+            emit=lambda type, **f: events.append({"type": type, **f})
+        )
+        lie = equivocate_result(
+            execute_unit(units[0], spec=spec, worker="liar"), salt="liar"
+        )
+        reasm.accept(lie)
+        reasm.accept(execute_unit(units[0], spec=spec, worker="w1"))
+        reasm.accept(execute_unit(units[0], spec=spec, worker="w2"))
+        quorum = [e for e in events if e["type"] == "dispatch.quorum"]
+        assert [e["outcome"] for e in quorum] == ["vote", "vote", "settled"]
+        assert sum(quorum[-1]["votes"].values()) == 3  # per-hash counts
+        suspects = [e for e in events if e["type"] == "dispatch.suspect"]
+        assert suspects == [{"type": "dispatch.suspect", "worker": "liar",
+                             "suspicion": 1}]
+
+
+class TestMemoryQuorum:
+    def test_replica_slots_lease_with_liveness_fallback(self):
+        spec, units = toy_units()
+        broker = MemoryBroker(spec, units, lease_timeout=10.0, replicas=3)
+        # 3 units x 3 replicas; a lone worker still drains every slot
+        # (prefer-distinct never refuses outright)
+        seen = [broker.lease("solo") for _ in range(9)]
+        assert all(u is not None for u in seen)
+        assert broker.lease("solo") is None
+
+    def test_three_honest_workers_settle_to_oracle(self):
+        spec, units = toy_units()
+        broker = MemoryBroker(spec, units, lease_timeout=10.0, replicas=3)
+        while not broker.is_complete():
+            progressed = False
+            for w in ("w1", "w2", "w3"):
+                unit = broker.lease(w)
+                if unit is not None:
+                    broker.complete(execute_unit(unit, spec=spec, worker=w))
+                    progressed = True
+            assert progressed, "quorum drain stalled"
+        assert broker.table().to_json() == run_sweep(spec).to_json()
+
+    def test_tiebreaker_slot_materialized_when_tally_stalls(self):
+        spec, units = toy_units(overrides={"xs": [5]})  # one-cell grid
+        broker = MemoryBroker(spec, units, lease_timeout=10.0, replicas=3)
+        u1 = broker.lease("liarA")
+        broker.complete(equivocate_result(
+            execute_unit(u1, spec=spec, worker="liarA"), salt="A"))
+        u2 = broker.lease("liarB")
+        broker.complete(equivocate_result(
+            execute_unit(u2, spec=spec, worker="liarB"), salt="B"))
+        u3 = broker.lease("w")
+        broker.complete(execute_unit(u3, spec=spec, worker="w"))
+        # 1/1/1 with the slots drained: unsettled, tiebreaker staged
+        assert not broker.is_complete()
+        tie = broker.lease("liarA")
+        assert tie is not None and tie.replica >= 3
+        # liarA comes clean: its vote flips to the honest hash (2 of 3)
+        broker.complete(execute_unit(tie, spec=spec, worker="liarA"))
+        assert broker.is_complete()
+        assert broker.table().to_json() == run_sweep(spec).to_json()
+        assert broker.reassembler.suspicion["liarA"] == 1  # the flip
+        assert broker.reassembler.suspicion["liarB"] == 1  # outvoted
+
+    def test_replicas_must_be_positive(self):
+        spec, units = toy_units()
+        with pytest.raises(ValueError, match="replicas"):
+            MemoryBroker(spec, units, replicas=0)
+
+
+class TestSpoolQuorum:
+    def _spool(self, tmp_path, replicas=3, clock=None, max_attempts=None,
+               lease_timeout=10.0):
+        spec, units = toy_units()
+        broker = SpoolBroker(tmp_path / "spool",
+                             clock=clock.now if clock else None)
+        broker.initialize(
+            {
+                "experiment": "TOY", "seed": 0, "fast": True, "overrides": {},
+                "kernel": "vectorized", "fingerprint": units[0].fingerprint,
+                "n_cells": len(units), "lease_timeout": lease_timeout,
+                "replicas": replicas, "max_attempts": max_attempts,
+            },
+            units,
+        )
+        return spec, units, broker
+
+    def test_slot_name_round_trip(self):
+        for index, replica, attempt in [
+            (0, 0, 0), (42, 1, 0), (7, 0, 3), (99999, 12, 34),
+        ]:
+            name = SpoolBroker._slot_name(index, replica, attempt)
+            assert SpoolBroker._parse_slot(name) == (index, replica, attempt)
+        # replica 0 / first lease keep the bare pre-quorum name
+        assert SpoolBroker._slot_name(42) == "unit-00042.json"
+        assert SpoolBroker._parse_slot("unit-00042.json") == (42, 0, 0)
+
+    def test_result_name_round_trip(self, tmp_path):
+        broker = SpoolBroker(tmp_path / "s")
+        assert broker._result_path(3).name == "result-00003.json"
+        assert broker._result_path(3, 2).name == "result-00003.r2.json"
+        assert SpoolBroker._parse_result("result-00003.json") == (3, 0)
+        assert SpoolBroker._parse_result("result-00003.r2.json") == (3, 2)
+
+    def test_replica_slots_on_disk(self, tmp_path):
+        spec, units, broker = self._spool(tmp_path)
+        assert broker.counts() == {"pending": 9, "leased": 0, "results": 0}
+        names = {p.name for p in (broker.root / "pending").iterdir()}
+        assert "unit-00000.json" in names  # replica 0: bare legacy name
+        assert "unit-00000.r1.json" in names
+        assert "unit-00000.r2.json" in names
+
+    def test_reserve_only_fills_missing_replica_slots(self, tmp_path):
+        spec, units, broker = self._spool(tmp_path)
+        unit = broker.lease("w")
+        broker.complete(execute_unit(unit, spec=spec, worker="w"))
+        enqueued = broker.initialize(broker.load_manifest(), units)
+        assert enqueued == 0  # 8 live slots + 1 result: nothing re-added
+
+    def test_quorum_settles_through_the_spool(self, tmp_path):
+        spec, units, broker = self._spool(tmp_path)
+        brokers = {w: SpoolBroker(broker.root) for w in ("w1", "w2", "w3")}
+        reasm = Reassembler(spec, units[0].fingerprint, replicas=3)
+        for _ in range(30):
+            for w, b in brokers.items():
+                unit = b.lease(w)
+                if unit is not None:
+                    b.complete(execute_unit(unit, spec=spec, worker=w))
+            broker.sweep_results(reasm)
+            if reasm.complete():
+                break
+        assert reasm.complete()
+        assert reasm.table().to_json() == run_sweep(spec).to_json()
+
+    def test_legacy_r1_spool_still_collects(self, tmp_path):
+        # a spool served before quorum mode existed: bare slot names and a
+        # manifest with no replicas/max_attempts keys must still collect
+        spec, units = toy_units()
+        broker = SpoolBroker(tmp_path / "spool")
+        broker.initialize(
+            {
+                "experiment": "TOY", "seed": 0, "fast": True, "overrides": {},
+                "kernel": "vectorized", "fingerprint": units[0].fingerprint,
+                "n_cells": len(units), "lease_timeout": 10.0,
+            },
+            units,
+        )
+        for _ in units:
+            broker.complete(execute_unit(broker.lease("w"), spec=spec, worker="w"))
+        from repro.sim.dispatch import collect
+
+        table = collect(broker.root, registry=TOY)
+        assert table.to_json() == run_sweep(spec).to_json()
+
+    def test_spool_tiebreaker_materialized_when_tally_stalls(self, tmp_path):
+        spec, units, broker = self._spool(tmp_path)
+        reasm = Reassembler(spec, units[0].fingerprint, replicas=3,
+                            emit=broker.emit)
+        # drain every replica slot of index 0 into a 1/1/1 tally
+        leased = []
+        while True:
+            unit = broker.lease("any")
+            if unit is None:
+                break
+            leased.append(unit)
+        for unit, (worker, salt) in zip(
+            [u for u in leased if u.index == 0],
+            [("liarA", "A"), ("liarB", "B"), ("w", None)],
+        ):
+            result = execute_unit(unit, spec=spec, worker=worker)
+            if salt:
+                result = equivocate_result(result, salt=salt)
+            broker.complete(result)
+        broker.sweep_results(reasm)
+        assert not reasm.is_accepted(0)
+        pending = {
+            SpoolBroker._parse_slot(p.name)[:2]
+            for p in (broker.root / "pending").iterdir()
+        }
+        assert (0, 3) in pending  # the tiebreaker slot, above every replica
+        from repro.telemetry import read_events
+
+        quorum = [
+            e for e in read_events(broker.root / "events.log")
+            if e["type"] == "dispatch.quorum"
+        ]
+        assert any(e["outcome"] == "tie" and e["index"] == 0 for e in quorum)
+
+
+class TestSpoolRetryBugs:
+    """Regressions for the three spool broker bugs this PR fixes."""
+
+    def _spool(self, tmp_path, clock, max_attempts=None, lease_timeout=10.0):
+        spec, units = toy_units()
+        broker = SpoolBroker(tmp_path / "spool", clock=clock.now)
+        broker.initialize(
+            {
+                "experiment": "TOY", "seed": 0, "fast": True, "overrides": {},
+                "kernel": "vectorized", "fingerprint": units[0].fingerprint,
+                "n_cells": len(units), "lease_timeout": lease_timeout,
+                "replicas": 1, "max_attempts": max_attempts,
+            },
+            units,
+        )
+        return spec, units, broker
+
+    def test_expiry_honours_max_attempts(self, tmp_path):
+        # bug 1: the spool used to requeue a crash-looping unit forever,
+        # ignoring the manifest's max_attempts entirely
+        clock = VirtualClock()
+        spec, units, broker = self._spool(tmp_path, clock, max_attempts=2)
+        first = broker.lease("crashloop")
+        clock.advance(11.0)
+        assert broker.requeue_expired() == [first.index]
+        again = broker.lease("crashloop")
+        assert again.index == first.index and again.attempt == 1
+        clock.advance(11.0)
+        # a second expiry would grant lease #3 > max_attempts=2: poisoned
+        assert broker.requeue_expired() == []
+        marker = broker.root / "poison" / "unit-00000.a2.json"
+        assert marker.exists()
+        assert broker.counts() == {"pending": 2, "leased": 0, "results": 0}
+        from repro.telemetry import read_events
+
+        poison = [
+            e for e in read_events(broker.root / "events.log")
+            if e["type"] == "dispatch.poison"
+        ]
+        assert len(poison) == 1
+        assert poison[0]["index"] == 0 and poison[0]["attempts"] == 2
+
+    def test_rejection_requeue_honours_max_attempts(self, tmp_path):
+        # bug 1, collect side: a persistently-corrupt result must run out
+        # of retries too, not only an expiring lease
+        clock = VirtualClock()
+        spec, units, broker = self._spool(tmp_path, clock, max_attempts=1)
+        unit = broker.lease("liar")
+        result = execute_unit(unit, spec=spec, worker="liar")
+        broker.complete(WorkResult(
+            fingerprint=result.fingerprint, index=result.index,
+            payload={**result.payload, "rows": [["x"]]},
+            payload_sha256=result.payload_sha256, worker="liar",
+        ))
+        reasm = Reassembler(spec, units[0].fingerprint)
+        counts = broker.sweep_results(reasm)
+        assert counts[CORRUPT] == 1
+        # budget of 1 already spent: poisoned, not re-staged
+        assert broker.counts()["pending"] == 2
+        assert (broker.root / "poison" / "unit-00000.a1.json").exists()
+
+    def test_expired_lease_with_result_is_not_requeued(self, tmp_path):
+        # bug 2: a worker that died between linking its result and
+        # unlinking its lease used to get its settled work re-executed
+        clock = VirtualClock()
+        spec, units, broker = self._spool(tmp_path, clock)
+        unit = broker.lease("w")
+        result = execute_unit(unit, spec=spec, worker="w")
+        # simulate the mid-complete death: result on disk, lease dangling
+        broker._result_path(unit.index).write_text(result.to_json())
+        clock.advance(11.0)
+        assert broker.requeue_expired() == []
+        assert broker.counts() == {"pending": 2, "leased": 0, "results": 1}
+        reasm = Reassembler(spec, units[0].fingerprint)
+        assert broker.sweep_results(reasm)[ACCEPTED] == 1
+
+    def test_utime_failure_falls_back_to_recorded_lease_start(
+        self, tmp_path, monkeypatch
+    ):
+        # bug 3: when utime failed at claim time, the slot mtime stayed at
+        # wall-clock rename time while expiry compared it to the injected
+        # clock — the lease could never expire (or expired instantly)
+        import os as _os
+
+        clock = VirtualClock(start=5_000.0)
+        spec, units, broker = self._spool(tmp_path, clock)
+
+        def broken_utime(*args, **kwargs):
+            raise OSError("utime not supported here")
+
+        monkeypatch.setattr(_os, "utime", broken_utime)
+        unit = broker.lease("w")
+        slot = broker.root / "leased" / SpoolBroker._slot_name(unit.index)
+        data = json.loads(slot.read_text())
+        assert data["lease_start"] == 5_000.0  # recorded inside the slot
+        assert broker._lease_start(slot) == 5_000.0  # preferred over mtime
+        monkeypatch.undo()
+        clock.advance(9.0)
+        assert broker.requeue_expired() == []  # not expired yet on our clock
+        clock.advance(2.0)
+        assert broker.requeue_expired() == [unit.index]
+
+
+class TestPoisonAntiLivelock:
+    def test_persistent_corruptor_cannot_livelock_work(self, tmp_path):
+        # regression: before max_attempts reached the spool, a worker
+        # whose every completion is corrupt would requeue-loop forever
+        from repro.sim.dispatch import serve, work
+        from repro.sim.dispatch.chaos import corrupt_result
+
+        class AlwaysCorrupt:
+            def apply(self, unit, result, broker):
+                broker.complete(corrupt_result(result))
+                return None
+
+        report = serve(
+            "TOY", spool=tmp_path / "spool", registry=TOY,
+            lease_timeout=5.0, max_attempts=2,
+        )
+        with pytest.raises(DispatchError, match="wedged"):
+            work(report.spool, worker="liar", chaos=AlwaysCorrupt(),
+                 registry=TOY, poll=0.0)
+        from repro.telemetry import read_events
+
+        events = read_events(tmp_path / "spool" / "events.log")
+        poisoned = {
+            e["index"] for e in events if e["type"] == "dispatch.poison"
+        }
+        assert poisoned == {0, 1, 2}  # every unit retired loudly

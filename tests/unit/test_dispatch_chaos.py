@@ -16,10 +16,11 @@ from repro.sim.dispatch import (
     MemoryBroker,
     VirtualClock,
     WorkerFault,
+    equivocate_result,
     run_chaos,
     units_for_request,
 )
-from repro.sim.dispatch.chaos import corrupt_result, staleify_result
+from repro.sim.dispatch.chaos import FaultyWorker, corrupt_result, staleify_result
 from repro.sim.dispatch.wire import execute_unit, payload_hash
 from repro.sim.sweep import run_sweep
 
@@ -49,6 +50,27 @@ class TestFaultPrimitives:
     def test_unknown_fault_kind_rejected(self):
         with pytest.raises(ValueError, match="unknown fault"):
             WorkerFault("bitflip")
+
+    def test_equivocate_result_is_hash_consistent_but_wrong(self):
+        spec, units, _ = _sweep()
+        result = execute_unit(units[0], spec=spec)
+        lie = equivocate_result(result, salt="s")
+        assert lie.payload != result.payload
+        assert lie.payload_sha256 != result.payload_sha256
+        # the tell corrupt_result leaves is absent: the lie verifies clean
+        assert payload_hash(lie.payload) == lie.payload_sha256
+        assert lie.fingerprint == result.fingerprint
+
+    def test_equivocation_salt_coordinates_the_lie(self):
+        spec, units, _ = _sweep()
+        result = execute_unit(units[0], spec=spec)
+        a = equivocate_result(result, salt="cartel")
+        b = equivocate_result(result, salt="cartel")
+        c = equivocate_result(result, salt="other")
+        # same salt = same wrong hash (the quorum-splitting pair);
+        # distinct salts disagree with each other too
+        assert a.payload_sha256 == b.payload_sha256
+        assert c.payload_sha256 != a.payload_sha256
 
     def test_clock_only_moves_forward(self):
         clock = VirtualClock()
@@ -153,13 +175,117 @@ class TestSchedules:
             run_chaos(spec, units, [WorkerFault()], transport="spool")
 
 
+class TestQuorumPersonas:
+    """The three new personas against quorum mode: plausible wrong answers
+    are outvoted by the honest majority as long as strictly fewer than
+    ceil(r/2) equivocators vote per unit — on both transports."""
+
+    def test_persistent_equivocator_outvoted_at_r3_memory(self):
+        spec, units, oracle = _sweep()
+        # budget 999 = never turns honest: convergence must come from the
+        # two honest workers outvoting it, not from the fault expiring
+        faults = [
+            WorkerFault("equivocate", budget=999),
+            WorkerFault("honest"),
+            WorkerFault("honest"),
+        ]
+        for seed in (0, 1):
+            table = run_chaos(
+                spec, units, faults, seed=seed, lease_timeout=10.0, replicas=3
+            )
+            assert table.to_json() == oracle.to_json()
+
+    def test_persistent_equivocator_outvoted_at_r3_spool(self, tmp_path):
+        spec, units, oracle = _sweep()
+        faults = [
+            WorkerFault("equivocate", budget=999),
+            WorkerFault("honest"),
+            WorkerFault("honest"),
+        ]
+        table = run_chaos(
+            spec, units, faults, seed=2, lease_timeout=10.0, replicas=3,
+            transport="spool", spool_dir=tmp_path / "spool",
+        )
+        assert table.to_json() == oracle.to_json()
+
+    def test_split_pair_outvoted_at_r5(self, tmp_path):
+        # two coordinated liars share one wrong hash: 2 votes per unit at
+        # worst, strictly under ceil(5/2) = 3 — the stated guarantee bound
+        spec, units, oracle = _sweep()
+        faults = [
+            WorkerFault("split", budget=999, salt="cartel"),
+            WorkerFault("split", budget=999, salt="cartel"),
+            WorkerFault("honest"),
+            WorkerFault("honest"),
+            WorkerFault("honest"),
+        ]
+        for transport, spool_dir in (
+            ("memory", None), ("spool", tmp_path / "spool"),
+        ):
+            table = run_chaos(
+                spec, units, faults, seed=5, lease_timeout=10.0, replicas=5,
+                transport=transport, spool_dir=spool_dir,
+            )
+            assert table.to_json() == oracle.to_json()
+
+    def test_adaptive_persona_is_honest_until_it_has_observed(self):
+        spec, units, _ = _sweep()
+        broker = MemoryBroker(spec, units, lease_timeout=10.0, replicas=3)
+        clock = VirtualClock()
+        worker = FaultyWorker(
+            "wA", broker, spec,
+            WorkerFault("adaptive", budget=99, after=1), clock,
+        )
+        worker.step()  # first lease: under observation, completes honestly
+        honest0 = execute_unit(units[0], spec=spec).payload_sha256
+        assert broker.reassembler.vote_counts(0) == {honest0: 1}
+        worker.step()  # observed enough: strikes from its second lease on
+        honest1 = execute_unit(units[1], spec=spec).payload_sha256
+        votes1 = broker.reassembler.vote_counts(1)
+        assert len(votes1) == 1 and honest1 not in votes1
+
+    def test_adaptive_schedule_converges_to_oracle(self, tmp_path):
+        spec, units, oracle = _sweep()
+        faults = [
+            WorkerFault("adaptive", budget=999, after=2),
+            WorkerFault("honest"),
+            WorkerFault("honest"),
+        ]
+        table = run_chaos(
+            spec, units, faults, seed=7, lease_timeout=10.0, replicas=3,
+            transport="spool", spool_dir=tmp_path / "spool",
+        )
+        assert table.to_json() == oracle.to_json()
+
+
 class TestCliChaos:
     def test_grammar(self):
         chaos = CliChaos("kill:2, corrupt:1")
         assert chaos.plan == {"kill": 2, "corrupt": 1}
         assert CliChaos("stale").plan == {"stale": 1}
+        assert CliChaos("equivocate:3").plan == {"equivocate": 3}
         with pytest.raises(ValueError, match="unknown chaos"):
             CliChaos("meteor:1")
+
+    def test_equivocate_is_persistent_from_unit_k_on(self):
+        spec, units, _ = _sweep()
+        result = execute_unit(units[0], spec=spec, worker="wE")
+
+        class Sink:
+            def __init__(self):
+                self.submitted = []
+
+            def complete(self, r):
+                self.submitted.append(r)
+
+        sink = Sink()
+        chaos = CliChaos("equivocate:2")
+        assert chaos.apply(units[0], result, sink) is result  # still honest
+        assert chaos.apply(units[1], result, sink) is None  # starts lying
+        assert chaos.apply(units[2], result, sink) is None  # ...and never stops
+        for lie in sink.submitted:
+            assert payload_hash(lie.payload) == lie.payload_sha256
+            assert lie.payload_sha256 != result.payload_sha256
 
     def test_corrupt_and_stale_consume_the_completion(self):
         spec, units, _ = _sweep()

@@ -32,6 +32,12 @@ def _mixed_buffer() -> TelemetryBuffer:
     buf.emit("dispatch.lease", index=1, worker="wB")
     buf.emit("dispatch.complete", index=1, worker="wB", verdict="corrupt")
     buf.emit("dispatch.requeue", index=1, reason="corrupt")
+    buf.emit("dispatch.quorum", index=0, outcome="vote")
+    buf.emit("dispatch.quorum", index=0, outcome="settled")
+    buf.emit("dispatch.quorum", index=1, outcome="tie")
+    buf.emit("dispatch.poison", index=1, attempts=3)
+    buf.emit("dispatch.suspect", worker="wLiar", suspicion=1)
+    buf.emit("dispatch.suspect", worker="wLiar", suspicion=2)
     buf.emit("sweep.cell", experiment="E2", index=0, kernel="vectorized",
              backend="serial", wall_s=0.01)
     buf.emit("sweep.cell", experiment="E2", index=1, kernel="vectorized",
@@ -103,6 +109,19 @@ class TestSummary:
         buf.emit("trials.run", backend="serial", trials=10, wall_s=0.1)
         assert "pool" not in summarize_events(buf.events)
 
+    def test_quorum_funnel(self):
+        summary = summarize_events(_mixed_buffer().events)
+        quorum = summary["dispatch"]["quorum"]
+        assert quorum["outcomes"] == {"vote": 1, "settled": 1, "tie": 1}
+        assert quorum["poisoned"] == 1
+        # a worker's suspicion only grows: the last emission is final
+        assert quorum["suspicion"] == {"wLiar": 2}
+
+    def test_no_quorum_events_no_quorum_block(self):
+        buf = TelemetryBuffer(clock=lambda: 1.0)
+        buf.emit("dispatch.serve", enqueued=1, units=1, fingerprint="f" * 20)
+        assert "quorum" not in summarize_events(buf.events)["dispatch"]
+
     def test_unknown_types_counted_not_fatal(self):
         buf = TelemetryBuffer(clock=lambda: 1.0)
         buf.emit("future.metric", whatever=1)
@@ -115,7 +134,8 @@ class TestSummary:
         for needle in ("dispatch funnel", "sweep cells", "trial loops",
                        "bench ledger", "host calibration", "speedup",
                        "worker pool / shm transport", "off-pipe",
-                       "degrade E2:unpicklable-cell"):
+                       "degrade E2:unpicklable-cell", "quorum:",
+                       "suspect wLiar", "suspicion=2", "poisoned"):
             assert needle in text
 
 

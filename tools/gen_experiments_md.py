@@ -238,6 +238,29 @@ key=value` overrides participate in the fingerprint, and serve/collect
 integrate the result cache: a warm serve stages the cached table and
 enqueues zero units, `--force` invalidates completed shards.
 
+Quorum mode (`repro dispatch serve EXP --replicas R`) extends the
+verification from *hash-consistent* to *majority-attested*: every unit
+is leased to R distinct workers and the reassembler groups results by
+payload SHA-256, accepting a value only once a strict majority of
+distinct workers (ceil(R/2)) vote for the same hash — so a worker whose
+wrong answers verify clean (an *equivocator*, the adversary the
+paper's tiny groups defend against) is simply outvoted rather than
+trusted.  Ties requeue a tiebreaker replica; `--max-attempts N` bounds
+retries per slot, retiring hopeless units into `<spool>/poison/`
+(`dispatch.poison`) instead of livelocking the pool.  Per-worker
+`dispatch.suspect` counters name equivocators in the telemetry report.
+The guarantee is property-tested on both transports: for every fault
+schedule with strictly fewer than ceil(R/2) equivocators per unit —
+including coordinated split-vote pairs and adaptive liars that turn
+Byzantine mid-run — the assembled table stays byte-identical to the
+serial oracle.  `--replicas 1` (the default) is exactly the legacy
+single-attestation pipeline.  Expect roughly R× the compute (every
+cell runs on R workers, plus a tiebreaker replica per split tally), so
+quorum pays off only when the worker pool itself is untrusted —
+volunteer or foreign machines that might compute wrong answers
+convincingly; for a trusted local pool, r=1's hash + fingerprint
+verification already catches accidental corruption at no overhead.
+
 """
 
 

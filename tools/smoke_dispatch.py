@@ -15,6 +15,12 @@ roles in **separate OS processes** over a filesystem spool:
 4. a warm re-serve against the result cache must report a cache hit and
    enqueue **zero** units, and its collect must render identically.
 
+A final quorum drill re-serves the first experiment with ``--replicas
+3`` and runs three concurrent workers, one of them a persistent
+equivocator (``--chaos equivocate:1`` — hash-consistent wrong answers
+that verify clean); the honest majority must outvote it on every unit
+and the collected table must again match the oracle byte-for-byte.
+
 Exercised by the ``smoke-dispatch`` job in ``.github/workflows/ci.yml``;
 also handy locally::
 
@@ -145,6 +151,74 @@ def smoke_one(
                     out.write(src.read_bytes())
 
 
+def smoke_quorum(
+    experiment: str,
+    seed: int,
+    workdir: pathlib.Path,
+    telemetry_out: pathlib.Path | None = None,
+) -> None:
+    """Quorum drill: r=3 with one persistently-equivocating worker.
+
+    The liar's answers are hash-consistent (they verify clean); only the
+    majority vote across distinct workers can reject them.  Three worker
+    processes run concurrently and the collected table must still be
+    byte-identical to the serial oracle.
+    """
+    spool = workdir / f"spool-{experiment.lower()}-quorum"
+    served = repro(
+        "--seed", str(seed), "dispatch", "serve", experiment,
+        "--spool", str(spool), "--lease-timeout", str(LEASE_TIMEOUT),
+        "--replicas", "3", "--max-attempts", "8",
+    )
+    print(served.stdout.strip())
+
+    env = dict(os.environ, PYTHONPATH=SRC)
+    def worker(name: str, *extra: str) -> subprocess.Popen:
+        return subprocess.Popen(
+            [sys.executable, "-m", "repro", "dispatch", "work",
+             "--spool", str(spool), "--worker", name, "--timeout", "120",
+             *extra],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True,
+        )
+
+    liar = worker("wLiar", "--chaos", "equivocate:1")
+    honest = [worker("wHonest1"), worker("wHonest2")]
+    for proc, name in [(liar, "wLiar")] + list(zip(honest, ("wHonest1", "wHonest2"))):
+        out, err = proc.communicate(timeout=300)
+        assert proc.returncode == 0, f"{name} failed: {out}\n{err}"
+    print(f"  {experiment}: 3-worker quorum pool drained (1 equivocator)")
+
+    collected = repro("dispatch", "collect", "--spool", str(spool))
+
+    from repro.experiments.runner import run_experiment
+
+    oracle = run_experiment(experiment, seed=seed, fast=True)
+    assert collected.stdout.strip() == oracle.render().strip(), (
+        f"{experiment}: quorum table differs from the serial oracle\n"
+        f"--- dispatched ---\n{collected.stdout}\n--- oracle ---\n{oracle.render()}"
+    )
+
+    from repro.telemetry import read_events
+
+    events = read_events(spool / "events.log", strict=True)
+    served_units = next(
+        e for e in events if e["type"] == "dispatch.serve"
+    )["units"]
+    settled = {
+        e["index"] for e in events
+        if e["type"] == "dispatch.quorum" and e["outcome"] == "settled"
+    }
+    assert len(settled) == served_units, (
+        f"{experiment}: quorum settled {len(settled)} of {served_units} units"
+    )
+    print(f"  {experiment}: quorum outvoted the equivocator on all "
+          f"{served_units} units, table byte-identical to run_experiment")
+    if telemetry_out is not None:
+        with telemetry_out.open("ab") as out:
+            out.write((spool / "events.log").read_bytes())
+
+
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--experiments", nargs="*", default=["E1", "E2"])
@@ -169,10 +243,15 @@ def main(argv: list[str] | None = None) -> int:
                 experiment.upper(), args.seed, pathlib.Path(td),
                 telemetry_out=telemetry_out,
             )
+        smoke_quorum(
+            args.experiments[0].upper(), args.seed, pathlib.Path(td),
+            telemetry_out=telemetry_out,
+        )
     print(
         f"dispatch smoke ok: {', '.join(args.experiments)} sharded across "
-        f"OS-process workers with one injected kill, tables byte-identical, "
-        f"warm runs cached ({time.perf_counter() - t0:.1f}s)"
+        f"OS-process workers with one injected kill plus an r=3 quorum "
+        f"drill outvoting an equivocator, tables byte-identical, warm runs "
+        f"cached ({time.perf_counter() - t0:.1f}s)"
     )
     return 0
 
