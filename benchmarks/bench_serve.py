@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""Bench serve — the asyncio serving layer's throughput ledger.
+
+Two rows per measurement point, written into ``BENCH_serve.json``:
+
+* ``("SERVE", n, "offline")`` — the same per-query code path the service
+  runs (snapshot ``answer`` + :func:`~repro.serve.snapshot.
+  canonical_response`) driven as a plain in-process loop over replayed
+  epoch snapshots.  This is the query kernel's floor: no sockets, no
+  event loop, no concurrency.
+* ``("SERVE", n, "closed")`` — the same number of queries pushed through
+  the real thing: a listening :class:`~repro.serve.service.
+  RoutingService` whose epochs advance live under uniform churn, driven
+  by the closed-loop generator at ``--concurrency``.
+
+The wall-clock *ratio* offline/closed is the serving layer's efficiency
+— both sides run on the same host in the same process, so machine speed
+divides out, exactly like the kernel ledger's serial/vectorized pair.
+CI (``smoke-serve``) gates that ratio against the previous run via
+``tools/perf_ledger.py --serve-baseline/--serve-current``: if the
+asyncio/TCP layer gets relatively slower, the ratio drops and the job
+fails.  Each row is also emitted as a ``bench.row`` telemetry event, so
+``repro telemetry report --check-bench`` can reconcile stream and file.
+
+With ``--verify`` every response line from the closed-loop run is
+byte-compared against the offline oracle replay before any row is
+recorded — a bench run can never launder wrong answers into the ledger.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py              # default point
+    PYTHONPATH=src python benchmarks/bench_serve.py \
+        --n 128 --requests 500 --verify                          # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import pathlib
+import sys
+import time
+
+
+def _offline_wall(config, snapshots, queries) -> float:
+    """Answer ``queries`` round-robin across the replayed snapshots."""
+    from repro.serve import canonical_response
+
+    epochs = sorted(snapshots)
+    t0 = time.perf_counter()
+    for i, (source, target) in enumerate(queries):
+        snap = snapshots[epochs[i % len(epochs)]]
+        canonical_response(snap.answer(source, target))
+    return time.perf_counter() - t0
+
+
+async def _closed_loop(config, requests: int, concurrency: int):
+    """One live service + one closed-loop drill; returns the LoadReport."""
+    from repro.serve import RoutingService, run_load, send_stop
+
+    service = RoutingService(config)
+    ready = asyncio.Event()
+    task = asyncio.create_task(service.run(ready))
+    await asyncio.wait_for(ready.wait(), timeout=30)
+    try:
+        return await run_load(
+            service.bound_host, service.bound_port,
+            requests=requests, concurrency=concurrency, mode="closed",
+            seed=config.seed,
+        )
+    finally:
+        if not task.done():
+            await send_stop(service.bound_host, service.bound_port)
+            await asyncio.wait_for(task, timeout=30)
+
+
+def run_point(args) -> tuple[list[dict], int]:
+    """Both ledger rows for one ``n``; returns (rows, problem count)."""
+    import numpy as np
+
+    from repro.serve import ServeConfig, replay_snapshots, verify_responses
+    from repro.telemetry import bench_row, emit_default, peak_rss_mb
+
+    config = ServeConfig(
+        n=args.n, epochs=args.epochs, churn_rate=args.churn,
+        probes=args.probes, epoch_period_s=args.epoch_period, seed=args.seed,
+    )
+    snapshots = replay_snapshots(config, config.epochs)
+    rng = np.random.default_rng(args.seed + 1)
+    queries = [
+        (int(rng.integers(0, config.n)), float(rng.random()))
+        for _ in range(args.requests)
+    ]
+
+    offline_wall = _offline_wall(config, snapshots, queries)
+    report = asyncio.run(_closed_loop(config, args.requests, args.concurrency))
+
+    problems: list[str] = []
+    if args.verify:
+        problems = verify_responses(config, report.responses, snapshots)
+        for problem in problems:
+            print(f"bench-serve: {problem}", file=sys.stderr)
+
+    rows = [
+        bench_row(
+            experiment="SERVE", n=config.n, backend="offline",
+            wall_s=offline_wall, cells=len(snapshots), trials=len(queries),
+            peak_rss_mb=peak_rss_mb(),
+        ),
+        bench_row(
+            experiment="SERVE", n=config.n, backend="closed",
+            wall_s=report.wall_s, cells=len(snapshots), trials=report.requests,
+            peak_rss_mb=peak_rss_mb(),
+        ),
+    ]
+    for row in rows:
+        emit_default("bench.row", **row)
+    overhead = report.wall_s / offline_wall if offline_wall > 0 else float("inf")
+    print(
+        f"[serve] n={config.n:<6} offline {offline_wall:.3f}s vs closed "
+        f"{report.wall_s:.3f}s over {report.requests} queries "
+        f"({overhead:.1f}x layer overhead, {report.qps:.0f} QPS, "
+        f"p99 {report.latency_percentile(0.99) * 1e3:.2f}ms)"
+    )
+    return rows, len(problems)
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--out", default="benchmarks/output/BENCH_serve.json",
+                    help="serve ledger JSON to merge rows into")
+    ap.add_argument("--n", type=int, default=256,
+                    help="population size for the measurement point")
+    ap.add_argument("--requests", type=int, default=500,
+                    help="queries per side (offline loop and closed-loop)")
+    ap.add_argument("--concurrency", type=int, default=16,
+                    help="closed-loop connections")
+    ap.add_argument("--epochs", type=int, default=3,
+                    help="live epoch transitions during the closed-loop run")
+    ap.add_argument("--churn", type=float, default=0.05,
+                    help="UniformChurn departure rate per epoch")
+    ap.add_argument("--probes", type=int, default=500,
+                    help="reclassification probes per transition")
+    ap.add_argument("--epoch-period", type=float, default=0.2,
+                    help="seconds between live epoch publications")
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--verify", action="store_true",
+                    help="byte-compare every closed-loop response against "
+                         "the offline oracle; any divergence fails the run")
+    ap.add_argument("--telemetry-out", default=None,
+                    help="write bench.row events to this jsonl file "
+                         "(default: $REPRO_TELEMETRY if set)")
+    args = ap.parse_args(argv)
+
+    from contextlib import nullcontext
+
+    from repro.analysis.benchio import record_bench_rows
+    from repro.telemetry import telemetry_to
+
+    sink = (
+        telemetry_to(args.telemetry_out) if args.telemetry_out
+        else nullcontext()
+    )
+    with sink:
+        rows, problems = run_point(args)
+    record_bench_rows(pathlib.Path(args.out), rows)
+    print(f"bench-serve: merged {len(rows)} row(s) into {args.out}")
+    if problems:
+        print(
+            f"bench-serve: {problems} response(s) diverged from the oracle",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

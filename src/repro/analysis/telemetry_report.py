@@ -8,7 +8,9 @@ views:
 
 * :func:`summarize_events` — the structured summary (event counts, the
   dispatch funnel with lease-latency/execute percentiles, per-sweep cell
-  timing trends, trial-loop totals, bench rows + host calibration);
+  timing trends, trial-loop totals, the serving layer's
+  throughput/latency view — QPS, p50/p95/p99, per-epoch breakdown,
+  publish walls, churn clips — and bench rows + host calibration);
 * :func:`render_report` — the same as text tables;
 * :func:`bench_rows_from_events` — reconstruct the perf ledger's
   canonical rows from ``bench.row`` events alone (last emission wins per
@@ -58,6 +60,7 @@ def _stats(values: list[float]) -> dict | None:
         "count": len(ordered),
         "p50": round(pctl(0.50), 6),
         "p95": round(pctl(0.95), 6),
+        "p99": round(pctl(0.99), 6),
         "max": round(ordered[-1], 6),
         "total": round(sum(ordered), 6),
     }
@@ -263,6 +266,50 @@ def summarize_events(events: list[dict]) -> dict:
             )
         summary["trials"] = {b: backends[b] for b in sorted(backends)}
 
+    # -- serving layer -----------------------------------------------------
+    serve_requests = by_type.get("serve.request", [])
+    publishes = by_type.get("serve.publish", [])
+    clips = by_type.get("churn.clipped", [])
+    if serve_requests or publishes or clips:
+        timestamps = [
+            float(e["ts"]) for e in serve_requests
+            if isinstance(e.get("ts"), (int, float))
+        ]
+        # QPS over the span the stream actually covers; min/max (not
+        # first/last) keeps it right for out-of-order concatenations
+        span_s = max(timestamps) - min(timestamps) if len(timestamps) > 1 else 0.0
+        per_epoch: dict[int, list[dict]] = {}
+        for e in serve_requests:
+            per_epoch.setdefault(int(e.get("epoch", -1)), []).append(e)
+        serve: dict = {
+            "requests": len(serve_requests),
+            "qps": round(len(serve_requests) / span_s, 3) if span_s > 0 else None,
+            "latency_s": _stats(_walls(serve_requests, "latency_s")),
+            "outcomes": dict(Counter(
+                str(e.get("outcome", "?")) for e in serve_requests
+            )),
+            "epochs": {
+                epoch: _stats(_walls(events_at, "latency_s"))
+                for epoch, events_at in sorted(per_epoch.items())
+            },
+        }
+        if publishes:
+            serve["publishes"] = {
+                "count": len(publishes),
+                "epochs": sorted(int(e.get("epoch", -1)) for e in publishes),
+                "wall_s": _stats(_walls(publishes)),
+            }
+        if clips:
+            serve["churn_clips"] = [
+                {
+                    "model": str(e.get("model", "?")),
+                    "rate": e.get("rate"),
+                    "cap": e.get("cap"),
+                }
+                for e in clips
+            ]
+        summary["serve"] = serve
+
     # -- bench ledger ------------------------------------------------------
     rows = bench_rows_from_events(events)
     timings = by_type.get("bench.timing", [])
@@ -372,6 +419,40 @@ def render_report(summary: dict) -> str:
             lines.append(
                 f"  {backend:<10} runs={entry['runs']} "
                 f"trials={entry['trials']} wall={entry['wall_s']:.3f}s"
+            )
+
+    serve = summary.get("serve")
+    if serve:
+        lines.append("")
+        lines.append("serving layer (serve.request):")
+        qps = f"{serve['qps']:.1f} QPS" if serve["qps"] is not None else "QPS n/a"
+        lines.append(f"  requests          {serve['requests']} ({qps})")
+        lat = serve["latency_s"]
+        if lat:
+            lines.append(
+                f"  latency           p50 {lat['p50'] * 1e3:.2f}ms  "
+                f"p95 {lat['p95'] * 1e3:.2f}ms  p99 {lat['p99'] * 1e3:.2f}ms  "
+                f"max {lat['max'] * 1e3:.2f}ms"
+            )
+        for outcome, count in sorted(serve["outcomes"].items()):
+            lines.append(f"  outcome:{outcome:<10} {count}")
+        for epoch, stats in serve["epochs"].items():
+            lines.append(
+                f"  epoch {epoch:<3} requests={stats['count']} "
+                f"p50={stats['p50'] * 1e3:.2f}ms p99={stats['p99'] * 1e3:.2f}ms"
+            )
+        publishes = serve.get("publishes")
+        if publishes:
+            wall = publishes["wall_s"]
+            lines.append(
+                f"  publishes         {publishes['count']} "
+                f"(epochs {publishes['epochs']}) "
+                f"build p50 {wall['p50']:.3f}s max {wall['max']:.3f}s"
+            )
+        for clip in serve.get("churn_clips", ()):
+            lines.append(
+                f"  churn clipped     {clip['model']} rate={clip['rate']} "
+                f"-> cap={clip['cap']}"
             )
 
     bench = summary.get("bench")

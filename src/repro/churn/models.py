@@ -12,7 +12,8 @@ test suite).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -61,16 +62,41 @@ class UniformChurn(ChurnModel):
     rate: float = 0.05
     allow_violation: bool = False
     name: str = "uniform"
+    # one warning per model instance, not one per epoch
+    _clip_warned: bool = field(default=False, init=False, repr=False, compare=False)
 
     def epoch_departures(
         self, pair: EpochPair, params: SystemParams, rng: np.random.Generator
     ) -> np.ndarray:
         cap = params.churn_slack / 2.0
-        r = self.rate if self.allow_violation else min(self.rate, cap)
+        r = self.rate
+        if not self.allow_violation and self.rate > cap:
+            r = cap
+            self._note_clipped(cap)
         good_present = ~pair.bad_mask & ~pair.ring_departed
         candidates = np.flatnonzero(good_present)
         pick = rng.random(candidates.size) < r
         return candidates[pick]
+
+    def _note_clipped(self, cap: float) -> None:
+        """An over-cap rate without ``allow_violation`` runs a *different*
+        experiment than requested — say so once, loudly and on the record."""
+        if self._clip_warned:
+            return
+        self._clip_warned = True
+        warnings.warn(
+            f"UniformChurn rate {self.rate} exceeds the model cap eps'/2 = "
+            f"{cap:.4g}; clipping to the cap (pass allow_violation=True to "
+            "run beyond the model)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        from ..telemetry import emit_default  # lazy: keep churn import-light
+
+        emit_default(
+            "churn.clipped", model=self.name,
+            rate=float(self.rate), cap=float(cap),
+        )
 
 
 @dataclass
@@ -92,11 +118,15 @@ class TargetedChurn(ChurnModel):
     ) -> np.ndarray:
         cap = params.churn_slack / 2.0
         r = cap if self.rate is None else min(self.rate, cap)
-        budget = int(r * (~pair.bad_mask).sum())
+        # the eps'/2 cap is relative to the *present* good population: good
+        # IDs that already departed in an earlier epoch must not inflate
+        # this epoch's budget, or repeated applications compound past the cap
+        present_good = ~pair.bad_mask & ~pair.ring_departed
+        budget = int(r * present_good.sum())
         side = pair.side1
         if side is None:
             # no membership bookkeeping: fall back to uniform within budget
-            good_present = np.flatnonzero(~pair.bad_mask & ~pair.ring_departed)
+            good_present = np.flatnonzero(present_good)
             rng.shuffle(good_present)
             return good_present[:budget]
         # score each group by how close it is to turning bad; depart good
@@ -114,10 +144,12 @@ class TargetedChurn(ChurnModel):
             members = side.good_members[
                 side.good_indptr[g] : side.good_indptr[g + 1]
             ]
+            members = members[~pair.ring_departed[members]]
             # respect the per-group eps'/2 cap: take at most that fraction
+            # of the members still present
             take = max(0, int(np.floor(cap * members.size)))
             for mident in members[:take]:
-                if not seen[mident] and not pair.ring_departed[mident]:
+                if not seen[mident]:
                     seen[mident] = True
                     chosen.append(int(mident))
                     if len(chosen) >= budget:

@@ -49,6 +49,18 @@ Commands
     ``BENCH_vectorized.json`` file (every derivable row must match
     byte-for-byte — the CI sanity gate); ``--write-bench`` merges the
     reconstructed rows into such a file.
+``serve run [-n N] [--epochs E] [--churn R] [--epoch-period S] [--port P] [--telemetry F]``
+``serve load --port P [--requests N] [--concurrency C] [--mode closed|open] [--rate R] [--out F]``
+    The serving layer (ROADMAP item 4): ``run`` answers secure-routing
+    queries over TCP JSON lines from consistent copy-on-publish epoch
+    snapshots while the simulator's epochs advance live under uniform
+    churn (per-request ``serve.request`` + per-epoch ``serve.publish``
+    telemetry; runs until a client sends ``{"op": "stop"}``).  ``load``
+    drives open- or closed-loop traffic at such a service, prints
+    QPS/latency percentiles, optionally records raw response lines
+    (``--out``) for offline-oracle verification, and with
+    ``--min-epoch``/``--stop`` guarantees epoch coverage and shuts the
+    service down after the drill.
 ``validate TOPOLOGY [-n N]``
     Build an input graph and check properties P1-P4.
 ``simulate [-n N] [--beta B] [--epochs E] [--churn R]``
@@ -303,6 +315,74 @@ def _cmd_telemetry(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .serve import RoutingService, ServeConfig, run_load, send_stop
+    from .telemetry import TelemetryWriter
+
+    if args.action == "run":
+        config = ServeConfig(
+            n=args.n, beta=args.beta, seed=args.seed, topology=args.topology,
+            epochs=args.epochs, churn_rate=args.churn, probes=args.probes,
+            epoch_period_s=args.epoch_period,
+        )
+        writer = TelemetryWriter(args.telemetry) if args.telemetry else None
+
+        async def _run() -> None:
+            service = RoutingService(
+                config, host=args.host, port=args.port, telemetry=writer
+            )
+            ready = asyncio.Event()
+            task = asyncio.create_task(service.run(ready))
+            await ready.wait()
+            # the smoke harness parses this exact line for the bound port
+            print(
+                f"serving on {service.bound_host}:{service.bound_port} "
+                f"({config.describe()})",
+                flush=True,
+            )
+            await task
+            print(
+                f"served {service.requests} request(s) across "
+                f"{service.published + 1} epoch(s)"
+            )
+
+        try:
+            asyncio.run(_run())
+        except KeyboardInterrupt:
+            pass
+        finally:
+            if writer is not None:
+                writer.close()
+        return 0
+
+    # load
+    async def _load() -> int:
+        report = await run_load(
+            args.host, args.port,
+            requests=args.requests, concurrency=args.concurrency,
+            mode=args.mode, rate=args.rate, seed=args.seed,
+            min_epoch=args.min_epoch, timeout_s=args.timeout,
+        )
+        for line in report.summary_lines():
+            print(line)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                fh.write("\n".join(report.responses) + "\n")
+            print(f"wrote {report.requests} response line(s) to {args.out}")
+        if args.stop:
+            await send_stop(args.host, args.port)
+            print("service stopped")
+        return 0
+
+    try:
+        return asyncio.run(_load())
+    except (ConnectionError, TimeoutError, OSError) as exc:
+        print(f"serve load: {exc}", file=sys.stderr)
+        return 1
+
+
 def _cmd_info(args) -> int:
     from . import __version__
     from .core.params import DEFAULTS
@@ -518,6 +598,53 @@ def build_parser() -> argparse.ArgumentParser:
              "BENCH JSON file",
     )
     ptr.set_defaults(fn=_cmd_telemetry)
+
+    psv = sub.add_parser(
+        "serve", help="asyncio secure-routing query service under live churn"
+    )
+    psvsub = psv.add_subparsers(dest="action", required=True)
+
+    psr = psvsub.add_parser(
+        "run", help="serve queries while epochs advance (stop op shuts down)"
+    )
+    psr.add_argument("-n", type=int, default=512)
+    psr.add_argument("--beta", type=float, default=0.05)
+    psr.add_argument("--epochs", type=int, default=3,
+                     help="live epoch transitions to publish (default 3)")
+    psr.add_argument("--churn", type=float, default=0.05,
+                     help="UniformChurn departure rate per epoch (0 disables)")
+    psr.add_argument("--topology", default="chord")
+    psr.add_argument("--probes", type=int, default=500,
+                     help="reclassification probes per transition")
+    psr.add_argument("--epoch-period", type=float, default=0.5, metavar="S",
+                     help="seconds between epoch publications (default 0.5)")
+    psr.add_argument("--host", default="127.0.0.1")
+    psr.add_argument("--port", type=int, default=0,
+                     help="TCP port (default 0 = OS-assigned; the bound port "
+                          "is printed on the 'serving on' line)")
+    psr.add_argument("--telemetry", default=None, metavar="F",
+                     help="write serve.request/serve.publish events to this "
+                          "jsonl file (default: $REPRO_TELEMETRY sink)")
+    psr.set_defaults(fn=_cmd_serve)
+
+    psl = psvsub.add_parser(
+        "load", help="drive open/closed-loop query traffic at a service"
+    )
+    psl.add_argument("--host", default="127.0.0.1")
+    psl.add_argument("--port", type=int, required=True)
+    psl.add_argument("--requests", type=int, default=500)
+    psl.add_argument("--concurrency", type=_positive_int, default=16)
+    psl.add_argument("--mode", choices=["closed", "open"], default="closed")
+    psl.add_argument("--rate", type=float, default=500.0,
+                     help="open-loop Poisson arrival rate, requests/s")
+    psl.add_argument("--min-epoch", type=int, default=None, metavar="E",
+                     help="keep issuing until a response carries epoch >= E")
+    psl.add_argument("--timeout", type=float, default=120.0, metavar="S")
+    psl.add_argument("--out", default=None, metavar="F",
+                     help="record raw response lines for oracle verification")
+    psl.add_argument("--stop", action="store_true",
+                     help="send the stop op after the drill")
+    psl.set_defaults(fn=_cmd_serve)
 
     pv = sub.add_parser("validate", help="check P1-P4 on a topology")
     pv.add_argument("topology")

@@ -1,0 +1,240 @@
+"""Open- and closed-loop load generation for :class:`RoutingService`.
+
+Two arrival disciplines, one report:
+
+* **closed loop** — ``concurrency`` workers, each with its own
+  connection, firing the next query the moment the previous answer
+  lands.  Measures the service's saturated throughput (QPS at full
+  back-pressure).
+* **open loop** — arrivals on a Poisson clock at ``rate`` requests/s,
+  independent of completions, served through a pool of ``concurrency``
+  connections.  Latency is measured from the *scheduled arrival*, so
+  queueing delay (including waiting for a free connection) counts — the
+  honest open-loop tail, not the coordinated-omission one.
+
+The query stream is deterministic given ``seed`` and drawn from a client
+RNG — the simulator's own RNG stream is never touched, which is what
+keeps the offline oracle byte-exact.  ``min_epoch`` keeps the generator
+issuing (beyond ``requests``) until a response arrives from that epoch,
+so a drill can guarantee its traffic overlapped N live transitions.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["LoadReport", "run_load", "send_stop"]
+
+
+@dataclass
+class LoadReport:
+    """Client-side view of one load run."""
+
+    mode: str
+    wall_s: float
+    responses: list[str] = field(default_factory=list)  # raw lines, verbatim
+    latencies_s: list[float] = field(default_factory=list)
+    outcomes: Counter = field(default_factory=Counter)
+    epochs: Counter = field(default_factory=Counter)  # responses per epoch
+
+    @property
+    def requests(self) -> int:
+        return len(self.responses)
+
+    @property
+    def qps(self) -> float:
+        return self.requests / self.wall_s if self.wall_s > 0 else 0.0
+
+    def latency_percentile(self, q: float) -> float:
+        """Nearest-rank percentile of the client-side latency sample."""
+        if not self.latencies_s:
+            return 0.0
+        ordered = sorted(self.latencies_s)
+        rank = max(0, min(len(ordered) - 1, round(q * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def summary_lines(self) -> list[str]:
+        lines = [
+            f"load ({self.mode}): {self.requests} request(s) in "
+            f"{self.wall_s:.3f}s = {self.qps:.1f} QPS",
+            f"  latency p50 {self.latency_percentile(0.50) * 1e3:.2f}ms  "
+            f"p95 {self.latency_percentile(0.95) * 1e3:.2f}ms  "
+            f"p99 {self.latency_percentile(0.99) * 1e3:.2f}ms",
+        ]
+        for outcome, count in sorted(self.outcomes.items()):
+            lines.append(f"  outcome:{outcome:<11} {count}")
+        for epoch, count in sorted(self.epochs.items()):
+            lines.append(f"  epoch {epoch}: {count} response(s)")
+        return lines
+
+
+class _Connection:
+    """One JSON-lines connection; one in-flight request at a time."""
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        self.reader = reader
+        self.writer = writer
+        self.lock = asyncio.Lock()
+
+    @classmethod
+    async def open(cls, host: str, port: int) -> "_Connection":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def request(self, payload: dict) -> str:
+        async with self.lock:
+            self.writer.write(
+                (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+            )
+            await self.writer.drain()
+            line = await self.reader.readline()
+        if not line:
+            raise ConnectionError("service closed the connection mid-request")
+        return line.decode("utf-8").rstrip("\n")
+
+    async def close(self) -> None:
+        self.writer.close()
+        try:
+            await self.writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+async def send_stop(host: str, port: int) -> dict:
+    """Ask a running service to shut down; returns its acknowledgement."""
+    conn = await _Connection.open(host, port)
+    try:
+        return json.loads(await conn.request({"op": "stop"}))
+    finally:
+        await conn.close()
+
+
+def _record(report: LoadReport, raw: str, latency_s: float) -> None:
+    report.responses.append(raw)
+    report.latencies_s.append(latency_s)
+    try:
+        answer = json.loads(raw)
+    except ValueError:
+        report.outcomes["unparseable"] += 1
+        return
+    if "error" in answer:
+        report.outcomes["error"] += 1
+        return
+    if answer.get("delivered"):
+        report.outcomes["delivered"] += 1
+    elif answer.get("corrupted"):
+        report.outcomes["corrupted"] += 1
+    else:
+        report.outcomes["unresolved"] += 1
+    report.epochs[int(answer.get("epoch", -1))] += 1
+
+
+async def run_load(
+    host: str,
+    port: int,
+    requests: int = 500,
+    concurrency: int = 16,
+    mode: str = "closed",
+    rate: float = 500.0,
+    seed: int = 0,
+    min_epoch: int | None = None,
+    timeout_s: float = 120.0,
+) -> LoadReport:
+    """Drive ``requests`` queries at the service and report what came back.
+
+    With ``min_epoch`` set, keeps issuing closed-loop traffic beyond
+    ``requests`` until some response carries that epoch (bounded by
+    ``timeout_s``, after which ``TimeoutError`` names the epoch it was
+    still waiting for).
+    """
+    if mode not in ("closed", "open"):
+        raise ValueError(f"unknown load mode {mode!r}; choose closed|open")
+    concurrency = max(1, int(concurrency))
+    conns = [await _Connection.open(host, port) for _ in range(concurrency)]
+    try:
+        status = json.loads(await conns[0].request({"op": "status"}))
+        n = int(status["n"])
+        rng = np.random.default_rng(seed)
+
+        def next_query() -> dict:
+            return {
+                "op": "query",
+                "source": int(rng.integers(0, n)),
+                "target": float(rng.random()),
+            }
+
+        report = LoadReport(mode=mode, wall_s=0.0)
+        start = time.perf_counter()
+        deadline = start + timeout_s
+
+        def epoch_reached() -> bool:
+            return min_epoch is None or any(
+                e >= min_epoch for e in report.epochs
+            )
+
+        if mode == "closed":
+            issued = 0
+
+            async def worker(conn: _Connection) -> None:
+                nonlocal issued
+                while True:
+                    if issued >= requests and epoch_reached():
+                        return
+                    if time.perf_counter() > deadline:
+                        raise TimeoutError(
+                            f"load deadline ({timeout_s}s) passed with "
+                            f"{issued} issued, still waiting for epoch "
+                            f"{min_epoch}"
+                        )
+                    issued += 1
+                    query = next_query()
+                    t0 = time.perf_counter()
+                    raw = await conn.request(query)
+                    _record(report, raw, time.perf_counter() - t0)
+
+            await asyncio.gather(*(worker(c) for c in conns))
+        else:
+            # open loop: Poisson arrivals at `rate`, connection pool of
+            # `concurrency`; latency counts from the scheduled arrival
+            arrivals = np.cumsum(rng.exponential(1.0 / max(rate, 1e-9), requests))
+            pool: asyncio.Queue = asyncio.Queue()
+            for c in conns:
+                pool.put_nowait(c)
+
+            async def fire(offset: float) -> None:
+                delay = start + offset - time.perf_counter()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                arrived = time.perf_counter()
+                query = next_query()
+                conn = await pool.get()
+                try:
+                    raw = await conn.request(query)
+                finally:
+                    pool.put_nowait(conn)
+                _record(report, raw, time.perf_counter() - arrived)
+
+            await asyncio.gather(*(fire(float(o)) for o in arrivals))
+            # the arrival schedule is done; top up closed-loop until the
+            # target epoch shows (only when min_epoch asks for it)
+            while not epoch_reached():
+                if time.perf_counter() > deadline:
+                    raise TimeoutError(
+                        f"load deadline ({timeout_s}s) passed, still "
+                        f"waiting for epoch {min_epoch}"
+                    )
+                query = next_query()
+                t0 = time.perf_counter()
+                raw = await conns[0].request(query)
+                _record(report, raw, time.perf_counter() - t0)
+        report.wall_s = time.perf_counter() - start
+        return report
+    finally:
+        for conn in conns:
+            await conn.close()

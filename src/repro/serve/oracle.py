@@ -1,0 +1,94 @@
+"""The offline oracle: replay the epochs, recompute every response.
+
+The service's epoch trajectory is a pure function of its
+:class:`~repro.serve.config.ServeConfig` — queries consume no simulator
+RNG, churn draws happen inside ``sim.step()`` in a fixed order, and
+snapshots are copy-on-publish.  So a *second* simulator built from the
+same config walks bit-identical epochs, and re-answering any recorded
+query against the replayed snapshot of its epoch must reproduce the
+response **byte for byte** (:func:`canonical_response` fixes the wire
+form).  :func:`verify_responses` is that check — the acceptance gate
+``tools/smoke_serve.py`` runs after every load drill.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .config import ServeConfig, make_simulator
+from .snapshot import EpochSnapshot, build_snapshot, canonical_response
+
+__all__ = ["replay_snapshots", "verify_responses"]
+
+
+def replay_snapshots(
+    config: ServeConfig, max_epoch: int
+) -> dict[int, EpochSnapshot]:
+    """Snapshots for epochs ``0..max_epoch`` from a fresh replay."""
+    if not 0 <= max_epoch <= config.epochs:
+        raise ValueError(
+            f"max_epoch {max_epoch} outside the run's range "
+            f"[0, {config.epochs}]"
+        )
+    sim = make_simulator(config)
+    snapshots = {0: build_snapshot(sim.pair, config.params, epoch=0)}
+    for _ in range(max_epoch):
+        sim.step()
+        snapshots[sim.epoch] = build_snapshot(
+            sim.pair, config.params, sim.epoch
+        )
+    return snapshots
+
+
+def verify_responses(
+    config: ServeConfig,
+    lines: list[str],
+    snapshots: dict[int, EpochSnapshot] | None = None,
+    max_problems: int = 20,
+) -> list[str]:
+    """Problems byte-comparing recorded response lines to the oracle.
+
+    Every line must be a parseable non-error answer whose epoch exists in
+    the replay, and recomputing ``answer(source, target)`` on that
+    epoch's snapshot must serialize to the *identical* line.  Returns at
+    most ``max_problems`` descriptions (empty list = every response
+    verified).
+    """
+    problems: list[str] = []
+    parsed: list[tuple[int, dict, str]] = []
+    for i, raw in enumerate(lines):
+        if len(problems) >= max_problems:
+            return problems
+        try:
+            answer = json.loads(raw)
+        except ValueError:
+            problems.append(f"response {i}: unparseable line {raw[:80]!r}")
+            continue
+        if not isinstance(answer, dict) or "error" in answer:
+            problems.append(f"response {i}: error response {raw[:80]!r}")
+            continue
+        parsed.append((i, answer, raw))
+    if not parsed:
+        if not problems:
+            problems.append("no responses to verify")
+        return problems
+    if snapshots is None:
+        max_epoch = max(int(a.get("epoch", 0)) for _, a, _ in parsed)
+        snapshots = replay_snapshots(config, min(max_epoch, config.epochs))
+    for i, answer, raw in parsed:
+        if len(problems) >= max_problems:
+            break
+        epoch = int(answer.get("epoch", -1))
+        snap = snapshots.get(epoch)
+        if snap is None:
+            problems.append(f"response {i}: unknown epoch {epoch}")
+            continue
+        expected = canonical_response(
+            snap.answer(answer["source"], answer["target"])
+        )
+        if expected != raw:
+            problems.append(
+                f"response {i} (epoch {epoch}) diverges from the oracle:\n"
+                f"  served {raw}\n  oracle {expected}"
+            )
+    return problems

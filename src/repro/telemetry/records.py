@@ -92,6 +92,15 @@ EVENT_TYPES: dict[str, dict[str, tuple]] = {
     "mem.peak": {"phase": (str,), "peak_rss_mb": _NUMBER},
     # trial layer — Monte-Carlo loop timings
     "trials.run": {"backend": (str,), "trials": (int,), "wall_s": _NUMBER},
+    # serve layer — the async secure-routing query service (repro.serve):
+    # one serve.request per answered query (outcome = delivered/corrupted/
+    # unresolved/error, epoch = the snapshot generation that answered it)
+    # and one serve.publish per epoch snapshot swap (wall_s = step + build)
+    "serve.request": {"latency_s": _NUMBER, "epoch": (int,), "outcome": (str,)},
+    "serve.publish": {"epoch": (int,), "wall_s": _NUMBER},
+    # churn layer — a requested departure rate silently exceeding the
+    # model's eps'/2 cap is an experiment-changing event, recorded once
+    "churn.clipped": {"model": (str,), "rate": _NUMBER, "cap": _NUMBER},
     # bench layer — the perf ledger's row, timings.txt's line, and the
     # per-run host calibration measurement
     "bench.row": {

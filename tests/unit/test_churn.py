@@ -1,11 +1,18 @@
 """Unit tests: churn models (repro.churn)."""
 
+import warnings
+
 import numpy as np
 import pytest
 
 from repro.churn import EventKind, EventStream, TargetedChurn, UniformChurn
+from repro.churn.models import apply_departures
 from repro.core.dynamic import EpochSimulator
+from repro.core.membership import EpochPair
 from repro.core.params import SystemParams
+from repro.idspace.ring import Ring
+from repro.inputgraph import make_input_graph
+from repro.telemetry import TelemetryBuffer, reset_default_writer, set_default_writer
 
 
 @pytest.fixture
@@ -49,6 +56,48 @@ class TestUniformChurn:
         churn.apply(sim.pair, sim.params, np.random.default_rng(0))
         assert sim.pair.fraction_red() > 0.5
 
+    def test_clip_warns_once_and_emits_event(self, sim):
+        """Clipping an over-cap rate is no longer silent: one RuntimeWarning
+        and one churn.clipped telemetry event per model instance."""
+        churn = UniformChurn(rate=0.9)
+        cap = sim.params.churn_slack / 2.0
+        buffer = TelemetryBuffer()
+        set_default_writer(buffer)
+        try:
+            with pytest.warns(RuntimeWarning, match="exceeds the model cap"):
+                churn.epoch_departures(
+                    sim.pair, sim.params, np.random.default_rng(0)
+                )
+            # second application: clip still engages, signal already given
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                churn.epoch_departures(
+                    sim.pair, sim.params, np.random.default_rng(1)
+                )
+        finally:
+            reset_default_writer()
+        clipped = buffer.of_type("churn.clipped")
+        assert len(clipped) == 1
+        assert clipped[0]["model"] == "uniform"
+        assert clipped[0]["rate"] == pytest.approx(0.9)
+        assert clipped[0]["cap"] == pytest.approx(cap)
+
+    def test_no_clip_signal_within_cap_or_in_violation_mode(self, sim):
+        buffer = TelemetryBuffer()
+        set_default_writer(buffer)
+        try:
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                UniformChurn(rate=0.01).epoch_departures(
+                    sim.pair, sim.params, np.random.default_rng(0)
+                )
+                UniformChurn(rate=0.9, allow_violation=True).epoch_departures(
+                    sim.pair, sim.params, np.random.default_rng(0)
+                )
+        finally:
+            reset_default_writer()
+        assert not buffer.of_type("churn.clipped")
+
 
 class TestTargetedChurn:
     def test_budget_respected(self, sim):
@@ -75,6 +124,52 @@ class TestTargetedChurn:
         churn = TargetedChurn()
         churn.apply(sim.pair, sim.params, np.random.default_rng(0))
         assert sim.pair.fraction_red() < 0.25
+
+    def test_budget_tracks_present_good_over_ten_epochs(self, sim):
+        """Regression: the per-epoch budget must be eps'/2 of the *present*
+        good population.  The old code budgeted from all good IDs — already
+        -departed ones included — so once natural (uniform) departures had
+        thinned the pool, the adversarial schedule overshot the cap
+        relative to the population it actually faced.  Ten epochs of
+        uniform thinning followed by the targeted schedule, each targeted
+        batch checked against the present population it saw."""
+        targeted = TargetedChurn()
+        natural = UniformChurn(rate=0.08)
+        cap = sim.params.churn_slack / 2.0
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            natural.apply(sim.pair, sim.params, rng)
+            present = int((~sim.pair.bad_mask & ~sim.pair.ring_departed).sum())
+            dep = targeted.epoch_departures(sim.pair, sim.params, rng)
+            assert dep.size <= int(cap * present)
+            # never re-depart an ID that already left
+            assert not sim.pair.ring_departed[dep].any()
+            if dep.size:
+                apply_departures(sim.pair, dep, sim.params)
+
+    def test_sideless_fallback_budget_counts_present_good(self, sim):
+        """Regression for the side-less uniform fallback: with half the good
+        IDs already departed, the budget must shrink with them."""
+        pair = sim.pair
+        bare = EpochPair(
+            ring=pair.ring,
+            H=pair.H,
+            bad_mask=pair.bad_mask,
+            red1=pair.red1.copy(),
+            red2=pair.red2.copy(),
+            side1=None,
+            side2=None,
+        )
+        good = np.flatnonzero(~bare.bad_mask)
+        bare.ring_departed[good[: good.size // 2]] = True
+        present = int((~bare.bad_mask & ~bare.ring_departed).sum())
+        cap = sim.params.churn_slack / 2.0
+        dep = TargetedChurn().epoch_departures(
+            bare, sim.params, np.random.default_rng(0)
+        )
+        assert dep.size <= int(cap * present)
+        assert not bare.ring_departed[dep].any()
+        assert not bare.bad_mask[dep].any()
 
 
 class TestEventStream:

@@ -139,6 +139,94 @@ class TestSummary:
             assert needle in text
 
 
+def _serve_events() -> list[dict]:
+    """A fixed synthetic serving stream with *out-of-order* timestamps.
+
+    20 ``serve.request`` events with latencies 1..20 ms; timestamps cover
+    [100, 104]s but arrive scrambled (``(i * 7) % 20`` is a permutation),
+    so the QPS golden below only holds if the summariser uses min/max —
+    not first/last — to span the stream.
+    """
+    events = []
+    for i in range(1, 21):
+        events.append({
+            "v": 1,
+            "ts": 100.0 + ((i * 7) % 20) * (4.0 / 19),
+            "type": "serve.request",
+            "latency_s": i / 1000.0,
+            "epoch": 0 if i <= 12 else 1,
+            "outcome": "corrupted" if i % 5 == 0 else "delivered",
+        })
+    events.append({
+        "v": 1, "ts": 102.0, "type": "serve.publish", "epoch": 1,
+        "wall_s": 0.05,
+    })
+    events.append({
+        "v": 1, "ts": 99.0, "type": "churn.clipped", "model": "uniform",
+        "rate": 0.9, "cap": 0.1667,
+    })
+    return events
+
+
+class TestServeSection:
+    """Golden values for the serving-layer summary (ISSUE 10 satellite)."""
+
+    def test_golden_qps_and_percentiles(self):
+        serve = summarize_events(_serve_events())["serve"]
+        assert serve["requests"] == 20
+        # span = 104.0 - 100.0 regardless of emission order
+        assert serve["qps"] == 5.0
+        lat = serve["latency_s"]
+        assert (lat["p50"], lat["p95"], lat["p99"], lat["max"]) == (
+            0.011, 0.019, 0.02, 0.02
+        )
+        assert lat["total"] == 0.21
+        assert serve["outcomes"] == {"delivered": 16, "corrupted": 4}
+
+    def test_golden_per_epoch_breakdown(self):
+        serve = summarize_events(_serve_events())["serve"]
+        assert sorted(serve["epochs"]) == [0, 1]
+        epoch0, epoch1 = serve["epochs"][0], serve["epochs"][1]
+        assert (epoch0["count"], epoch0["p50"], epoch0["p99"]) == (12, 0.007, 0.012)
+        assert (epoch1["count"], epoch1["p50"], epoch1["p99"]) == (8, 0.017, 0.02)
+
+    def test_publishes_and_clips(self):
+        serve = summarize_events(_serve_events())["serve"]
+        assert serve["publishes"]["count"] == 1
+        assert serve["publishes"]["epochs"] == [1]
+        assert serve["publishes"]["wall_s"]["p50"] == 0.05
+        assert serve["churn_clips"] == [
+            {"model": "uniform", "rate": 0.9, "cap": 0.1667}
+        ]
+
+    def test_single_request_has_no_qps(self):
+        summary = summarize_events([_serve_events()[0]])
+        assert summary["serve"]["qps"] is None
+        assert summary["serve"]["requests"] == 1
+
+    def test_goldens_survive_file_roundtrip_with_torn_tail(self, tmp_path):
+        from repro.telemetry import read_events
+
+        path = tmp_path / "serve.jsonl"
+        with open(path, "w", encoding="utf-8") as fh:
+            for event in _serve_events():
+                fh.write(json.dumps(event) + "\n")
+            # a crashed writer's torn tail: no newline, truncated JSON
+            fh.write('{"v": 1, "ts": 105.0, "type": "serve.request", "laten')
+        events = read_events(path)
+        assert len(events) == 22  # the torn line is dropped, not fatal
+        serve = summarize_events(events)["serve"]
+        assert serve["qps"] == 5.0
+        assert serve["latency_s"]["p99"] == 0.02
+
+    def test_render_serving_section(self):
+        text = render_report(summarize_events(_serve_events()))
+        for needle in ("serving layer", "5.0 QPS", "p50 11.00ms",
+                       "p99 20.00ms", "epoch 0", "epoch 1",
+                       "publishes         1", "churn clipped"):
+            assert needle in text
+
+
 class TestBenchReconstruction:
     def test_rows_last_emission_wins_and_sorted(self):
         buf = TelemetryBuffer(clock=lambda: 1.0)

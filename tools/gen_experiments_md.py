@@ -8,11 +8,17 @@ them explicitly:
 
     pytest benchmarks/bench_*.py
     python tools/gen_experiments_md.py
+
+A table whose ``benchmarks/output/<key>.txt`` source is missing (a fresh
+checkout regenerating only the prose) is carried over verbatim from the
+existing EXPERIMENTS.md rather than replaced with a placeholder — the
+header/commentary resync never destroys measured results.
 """
 
 from __future__ import annotations
 
 import pathlib
+import re
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 OUTPUT = ROOT / "benchmarks" / "output"
@@ -167,6 +173,37 @@ genuinely cell-parallel), trial loops, and — via `run_all` — whole
 experiments across a spawn-safe pool, **bit-identical** to serial for a
 fixed `--seed`, so every table below is reproducible at any worker count.
 
+Backend selection: the `process` backend dispatches through a
+**process-wide warm pool** (`repro.sim.pool` — spawn's interpreter-boot
+cost is paid once per process, not once per sweep), moves large results
+through **shared-memory segments** instead of the executor's result pipe
+(`repro.sim.shm`: workers park C-layout ndarrays >= 64 KiB in named
+`/dev/shm` segments and pickle only a header; tune with
+`REPRO_SHM_MIN_BYTES`), ships large *task inputs* the same way
+(`ShmInputBatch`: keep-on-load segments memoized by identity, so an
+array shared by every task — a built graph's CSR arrays, a probe batch —
+crosses once instead of once per task; volume in `shm.input_bytes`
+events), and executes sweeps that declare a stacked-cell pass (E1, E2,
+E3, E5, E6) as **contiguous spans** — one stacked call, one
+shm-transported result per worker, instead of one task per cell.
+Together these flip the old economics: per-cell dispatch overhead no
+longer swamps the vectorized kernels, so on a multi-core host `--backend
+process` beats the in-process default on every multi-cell experiment at
+paper scale (the `cells-serial`/`cells-process` rows in
+`BENCH_vectorized.json`; CI enforces the ratio on >= 4-core runners).
+Use `--backend process` for paper-scale multi-cell sweeps on multi-core
+hosts; stay with the default in-process path for quick-scale runs,
+single-cell experiments (E4/E8-style trajectories parallelize their
+inner loops instead), or single-core machines, where the pool cannot
+win.  A cell that fails to pickle degrades to in-process execution with
+a `RuntimeWarning` plus a `sweep.degrade` telemetry event — the table is
+still produced, and still bit-identical, but serially; module-level cell
+functions avoid it.  Determinism is never backend-dependent: per-cell
+`SeedSequence` streams are spawned in the parent, so serial, vectorized,
+stacked, and process execution render byte-identical tables at any
+worker count (property-tested in
+`tests/property/test_stacked_equivalence.py`).
+
 Both the static-case pipeline and the sequential-trajectory experiments
 run on vectorized kernels by default: group construction is a one-pass CSR
 kernel (flat `(leader, member)` edge array, single sort + segment dedup —
@@ -196,6 +233,56 @@ can't flap the gate (warn-only on the bootstrap run).  E4's ~47s/epoch
 serial reference is trimmed from the smoke bench (quick-scale parity
 stays always-on); the `full-tests` job measures its paper-scale ratio
 via `--full-serial`.
+
+**Scale bench — the million-node memory budget.**
+`benchmarks/bench_scale.py` runs the E2-shaped static pipeline (ring
+build → CSR input graph → hashed group construction → one 100k-probe
+batched secure search) at n = 2^17 and 2^20 (the million-node case) and
+records `{experiment: "SCALE", n, backend, wall_s, cells, trials,
+peak_rss_mb}` rows into `benchmarks/output/BENCH_scale.json`.  Two knobs
+make 2^20 fit a ~4 GB budget (measured: ~1.1 GB peak, 15s wall, vs
+~1.4 GB for the int64 oracle): `--index-dtype auto` narrows every stored
+index array — ring successor LUTs, CSR `indptr`/`indices`, routed
+paths, group member lists — to int32 whenever n fits (`int64` stays the
+byte-identity oracle at double width; RNG draws and accumulators are
+never narrowed, so statistics are value-identical — property-tested in
+`tests/property/test_index_dtype.py`), and `--probe-chunk` streams the
+probe batch through fixed-size windows
+(`measure_static_search_streamed`: integer accumulators ÷ probes, so
+bit-equal at any window size) with one `mem.peak` telemetry event per
+window.  E2 accepts the same `probe_chunk=` override through
+`build_spec`.  CI's `smoke-scale` job runs the 2^17 point under
+`--max-rss-mb 4096` and gates `peak_rss_mb` per row against the previous
+run's artifact via `tools/perf_ledger.py --scale-baseline` (>20% growth
+fails; bootstrap is warn-only).
+
+**Serving layer — live queries under churn (`repro.serve`).**
+`python -m repro serve run` exposes the secure-routing machinery as an
+asyncio TCP service speaking JSON lines: each `{"op": "query", "source":
+S, "target": T}` is answered from the **current epoch's snapshot** while
+a background task advances the `EpochSimulator` under `UniformChurn` on
+a fixed period, publishing each new epoch **copy-on-publish** (red mask
+copied, `SecureRouter` rebuilt off the event loop, then swapped in by
+one reference assignment — a query is answered wholly from one epoch,
+never a half-built one).  The epoch trajectory is a pure function of the
+config — queries consume no simulator RNG — so an offline replay
+(`repro.serve.oracle`) recomputes every recorded response line
+**byte-identically**; `python -m repro serve load` drives closed-loop
+(saturated back-pressure) or open-loop (Poisson arrivals; latency from
+scheduled arrival, so queueing counts — no coordinated omission)
+traffic, `--min-epoch` guarantees the drill overlapped N live
+transitions, and `--out` records response lines for the oracle check.
+Every query emits a `serve.request` event and every swap a
+`serve.publish`; `repro telemetry report` renders QPS, p50/p95/p99
+latency, per-epoch breakdown, and publish walls from the stream.
+`benchmarks/bench_serve.py` records `("SERVE", n, "offline")` (the same
+per-query code path as a plain loop) vs `("SERVE", n, "closed")`
+(through the live service) into `benchmarks/output/BENCH_serve.json`;
+CI's `smoke-serve` job runs `tools/smoke_serve.py` (>= 500 concurrent
+queries across >= 3 live epochs, every response oracle-verified) and
+gates the machine-invariant offline/closed wall ratio against the
+previous run via `tools/perf_ledger.py --serve-baseline` (>25% drop
+fails; bootstrap is warn-only).
 
 Telemetry (TELEMETRY.md, `repro.telemetry`): every sink above — the
 dispatch spool's `events.log`, sweep/trial loops (opt-in via
@@ -264,7 +351,22 @@ verification already catches accidental corruption at no overhead.
 """
 
 
+def existing_tables(md_path: pathlib.Path) -> dict[str, str]:
+    """The ```text blocks already embedded per section of EXPERIMENTS.md."""
+    if not md_path.exists():
+        return {}
+    text = md_path.read_text()
+    tables: dict[str, str] = {}
+    for match in re.finditer(
+        r"^## (\w+) — .*?```text\n(.*?)```", text, re.S | re.M
+    ):
+        tables[match.group(1)] = match.group(2).rstrip()
+    return tables
+
+
 def main() -> None:
+    md_path = ROOT / "EXPERIMENTS.md"
+    carried = existing_tables(md_path)
     parts = [HEADER]
     order = sorted(
         CLAIMS, key=lambda k: (k[0] != "E", int(k[1:]) if k[1:].isdigit() else 0)
@@ -275,10 +377,12 @@ def main() -> None:
         path = OUTPUT / f"{key.lower()}.txt"
         if path.exists():
             parts.append("```text\n" + path.read_text().rstrip() + "\n```\n")
+        elif key in carried:
+            parts.append("```text\n" + carried[key] + "\n```\n")
         else:
             parts.append("_(table not yet generated — run the benchmarks)_\n")
-    (ROOT / "EXPERIMENTS.md").write_text("\n".join(parts))
-    print(f"wrote {ROOT / 'EXPERIMENTS.md'}")
+    md_path.write_text("\n".join(parts))
+    print(f"wrote {md_path} ({len(carried)} carried-over table(s))")
 
 
 if __name__ == "__main__":

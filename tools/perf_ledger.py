@@ -31,6 +31,16 @@ workload is largely machine-invariant — unlike wall clock it needs no
 ratio normalization — so a peak more than ``--mem-max-regression``
 (default 20%) above baseline fails the job directly.
 
+A third gate covers the **serving ledger** (``BENCH_serve.json``,
+written by ``benchmarks/bench_serve.py``): pass
+``--serve-baseline``/``--serve-current`` and the tool gates the
+offline/closed wall-clock ratio per ``(experiment, n)`` — the serving
+layer's efficiency.  Both sides of the pair run in the same process on
+the same host (the offline loop is the very code path the service
+executes per query), so host speed divides out; the ratio dropping by
+more than ``--max-regression`` means the asyncio/TCP layer itself got
+slower.
+
 Rows under the ``--min-wall`` noise floor are reported but never gated
 (µs-scale cells measure scheduler jitter, not kernels).  Missing or
 unreadable baseline (first run, expired artifact) is **warn-only**: the
@@ -43,7 +53,9 @@ Usage::
         --baseline previous/BENCH_vectorized.json \
         --current benchmarks/output/BENCH_vectorized.json \
         --scale-baseline previous/BENCH_scale.json \
-        --scale-current benchmarks/output/BENCH_scale.json
+        --scale-current benchmarks/output/BENCH_scale.json \
+        --serve-baseline previous/BENCH_serve.json \
+        --serve-current benchmarks/output/BENCH_serve.json
 """
 
 from __future__ import annotations
@@ -116,6 +128,59 @@ def _gate_memory(args) -> int:
     return 0
 
 
+def _gate_serve(args) -> int:
+    """The offline/closed efficiency gate over the serving ledger."""
+    from repro.analysis.benchio import diff_bench_ratios, read_bench_rows
+
+    current = read_bench_rows(args.serve_current)
+    if not current:
+        print(f"perf-ledger: no rows in current serve file "
+              f"{args.serve_current}", file=sys.stderr)
+        return 1
+    baseline_path = pathlib.Path(args.serve_baseline)
+    baseline = read_bench_rows(baseline_path)
+    if not baseline:
+        state = "missing" if not baseline_path.exists() else "empty/corrupt"
+        print(
+            f"perf-ledger: serve baseline {baseline_path} is {state}; "
+            "warn-only bootstrap run (current rows become the next baseline)"
+        )
+        return 0
+    # efficiency = wall_offline / wall_closed: the "speedup" the direct
+    # query loop enjoys over the full asyncio/TCP path.  A drop means the
+    # serving layer's relative overhead grew — the code, not the machine.
+    deltas, regressions = diff_bench_ratios(
+        baseline, current,
+        max_regression=args.max_regression, min_wall_s=args.min_wall,
+        backends=("offline", "closed"),
+    )
+    if not deltas:
+        print("perf-ledger: no (experiment, n) point has an offline/closed "
+              "pair in both serve files; serving efficiency not comparable")
+        return 0
+    print(f"perf-ledger: {len(deltas)} comparable serving efficiency "
+          f"point(s) (gate: ratio drop >{args.max_regression:.0%}, "
+          f"noise floor {args.min_wall}s)")
+    flagged = {(d["experiment"], d["n"]) for d in regressions}
+    for d in deltas:
+        mark = "REGRESSION" if (d["experiment"], d["n"]) in flagged else "ok"
+        print(
+            f"  serve {d['experiment']:>5} n={d['n']:<6} "
+            f"{d['baseline_speedup']:.3f} -> {d['speedup']:.3f} "
+            f"offline/closed ({d['ratio']:.2f} of baseline)  {mark}"
+        )
+    if regressions:
+        print(
+            f"perf-ledger: {len(regressions)} serving point(s) regressed "
+            f"beyond {args.max_regression:.0%}: "
+            + ", ".join(f"{d['experiment']} n={d['n']}" for d in regressions),
+            file=sys.stderr,
+        )
+        return 0 if args.warn_only else 1
+    print("perf-ledger: no serving-efficiency regressions")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--baseline", default=None,
@@ -136,6 +201,11 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--mem-max-regression", type=float, default=0.20,
                     help="fail when a row's peak RSS grows by more than "
                          "this fraction over baseline (default 0.20 = 20%%)")
+    ap.add_argument("--serve-baseline", default=None,
+                    help="previous run's BENCH_serve JSON (missing -> "
+                         "warn-only); gates the offline/closed wall ratio")
+    ap.add_argument("--serve-current", default=None,
+                    help="this run's BENCH_serve JSON")
     ap.add_argument("--warn-only", action="store_true",
                     help="report regressions but always exit 0")
     args = ap.parse_args(argv)
@@ -144,11 +214,16 @@ def main(argv: list[str] | None = None) -> int:
         ap.error("--baseline and --current must be given together")
     if bool(args.scale_baseline) != bool(args.scale_current):
         ap.error("--scale-baseline and --scale-current must be given together")
-    if not args.current and not args.scale_current:
-        ap.error("nothing to gate: give --baseline/--current and/or "
-                 "--scale-baseline/--scale-current")
+    if bool(args.serve_baseline) != bool(args.serve_current):
+        ap.error("--serve-baseline and --serve-current must be given together")
+    if not args.current and not args.scale_current and not args.serve_current:
+        ap.error("nothing to gate: give --baseline/--current, "
+                 "--scale-baseline/--scale-current and/or "
+                 "--serve-baseline/--serve-current")
 
     mem_rc = _gate_memory(args) if args.scale_current else 0
+    serve_rc = _gate_serve(args) if args.serve_current else 0
+    mem_rc = mem_rc or serve_rc
     if not args.current:
         return mem_rc
 
